@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 7 — Case study II: a mixed-behavior 4-core workload
+ * (mcf, leslie3d, h264ref, bzip2) under all five schedulers.
+ *
+ * Expected shape (paper): FR-FCFS is less unfair here (low row-buffer
+ * locality variance); FCFS and FRFCFS+Cap *increase* unfairness while
+ * reducing throughput; NFQ prioritizes the bursty non-intensive
+ * threads over mcf (idleness problem); STFM is the fairest (~1.28)
+ * with the best weighted/hmean speedup.
+ */
+
+#include "harness/case_study.hh"
+#include "harness/workloads.hh"
+
+int
+main()
+{
+    stfm::runCaseStudy("Figure 7: mixed-behavior 4-core workload",
+                       stfm::workloads::caseMixed());
+    return 0;
+}

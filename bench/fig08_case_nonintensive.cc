@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 8 — Case study III: a non-memory-intensive 4-core workload
+ * (libquantum, omnetpp, hmmer, h264ref) under all five schedulers.
+ *
+ * Expected shape (paper): FR-FCFS starves the three non-intensive
+ * threads behind libquantum's row hits (unfairness ~7.2); FCFS fixes
+ * most of it; NFQ penalizes omnetpp (~3.5x) by serializing its bank
+ * parallelism while favoring the bursty h264ref; STFM gives the lowest
+ * unfairness (~1.2) and the best throughput.
+ */
+
+#include "harness/case_study.hh"
+#include "harness/workloads.hh"
+
+int
+main()
+{
+    stfm::runCaseStudy("Figure 8: non-memory-intensive 4-core workload",
+                       stfm::workloads::caseNonIntensive());
+    return 0;
+}

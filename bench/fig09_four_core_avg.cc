@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 9 — 4-core averages: unfairness for sample workloads plus the
+ * GMEAN over a category-balanced combination sweep (the paper averages
+ * 256 combinations; this harness samples 32 by default — set
+ * STFM_FULL_SWEEP=1 for 256).
+ *
+ * Expected shape (paper): average unfairness FR-FCFS 5.31, FCFS 1.80,
+ * FRFCFS+Cap 1.65, NFQ 1.58, STFM 1.24; STFM also has the best
+ * weighted (+5.8% over NFQ) and hmean (+10.8%) speedups.
+ */
+
+#include <cstdlib>
+
+#include "harness/sweep.hh"
+
+int
+main()
+{
+    using namespace stfm;
+    const bool full = std::getenv("STFM_FULL_SWEEP") != nullptr;
+    const unsigned count = full ? 256 : 32;
+    runSweep("Figure 9: 4-core category-balanced workload sweep",
+             sampleWorkloads(4, count, /*seed=*/0x5174f09), 10, 50000);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 12 — 16-core evaluation on three workloads: the 16 most
+ * intensive benchmarks (high16), the 8 most with the 8 least intensive
+ * (high8+low8), and the 16 least intensive (low16).
+ *
+ * Expected shape (paper): NFQ becomes highly unfair at 16 cores (both
+ * the idleness and the access-balance problems intensify), falling
+ * behind even FCFS and FRFCFS+Cap; STFM provides the best fairness
+ * (average 1.75 vs 2.23 for FCFS) and the best weighted/hmean speedup.
+ */
+
+#include "harness/sweep.hh"
+#include "harness/workloads.hh"
+
+int
+main()
+{
+    using namespace stfm;
+    runSweep("Figure 12: 16-core workloads (high16, high8+low8, low16)",
+             workloads::sixteenCore(), 3, 30000);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figure 13 — Windows desktop workload: two intensive background
+ * threads (xml-parser, matlab) with two interactive foreground threads
+ * (iexplorer, instant-messenger) on a 4-core system.
+ *
+ * Expected shape (paper): FR-FCFS crushes the interactive threads
+ * behind the high-locality background work (unfairness ~8.9); NFQ
+ * helps but still penalizes iexplorer and instant-messenger, whose
+ * accesses concentrate on two and three banks (access-balance
+ * problem); STFM is the fairest (~1.4) with the best weighted/hmean
+ * speedup.
+ */
+
+#include "harness/case_study.hh"
+#include "harness/workloads.hh"
+
+int
+main()
+{
+    stfm::runCaseStudy("Figure 13: desktop-application 4-core workload",
+                       stfm::workloads::desktop());
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Engineering micro-benchmarks (google-benchmark): the per-DRAM-cycle
+ * cost of each scheduling policy's priority comparison and of a full
+ * controller tick at various request-buffer occupancies. Not a paper
+ * figure — this quantifies that STFM's extra logic (Section 5) adds
+ * only bounded work per DRAM cycle over the FR-FCFS baseline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/controller.hh"
+#include "mem/occupancy.hh"
+#include "sched/policy.hh"
+
+namespace
+{
+
+using namespace stfm;
+
+SchedulerConfig
+configFor(const std::string &name)
+{
+    SchedulerConfig config;
+    if (name == "fcfs")
+        config.kind = PolicyKind::Fcfs;
+    else if (name == "cap")
+        config.kind = PolicyKind::FrFcfsCap;
+    else if (name == "nfq")
+        config.kind = PolicyKind::Nfq;
+    else if (name == "stfm")
+        config.kind = PolicyKind::Stfm;
+    return config;
+}
+
+/** Drive a controller at a given target queue occupancy. */
+void
+controllerTick(benchmark::State &state, const std::string &policy_name)
+{
+    const unsigned occupancy_target =
+        static_cast<unsigned>(state.range(0));
+    const unsigned threads = 8;
+    DramTiming timing;
+    ControllerParams params;
+    auto policy = makeSchedulingPolicy(configFor(policy_name), threads, 8);
+    ThreadBankOccupancy occupancy(threads, 8);
+    MemoryController controller(0, 8, timing, params, *policy, occupancy,
+                                threads);
+    std::vector<Cycles> stalls(threads, 1000);
+    controller.setReadCallback([](const Request &) {});
+
+    AddressMapping mapping(1, 8, 16 * 1024, 64, 16 * 1024, true);
+    Rng rng(7);
+
+    SchedContext ctx;
+    ctx.numThreads = threads;
+    ctx.banksPerChannel = 8;
+    ctx.timing = &timing;
+    ctx.occupancy = &occupancy;
+    ctx.stallCycles = &stalls;
+
+    DramCycles dram = 0;
+    for (auto _ : state) {
+        ctx.dramNow = ++dram;
+        ctx.cpuNow = dram * 10;
+        while (controller.buffer().readCount() < occupancy_target &&
+               controller.canAcceptRead()) {
+            AddrDecode coords;
+            coords.bank = static_cast<BankId>(rng.nextBelow(8));
+            coords.row = static_cast<RowId>(rng.nextBelow(1024));
+            coords.column = static_cast<ColumnId>(rng.nextBelow(256));
+            controller.enqueueRead(mapping.compose(coords), coords,
+                                   static_cast<ThreadId>(
+                                       rng.nextBelow(threads)),
+                                   /*blocking=*/true, ctx.cpuNow, dram);
+        }
+        policy->beginCycle(ctx);
+        controller.tick(ctx);
+        benchmark::DoNotOptimize(controller.idle());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FrFcfs(benchmark::State &s) { controllerTick(s, "frfcfs"); }
+void BM_Fcfs(benchmark::State &s) { controllerTick(s, "fcfs"); }
+void BM_FrFcfsCap(benchmark::State &s) { controllerTick(s, "cap"); }
+void BM_Nfq(benchmark::State &s) { controllerTick(s, "nfq"); }
+void BM_Stfm(benchmark::State &s) { controllerTick(s, "stfm"); }
+
+} // namespace
+
+BENCHMARK(BM_FrFcfs)->Arg(8)->Arg(32)->Arg(96);
+BENCHMARK(BM_Fcfs)->Arg(8)->Arg(32)->Arg(96);
+BENCHMARK(BM_FrFcfsCap)->Arg(8)->Arg(32)->Arg(96);
+BENCHMARK(BM_Nfq)->Arg(8)->Arg(32)->Arg(96);
+BENCHMARK(BM_Stfm)->Arg(8)->Arg(32)->Arg(96);
+
+BENCHMARK_MAIN();

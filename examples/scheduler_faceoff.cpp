@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Scheduler face-off: run one workload (default: the paper's
+ * mixed-behavior case study; or pass benchmark names on the command
+ * line) under all five schedulers and print a compact comparison —
+ * a handy way to explore the catalog interactively, e.g.:
+ *
+ *   scheduler_faceoff mcf libquantum omnetpp dealII
+ */
+
+#include <iostream>
+
+#include "harness/case_study.hh"
+#include "harness/runner.hh"
+#include "trace/catalog.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace stfm;
+
+    Workload workload;
+    for (int i = 1; i < argc; ++i)
+        workload.push_back(argv[i]);
+    if (workload.empty())
+        workload = workloads::caseMixed();
+    for (const auto &name : workload)
+        findBenchmark(name); // Fail fast on typos (fatal with message).
+
+    runCaseStudy("Scheduler face-off", workload, 50000);
+
+    std::cout << "\nBenchmarks available:";
+    for (const auto &profile : benchmarkCatalog())
+        std::cout << ' ' << profile.name;
+    for (const auto &profile : desktopCatalog())
+        std::cout << ' ' << profile.name;
+    std::cout << '\n';
+    return 0;
+}

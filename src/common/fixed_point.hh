@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-point arithmetic mimicking STFM's hardware slowdown registers.
+ *
+ * Table 1 of the paper budgets 8 bits of fixed point for each thread's
+ * Slowdown register and for the Alpha register, and notes that the update
+ * logic is built from adders, muxes, and shifters that *approximate*
+ * fixed-point division. This header provides a small Q-format value type
+ * so the STFM implementation can be run either with exact double
+ * arithmetic or with hardware-faithful quantization (the evaluation
+ * default matches the paper: quantization on for the stored slowdowns).
+ */
+
+#ifndef STFM_COMMON_FIXED_POINT_HH
+#define STFM_COMMON_FIXED_POINT_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace stfm
+{
+
+/**
+ * Unsigned fixed-point value with IntBits integer and FracBits fractional
+ * bits. Saturating on overflow, which matches what a bounded hardware
+ * register would do (a saturated slowdown still identifies the most
+ * slowed-down thread).
+ */
+template <unsigned IntBits, unsigned FracBits>
+class FixedPoint
+{
+    static_assert(IntBits + FracBits <= 32, "register too wide");
+
+  public:
+    static constexpr std::uint64_t kOne = 1ULL << FracBits;
+    static constexpr std::uint64_t kMaxRaw =
+        (1ULL << (IntBits + FracBits)) - 1;
+
+    constexpr FixedPoint() = default;
+
+    /** Quantize a real value (rounding to nearest, saturating). */
+    static constexpr FixedPoint
+    fromDouble(double v)
+    {
+        if (v <= 0.0)
+            return fromRaw(0);
+        const double scaled = v * static_cast<double>(kOne) + 0.5;
+        if (scaled >= static_cast<double>(kMaxRaw))
+            return fromRaw(kMaxRaw);
+        return fromRaw(static_cast<std::uint64_t>(scaled));
+    }
+
+    static constexpr FixedPoint
+    fromRaw(std::uint64_t raw)
+    {
+        FixedPoint fp;
+        fp.raw_ = std::min(raw, kMaxRaw);
+        return fp;
+    }
+
+    constexpr double
+    toDouble() const
+    {
+        return static_cast<double>(raw_) / static_cast<double>(kOne);
+    }
+
+    constexpr std::uint64_t raw() const { return raw_; }
+
+    constexpr bool
+    operator==(const FixedPoint &other) const = default;
+
+    constexpr auto
+    operator<=>(const FixedPoint &other) const = default;
+
+  private:
+    std::uint64_t raw_ = 0;
+};
+
+/**
+ * The paper's 8-bit slowdown register: 5 integer bits (slowdowns up to
+ * ~32x, beyond which saturation is harmless) and 3 fractional bits.
+ */
+using SlowdownReg = FixedPoint<5, 3>;
+
+/** Quantize a slowdown ratio the way the 8-bit register would store it. */
+inline double
+quantizeSlowdown(double s)
+{
+    return SlowdownReg::fromDouble(s).toDouble();
+}
+
+} // namespace stfm
+
+#endif // STFM_COMMON_FIXED_POINT_HH

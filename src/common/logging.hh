@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal fatal/panic helpers in the gem5 spirit.
+ *
+ * panic() flags simulator bugs (invariant violations) and aborts;
+ * fatal() flags user/configuration errors and exits cleanly.
+ */
+
+#ifndef STFM_COMMON_LOGGING_HH
+#define STFM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace stfm
+{
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace stfm
+
+#define STFM_PANIC(msg) ::stfm::panicImpl(__FILE__, __LINE__, (msg))
+#define STFM_FATAL(msg) ::stfm::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Simulator-bug assertion: active in all build types. */
+#define STFM_ASSERT(cond, msg)                                             \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            STFM_PANIC(msg);                                               \
+    } while (0)
+
+#endif // STFM_COMMON_LOGGING_HH

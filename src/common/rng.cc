@@ -1,0 +1,92 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace stfm
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+combineSeeds(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) +
+                               (a >> 2));
+    return splitmix64(state);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four xoshiro words from splitmix64 as its author
+    // recommends; this avoids the all-zero state.
+    std::uint64_t state = seed;
+    for (auto &word : s_)
+        word = splitmix64(state);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Lemire-style multiply-shift reduction; the tiny modulo bias is
+    // irrelevant for workload synthesis.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p < 1e-9)
+        p = 1e-9;
+    const double u = nextDouble();
+    return static_cast<std::uint64_t>(
+        std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+} // namespace stfm

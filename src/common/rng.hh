@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (synthetic trace generation,
+ * workload sampling) draws from explicitly seeded Rng instances so that a
+ * given (benchmark, seed, config) triple always reproduces bit-identical
+ * streams. This property is load-bearing: the experiment harness memoizes
+ * alone-run results, which is only sound if re-generating a trace yields
+ * the same access stream.
+ */
+
+#ifndef STFM_COMMON_RNG_HH
+#define STFM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace stfm
+{
+
+/**
+ * xoshiro256** generator seeded via splitmix64.
+ *
+ * Small, fast, and statistically strong enough for workload synthesis.
+ * Not suitable for cryptography (irrelevant here).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * success probability p (clamped to at least 1e-9). Mean (1-p)/p.
+     */
+    std::uint64_t nextGeometric(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/** splitmix64 step, exposed for deriving per-stream sub-seeds. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless hash of two seeds into one (for naming sub-streams). */
+std::uint64_t combineSeeds(std::uint64_t a, std::uint64_t b);
+
+} // namespace stfm
+
+#endif // STFM_COMMON_RNG_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers shared by every subsystem.
+ *
+ * The simulator uses a single master clock expressed in CPU cycles
+ * (Cycles). DRAM-domain quantities are expressed in DRAM bus cycles
+ * (DramCycles); the conversion ratio lives in sim::Config. Keeping the two
+ * domains as distinct typedefs makes unit mistakes greppable even though
+ * the compiler does not enforce them.
+ */
+
+#ifndef STFM_COMMON_TYPES_HH
+#define STFM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace stfm
+{
+
+/** Time in CPU clock cycles (4 GHz in the baseline configuration). */
+using Cycles = std::uint64_t;
+
+/** Time in DRAM bus clock cycles (400 MHz for DDR2-800). */
+using DramCycles = std::uint64_t;
+
+/** Byte-granularity physical address. */
+using Addr = std::uint64_t;
+
+/** Hardware thread / core identifier. */
+using ThreadId = std::uint32_t;
+
+/** DRAM geometry coordinates. */
+using ChannelId = std::uint32_t;
+using BankId = std::uint32_t;
+using RowId = std::uint32_t;
+using ColumnId = std::uint32_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId kInvalidThread =
+    std::numeric_limits<ThreadId>::max();
+
+/** Sentinel for "no row is open / unknown row". */
+inline constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
+
+/** Sentinel timestamp meaning "never". */
+inline constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+} // namespace stfm
+
+#endif // STFM_COMMON_TYPES_HH

@@ -1,0 +1,149 @@
+#include "core/slowdown_tracker.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+/** Bank access latency for a row-buffer category, in DRAM cycles. */
+DramCycles
+bankLatencyOf(RowBufferState state, const DramTiming &timing)
+{
+    switch (state) {
+      case RowBufferState::Hit:
+        return timing.rowHitLatency();
+      case RowBufferState::Closed:
+        return timing.rowClosedLatency();
+      case RowBufferState::Conflict:
+        return timing.rowConflictLatency();
+    }
+    return timing.rowConflictLatency();
+}
+
+/** Cap for the stored slowdown: the 8-bit register saturates near 32. */
+constexpr double kSlowdownCap = 32.0;
+
+} // namespace
+
+SlowdownTracker::SlowdownTracker(const SlowdownTrackerParams &params)
+    : params_(params), interference_(params.numThreads, 0.0),
+      stallAtIntervalStart_(params.numThreads, 0),
+      lastRow_(static_cast<std::size_t>(params.numThreads) *
+                   params.totalBanks,
+               kInvalidRow),
+      slowdown_(params.numThreads, 1.0),
+      rawSlowdown_(params.numThreads, 1.0),
+      weights_(params.weights)
+{
+    STFM_ASSERT(params.numThreads > 0, "need at least one thread");
+    STFM_ASSERT(params.gamma > 0.0, "gamma must be positive");
+    if (weights_.empty())
+        weights_.assign(params_.numThreads, 1.0);
+    STFM_ASSERT(weights_.size() == params_.numThreads,
+                "weights must cover every thread");
+}
+
+void
+SlowdownTracker::resetInterval(const std::vector<Cycles> &cumulative_stall,
+                               Cycles cpu_now)
+{
+    for (unsigned t = 0; t < params_.numThreads; ++t) {
+        interference_[t] = 0.0;
+        stallAtIntervalStart_[t] = cumulative_stall[t];
+    }
+    std::fill(lastRow_.begin(), lastRow_.end(), kInvalidRow);
+    intervalStart_ = cpu_now;
+}
+
+void
+SlowdownTracker::updateSlowdowns(const std::vector<Cycles> &cumulative_stall,
+                                 Cycles cpu_now)
+{
+    STFM_ASSERT(cumulative_stall.size() >= params_.numThreads,
+                "stall vector too small");
+    if (cpu_now - intervalStart_ >= params_.intervalLength)
+        resetInterval(cumulative_stall, cpu_now);
+
+    for (unsigned t = 0; t < params_.numThreads; ++t) {
+        const double t_shared = static_cast<double>(
+            cumulative_stall[t] - stallAtIntervalStart_[t]);
+        double s = 1.0;
+        if (t_shared > 0.0) {
+            // Talone = Tshared - Tinterference (Section 3.2.2).
+            const double t_alone = t_shared - interference_[t];
+            if (t_alone <= t_shared / kSlowdownCap) {
+                s = kSlowdownCap; // Saturate like the hardware register.
+            } else {
+                s = t_shared / t_alone;
+            }
+        }
+        rawSlowdown_[t] = s;
+        // Weighted slowdown: S' = 1 + (S - 1) * Weight (Section 3.3).
+        double weighted = 1.0 + (s - 1.0) * weights_[t];
+        weighted = std::clamp(weighted, 1.0 / kSlowdownCap, kSlowdownCap);
+        slowdown_[t] =
+            params_.quantize ? quantizeSlowdown(weighted) : weighted;
+    }
+}
+
+void
+SlowdownTracker::addBusInterference(ThreadId t, double tbus_cpu)
+{
+    interference_[t] += tbus_cpu;
+}
+
+void
+SlowdownTracker::addStallInterference(ThreadId t, double cycles)
+{
+    interference_[t] += cycles;
+}
+
+void
+SlowdownTracker::addBankInterference(ThreadId t, double latency_cpu,
+                                     unsigned bwp)
+{
+    const double parallelism =
+        params_.gamma * static_cast<double>(std::max(1u, bwp));
+    interference_[t] += latency_cpu / parallelism;
+}
+
+double
+SlowdownTracker::noteOwnService(ThreadId t, unsigned global_bank, RowId row,
+                                RowBufferState actual, unsigned bap,
+                                const DramTiming &timing,
+                                Cycles cpu_per_dram)
+{
+    const std::size_t idx = rowIdx(t, global_bank);
+    const RowId last = lastRow_[idx];
+    lastRow_[idx] = row;
+    if (last == kInvalidRow)
+        return 0.0; // No alone-mode history yet; nothing to charge.
+
+    // Had the thread run alone, the bank's row buffer would hold the
+    // row this thread accessed last.
+    const RowBufferState would_alone =
+        (last == row) ? RowBufferState::Hit : RowBufferState::Conflict;
+
+    const double actual_lat =
+        static_cast<double>(bankLatencyOf(actual, timing));
+    const double alone_lat =
+        static_cast<double>(bankLatencyOf(would_alone, timing));
+    const double extra_dram = actual_lat - alone_lat;
+    if (extra_dram == 0.0)
+        return 0.0;
+
+    // Some of the extra latency hides behind the thread's own
+    // concurrent accesses in other banks (Section 3.2.2, item 2).
+    const double charged = extra_dram *
+                           static_cast<double>(cpu_per_dram) /
+                           static_cast<double>(std::max(1u, bap));
+    interference_[t] += charged;
+    return charged;
+}
+
+} // namespace stfm

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * STFM's per-thread slowdown estimation state (Table 1 of the paper).
+ *
+ * For each thread the tracker maintains:
+ *  - Tshared: memory stall cycles accrued in the shared system, supplied
+ *    by the core (cycles in which the oldest instruction is an
+ *    uncommitted L2 miss);
+ *  - Tinterference: estimated extra stall cycles caused by other
+ *    threads, updated by the scheduler on every serviced request;
+ *  - Slowdown = Tshared / (Tshared - Tinterference), optionally
+ *    quantized to the 8-bit fixed-point register format of Table 1;
+ *  - LastRowAddress per (thread, bank), used to decide whether a
+ *    serviced request would have been a row hit had the thread run
+ *    alone.
+ *
+ * Registers are reset every IntervalLength cycles to adapt to phase
+ * behavior, exactly as Section 5.1 describes.
+ */
+
+#ifndef STFM_CORE_SLOWDOWN_TRACKER_HH
+#define STFM_CORE_SLOWDOWN_TRACKER_HH
+
+#include <vector>
+
+#include "common/fixed_point.hh"
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace stfm
+{
+
+/** Tunables of the estimation logic. */
+struct SlowdownTrackerParams
+{
+    unsigned numThreads = 1;
+    unsigned totalBanks = 8;
+    /** Register reset interval in CPU cycles (paper: 2^24). */
+    Cycles intervalLength = 1ULL << 24;
+    /** Bank-waiting-parallelism scaling factor gamma (paper: 1/2). */
+    double gamma = 0.5;
+    /** Quantize stored slowdowns to the 8-bit register format. */
+    bool quantize = true;
+    /** Per-thread weights for weighted slowdown (empty = all 1). */
+    std::vector<double> weights;
+};
+
+class SlowdownTracker
+{
+  public:
+    explicit SlowdownTracker(const SlowdownTrackerParams &params);
+
+    /**
+     * Recompute slowdowns from the current counters. @p cumulative_stall
+     * holds each thread's total memory stall cycles since simulation
+     * start; the tracker internally subtracts the value latched at the
+     * last interval reset. Performs the interval reset when due.
+     */
+    void updateSlowdowns(const std::vector<Cycles> &cumulative_stall,
+                         Cycles cpu_now);
+
+    /**
+     * Weighted slowdown of @p t per Section 3.3:
+     * S' = 1 + (S - 1) * Weight.
+     */
+    double slowdown(ThreadId t) const { return slowdown_[t]; }
+
+    /** Raw (unweighted, unquantized) slowdown, for inspection. */
+    double rawSlowdown(ThreadId t) const { return rawSlowdown_[t]; }
+
+    /** Current Tinterference estimate in CPU cycles (can be negative). */
+    double interferenceCycles(ThreadId t) const
+    {
+        return interference_[t];
+    }
+
+    /**
+     * Bus interference: the scheduled command keeps the data bus busy
+     * for @p tbus_cpu cycles, stalling thread @p t which had a ready
+     * column command.
+     */
+    void addBusInterference(ThreadId t, double tbus_cpu);
+
+    /** Plain addition of @p cycles of extra stall (per-cycle wait
+     *  attribution; the caller has already amortized parallelism). */
+    void addStallInterference(ThreadId t, double cycles);
+
+    /**
+     * Bank interference from a scheduled request of another thread:
+     * adds latency / (gamma * BankWaitingParallelism) per the paper's
+     * update rule. @p bwp of zero is treated as one.
+     */
+    void addBankInterference(ThreadId t, double latency_cpu, unsigned bwp);
+
+    /**
+     * Own-thread row-buffer interference. Given that thread @p t was
+     * serviced in @p bank with row @p row under @p actual row-buffer
+     * state, compares against what the thread would have seen alone
+     * (from LastRowAddress) and charges ExtraLatency / BAP. Both signs
+     * are handled (a shared-mode hit that would have been an alone-mode
+     * conflict contributes negative interference). Updates
+     * LastRowAddress.
+     *
+     * @return the extra latency charged (CPU cycles, may be negative or
+     *         zero), exposed for testing.
+     */
+    double noteOwnService(ThreadId t, unsigned global_bank, RowId row,
+                          RowBufferState actual, unsigned bap,
+                          const DramTiming &timing, Cycles cpu_per_dram);
+
+    /** Last row this thread accessed in this bank (or kInvalidRow). */
+    RowId lastRow(ThreadId t, unsigned global_bank) const
+    {
+        return lastRow_[rowIdx(t, global_bank)];
+    }
+
+    /** Update the last-row history without charging interference (used
+     *  by the request-level estimator, which folds the row-state
+     *  difference into its alone-latency reconstruction). */
+    void
+    setLastRow(ThreadId t, unsigned global_bank, RowId row)
+    {
+        lastRow_[rowIdx(t, global_bank)] = row;
+    }
+
+    unsigned numThreads() const { return params_.numThreads; }
+
+  private:
+    std::size_t rowIdx(ThreadId t, unsigned global_bank) const
+    {
+        return static_cast<std::size_t>(t) * params_.totalBanks +
+               global_bank;
+    }
+
+    void resetInterval(const std::vector<Cycles> &cumulative_stall,
+                       Cycles cpu_now);
+
+    SlowdownTrackerParams params_;
+    std::vector<double> interference_;
+    std::vector<Cycles> stallAtIntervalStart_;
+    std::vector<RowId> lastRow_;
+    std::vector<double> slowdown_;
+    std::vector<double> rawSlowdown_;
+    std::vector<double> weights_;
+    Cycles intervalStart_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_CORE_SLOWDOWN_TRACKER_HH

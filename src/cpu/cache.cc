@@ -1,0 +1,127 @@
+#include "cpu/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    STFM_ASSERT(params.lineBytes > 0 &&
+                    std::has_single_bit(params.lineBytes),
+                "line size must be a power of two");
+    STFM_ASSERT(params.ways > 0, "cache needs at least one way");
+    const std::uint64_t lines = params.sizeBytes / params.lineBytes;
+    STFM_ASSERT(lines % params.ways == 0, "size/ways mismatch");
+    sets_ = static_cast<unsigned>(lines / params.ways);
+    STFM_ASSERT(sets_ > 0 && std::has_single_bit(std::uint64_t{sets_}),
+                "set count must be a power of two");
+    lineShift_ = static_cast<unsigned>(std::countr_zero(params.lineBytes));
+    lines_.resize(static_cast<std::size_t>(sets_) * params.ways);
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & (sets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> lineShift_ >> std::countr_zero(std::uint64_t{sets_});
+}
+
+Addr
+Cache::rebuild(Addr tag, std::uint64_t set) const
+{
+    return ((tag << std::countr_zero(std::uint64_t{sets_})) | set)
+           << lineShift_;
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+bool
+Cache::access(Addr addr, bool is_store)
+{
+    if (Line *line = find(addr)) {
+        line->lastUse = ++useCounter_;
+        if (is_store)
+            line->dirty = true;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+Eviction
+Cache::fill(Addr addr, bool dirty)
+{
+    const std::uint64_t set = setIndex(addr);
+    Line *base = &lines_[set * params_.ways];
+
+    // Re-fill of a resident line just updates state.
+    if (Line *line = find(addr)) {
+        line->dirty |= dirty;
+        line->lastUse = ++useCounter_;
+        return {};
+    }
+
+    // Pick an invalid way, else the LRU way.
+    Line *victim = &base[0];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    Eviction out;
+    if (victim->valid) {
+        out.valid = true;
+        out.dirty = victim->dirty;
+        out.addr = rebuild(victim->tag, set);
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tagOf(addr);
+    victim->lastUse = ++useCounter_;
+    return out;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = find(addr))
+        line->valid = false;
+}
+
+} // namespace stfm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used for the private per-core L1 (32 KB, 4-way, write-through to L2)
+ * and L2 (512 KB, 8-way, write-back) of the paper's Table 2. The model
+ * tracks tags, valid and dirty bits only — data never flows through the
+ * simulator. Latencies are applied by the core, not here.
+ */
+
+#ifndef STFM_CPU_CACHE_HH
+#define STFM_CPU_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** Geometry of one cache level. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 4;
+    std::uint64_t lineBytes = 64;
+    /** Access latency in CPU cycles (applied by the core). */
+    Cycles latency = 2;
+};
+
+/** Outcome of a fill: whether a dirty victim needs writing back. */
+struct Eviction
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr addr = 0;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up @p addr; on a hit, update LRU and (for stores) the dirty
+     * bit. Misses change nothing — allocation happens via fill().
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool is_store);
+
+    /** Non-destructive lookup (no LRU update). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Allocate the line for @p addr, evicting the LRU way.
+     * @param dirty Install the line already dirty (store fill).
+     * @return the evicted victim, if any.
+     */
+    Eviction fill(Addr addr, bool dirty);
+
+    /** Drop the line if present (inclusion maintenance). */
+    void invalidate(Addr addr);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    const CacheParams &params() const { return params_; }
+    unsigned numSets() const { return sets_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+    std::uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+    Addr rebuild(Addr tag, std::uint64_t set) const;
+
+    CacheParams params_;
+    unsigned sets_;
+    unsigned lineShift_;
+    std::vector<Line> lines_; // sets_ * ways, row-major by set
+    std::uint64_t useCounter_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_CPU_CACHE_HH

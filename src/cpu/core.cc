@@ -1,0 +1,231 @@
+#include "cpu/core.hh"
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+Core::Core(ThreadId id, const CoreParams &params, TraceSource &trace,
+           MemoryPort &memory)
+    : id_(id), params_(params), trace_(trace), memory_(memory),
+      l1_(params.l1), l2_(params.l2), mshr_(params.mshrs),
+      window_(params.windowSize)
+{
+    STFM_ASSERT(params.windowSize > 0, "window size must be positive");
+}
+
+void
+Core::prewarmCaches(const std::vector<WarmLine> &lines)
+{
+    for (const WarmLine &line : lines) {
+        // Overflowing sets silently drop their LRU victim: the warmup
+        // happened "before time zero", so no writeback traffic results.
+        l2_.fill(line.addr & ~(params_.l2.lineBytes - 1), line.dirty);
+    }
+}
+
+void
+Core::tick(Cycles now)
+{
+    drainWritebacks();
+    commit(now);
+    fetch(now);
+}
+
+void
+Core::commit(Cycles now)
+{
+    for (unsigned n = 0; n < params_.commitWidth; ++n) {
+        if (head_ == tail_) {
+            // Drained window while fetch is blocked on memory
+            // structures: the thread is stalled on its misses.
+            if (n == 0 && fetchBlockedByMemory_)
+                ++memStall_;
+            return;
+        }
+        const WindowEntry &e = window_[head_ % params_.windowSize];
+        if (e.memWait || e.readyAt > now) {
+            // In-order commit is blocked. Attribute the stall to memory
+            // only when the oldest instruction is an L2 miss (the
+            // paper's Tshared rule).
+            if (n == 0 && e.l2Miss)
+                ++memStall_;
+            return;
+        }
+        ++head_;
+        ++committed_;
+    }
+}
+
+void
+Core::fetch(Cycles now)
+{
+    fetchBlockedByMemory_ = false;
+    bool mem_op_fetched = false;
+    for (unsigned n = 0; n < params_.fetchWidth; ++n) {
+        if (windowFull())
+            return;
+        if (pendingWritebacks_.size() >= params_.maxPendingWritebacks)
+            return; // Backpressure from the write path.
+
+        // Refill the decode state from the trace.
+        if (aluCredit_ == 0 && !memPending_) {
+            pendingOp_ = trace_.next();
+            aluCredit_ = pendingOp_.aluBefore;
+            memPending_ = pendingOp_.kind != TraceOp::Kind::None;
+        }
+
+        if (aluCredit_ > 0) {
+            WindowEntry &e = at(tail_);
+            e.readyAt = now + 1;
+            e.memWait = false;
+            e.l2Miss = false;
+            ++tail_;
+            --aluCredit_;
+            continue;
+        }
+
+        STFM_ASSERT(memPending_, "decode state exhausted");
+        if (mem_op_fetched)
+            return; // At most one memory operation per cycle (Table 2).
+        if (pendingOp_.dependsOnPrev && lastMissPos_ != ~0ULL &&
+            lastMissPos_ >= head_ && !entryDone(lastMissPos_, now)) {
+            return; // Address-dependent load: wait for the producer.
+        }
+        if (!issueMemOp(now)) {
+            // Structural stall (MSHRs / request buffer full).
+            fetchBlockedByMemory_ = true;
+            return;
+        }
+        mem_op_fetched = true;
+        memPending_ = false;
+    }
+}
+
+bool
+Core::issueMemOp(Cycles now)
+{
+    const Addr line = pendingOp_.addr & ~(params_.l1.lineBytes - 1);
+    const bool is_store = pendingOp_.kind == TraceOp::Kind::Store;
+
+    if (is_store && pendingOp_.nonTemporal) {
+        // Streaming store: bypass the caches, write straight to DRAM.
+        if (pendingWritebacks_.size() >= params_.maxPendingWritebacks)
+            return false;
+        if (memory_.canAcceptWrite(line))
+            memory_.issueWrite(line, id_);
+        else
+            pendingWritebacks_.push_back(line);
+        WindowEntry &e = at(tail_);
+        e.readyAt = now + 1;
+        e.memWait = false;
+        e.l2Miss = false;
+        ++tail_;
+        return true;
+    }
+
+    if (is_store) {
+        // Stores commit immediately (write buffering); the cache fill
+        // happens in the background.
+        if (!l2_.access(line, /*is_store=*/true)) {
+            // Store fill: fetch the line, install dirty.
+            const bool merged = mshr_.has(line);
+            if (!merged) {
+                if (mshr_.full() || !memory_.canAcceptRead(line))
+                    return false;
+                mshr_.allocate(line, MshrFile::kNoWaiter,
+                               /*dirty_fill=*/true);
+                memory_.issueRead(line, id_, /*blocking=*/false);
+            } else {
+                mshr_.allocate(line, MshrFile::kNoWaiter,
+                               /*dirty_fill=*/true);
+            }
+        } else {
+            l1_.access(line, /*is_store=*/false); // Keep L1 LRU warm.
+        }
+        WindowEntry &e = at(tail_);
+        e.readyAt = now + 1;
+        e.memWait = false;
+        e.l2Miss = false;
+        ++tail_;
+        return true;
+    }
+
+    // Load path.
+    WindowEntry &e = at(tail_);
+    e.memWait = false;
+    e.l2Miss = false;
+    if (l1_.access(line, /*is_store=*/false)) {
+        e.readyAt = now + params_.l1.latency;
+    } else if (l2_.access(line, /*is_store=*/false)) {
+        e.readyAt = now + params_.l1.latency + params_.l2.latency;
+        l1_.fill(line, /*dirty=*/false); // L1 is write-through: clean.
+    } else {
+        // L2 miss: allocate or merge an MSHR and go to DRAM.
+        const bool merged = mshr_.has(line);
+        if (!merged) {
+            if (mshr_.full())
+                return false;
+            if (!memory_.canAcceptRead(line)) {
+                // Request buffer full: a wait the memory system should
+                // see (it is usually full of other threads' requests).
+                memory_.noteEnqueueBlocked(line, id_);
+                return false;
+            }
+        }
+        mshr_.allocate(line, tail_, /*dirty_fill=*/false);
+        if (!merged)
+            memory_.issueRead(line, id_, /*blocking=*/true);
+        e.memWait = true;
+        e.l2Miss = true;
+        e.readyAt = kNever;
+        lastMissPos_ = tail_;
+    }
+    lastLoadPos_ = tail_;
+    ++tail_;
+    return true;
+}
+
+void
+Core::onReadComplete(Addr line_addr, Cycles now)
+{
+    bool dirty = false;
+    wakeScratch_.clear();
+    if (!mshr_.complete(line_addr, wakeScratch_, dirty))
+        return; // Spurious (e.g. after a reset); ignore.
+    handleFill(line_addr, dirty, now);
+    for (const std::uint64_t pos : wakeScratch_) {
+        if (pos < head_ || pos >= tail_)
+            continue; // The waiter is gone (should not happen for loads).
+        WindowEntry &e = at(pos);
+        e.memWait = false;
+        // The fixed controller/interconnect overhead is charged on the
+        // return path.
+        e.readyAt = now + params_.dramOverhead;
+    }
+}
+
+void
+Core::handleFill(Addr line_addr, bool dirty, Cycles now)
+{
+    (void)now;
+    const Eviction victim = l2_.fill(line_addr, dirty);
+    if (victim.valid) {
+        l1_.invalidate(victim.addr); // Maintain inclusion.
+        if (victim.dirty)
+            pendingWritebacks_.push_back(victim.addr);
+    }
+    l1_.fill(line_addr, /*dirty=*/false);
+}
+
+void
+Core::drainWritebacks()
+{
+    while (!pendingWritebacks_.empty() &&
+           memory_.canAcceptWrite(pendingWritebacks_.front())) {
+        memory_.issueWrite(pendingWritebacks_.front(), id_);
+        pendingWritebacks_.pop_front();
+    }
+}
+
+} // namespace stfm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Trace-driven processor core model.
+ *
+ * Approximates the paper's performance model (Table 2): a 4 GHz core
+ * with a 128-entry instruction window, 3-wide fetch/commit with at most
+ * one memory operation per cycle, private L1/L2 caches, and 64 MSHRs.
+ * Commit is in order; when the oldest instruction is an outstanding L2
+ * miss, the core cannot commit and increments its memory stall counter —
+ * this counter is exactly the Tshared value STFM consumes.
+ *
+ * Loads enter the window and complete after their cache/DRAM latency;
+ * independent loads overlap (memory-level parallelism), while loads
+ * marked address-dependent serialize. Stores commit immediately but
+ * trigger store fills and, eventually, dirty writebacks to DRAM.
+ */
+
+#ifndef STFM_CPU_CORE_HH
+#define STFM_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/cache.hh"
+#include "cpu/memory_port.hh"
+#include "cpu/mshr.hh"
+#include "trace/trace.hh"
+
+namespace stfm
+{
+
+/** Core tunables; defaults are the paper's Table 2 values. */
+struct CoreParams
+{
+    unsigned windowSize = 128;
+    unsigned fetchWidth = 3;
+    unsigned commitWidth = 3;
+    unsigned mshrs = 64;
+    CacheParams l1{32 * 1024, 4, 64, 2};
+    CacheParams l2{512 * 1024, 8, 64, 12};
+    /** Fixed controller/interconnect overhead per DRAM access (CPU
+     *  cycles); 40 cycles = the 10 ns that completes Table 2's 35 ns
+     *  uncontended row-hit round trip. */
+    Cycles dramOverhead = 40;
+    /** Core-side buffer for writebacks the controller can't yet take. */
+    unsigned maxPendingWritebacks = 8;
+};
+
+class Core
+{
+  public:
+    Core(ThreadId id, const CoreParams &params, TraceSource &trace,
+         MemoryPort &memory);
+
+    /**
+     * Pre-install @p lines into the L2 (and drop a subset into the L1),
+     * modeling the working set resident before the simulated window.
+     */
+    void prewarmCaches(const std::vector<WarmLine> &lines);
+
+    /** Advance one CPU cycle: commit, then fetch/issue. */
+    void tick(Cycles now);
+
+    /** DRAM data for @p line_addr arrived (called by the system). */
+    void onReadComplete(Addr line_addr, Cycles now);
+
+    ThreadId threadId() const { return id_; }
+    std::uint64_t instructionsCommitted() const { return committed_; }
+    /** Cycles in which the oldest instruction was an unfinished L2-miss
+     *  load (the Tshared counter of Section 3.2.1). */
+    Cycles memStallCycles() const { return memStall_; }
+    /** Demand L2 misses (distinct lines; MSHR allocations). */
+    std::uint64_t l2Misses() const { return mshr_.allocations(); }
+    std::uint64_t l1Hits() const { return l1_.hits(); }
+    std::uint64_t l2Hits() const { return l2_.hits(); }
+
+  private:
+    struct WindowEntry
+    {
+        Cycles readyAt = 0;
+        bool memWait = false; ///< Still waiting on the DRAM data.
+        bool l2Miss = false;  ///< Load that missed the L2 (for stall
+                              ///< attribution, including the return-path
+                              ///< overhead after the data arrives).
+    };
+
+    bool windowFull() const { return tail_ - head_ >= params_.windowSize; }
+    WindowEntry &at(std::uint64_t pos)
+    {
+        return window_[pos % params_.windowSize];
+    }
+    bool entryDone(std::uint64_t pos, Cycles now) const
+    {
+        const WindowEntry &e = window_[pos % params_.windowSize];
+        return !e.memWait && e.readyAt <= now;
+    }
+
+    void commit(Cycles now);
+    void fetch(Cycles now);
+    /** @return false if the memory op must retry next cycle. */
+    bool issueMemOp(Cycles now);
+    void handleFill(Addr line_addr, bool dirty, Cycles now);
+    void drainWritebacks();
+
+    ThreadId id_;
+    CoreParams params_;
+    TraceSource &trace_;
+    MemoryPort &memory_;
+
+    Cache l1_;
+    Cache l2_;
+    MshrFile mshr_;
+
+    std::vector<WindowEntry> window_;
+    std::uint64_t head_ = 0; ///< Position of the oldest instruction.
+    std::uint64_t tail_ = 0; ///< Position one past the youngest.
+
+    /** Trace decode state. */
+    std::uint32_t aluCredit_ = 0;
+    bool memPending_ = false;
+    TraceOp pendingOp_;
+
+    /** Position of the most recent load (for dependence stalls). */
+    std::uint64_t lastLoadPos_ = ~0ULL;
+    /** Position of the most recent L2-missing load: dependence chains
+     *  serialize misses on each other (pointer chasing), not on
+     *  interleaved cache-hitting loads. */
+    std::uint64_t lastMissPos_ = ~0ULL;
+
+    std::deque<Addr> pendingWritebacks_;
+    std::vector<std::uint64_t> wakeScratch_;
+
+    /** Fetch was blocked by a full MSHR file / request buffer last
+     *  cycle; with an empty window this still counts as memory stall
+     *  (the machine is drained waiting on outstanding misses). */
+    bool fetchBlockedByMemory_ = false;
+
+    std::uint64_t committed_ = 0;
+    Cycles memStall_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_CPU_CORE_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The core's view of the memory system (dependency-inversion point
+ * between cpu/ and mem/).
+ */
+
+#ifndef STFM_CPU_MEMORY_PORT_HH
+#define STFM_CPU_MEMORY_PORT_HH
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** What a core needs from the shared memory system. */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /** Can a demand read to @p addr be accepted this cycle? */
+    virtual bool canAcceptRead(Addr addr) const = 0;
+    /** Can a writeback to @p addr be accepted this cycle? */
+    virtual bool canAcceptWrite(Addr addr) const = 0;
+
+    /**
+     * Issue a demand read; completion arrives via Core::onReadComplete.
+     * @param blocking A load waits on this line (false for store fills).
+     */
+    virtual void issueRead(Addr addr, ThreadId thread, bool blocking) = 0;
+    /** Issue a writeback (fire-and-forget). */
+    virtual void issueWrite(Addr addr, ThreadId thread) = 0;
+
+    /**
+     * The core wanted to issue a blocking read this cycle but the
+     * request buffer was full. Fairness-aware schedulers use this to
+     * attribute the wait to the threads hogging the buffer.
+     */
+    virtual void noteEnqueueBlocked(Addr addr, ThreadId thread)
+    {
+        (void)addr;
+        (void)thread;
+    }
+};
+
+} // namespace stfm
+
+#endif // STFM_CPU_MEMORY_PORT_HH

@@ -1,0 +1,69 @@
+#include "cpu/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+MshrFile::MshrFile(unsigned entries) : entries_(entries)
+{
+    STFM_ASSERT(entries > 0, "need at least one MSHR");
+}
+
+MshrFile::Result
+MshrFile::allocate(Addr line_addr, std::uint64_t window_pos,
+                   bool dirty_fill)
+{
+    Entry *free_entry = nullptr;
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.lineAddr == line_addr) {
+            if (window_pos != kNoWaiter)
+                entry.waiters.push_back(window_pos);
+            entry.dirtyFill |= dirty_fill;
+            return Result::Merged;
+        }
+        if (!entry.valid && free_entry == nullptr)
+            free_entry = &entry;
+    }
+    if (free_entry == nullptr)
+        return Result::Full;
+
+    free_entry->valid = true;
+    free_entry->lineAddr = line_addr;
+    free_entry->dirtyFill = dirty_fill;
+    free_entry->waiters.clear();
+    if (window_pos != kNoWaiter)
+        free_entry->waiters.push_back(window_pos);
+    ++used_;
+    ++allocations_;
+    return Result::Allocated;
+}
+
+bool
+MshrFile::has(Addr line_addr) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.valid && entry.lineAddr == line_addr)
+            return true;
+    }
+    return false;
+}
+
+bool
+MshrFile::complete(Addr line_addr, std::vector<std::uint64_t> &waiters,
+                   bool &dirty)
+{
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.lineAddr == line_addr) {
+            waiters = std::move(entry.waiters);
+            dirty = entry.dirtyFill;
+            entry.valid = false;
+            entry.waiters.clear();
+            --used_;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace stfm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Miss-status holding registers (MSHRs).
+ *
+ * Track outstanding L2 misses per core (64 in the baseline, Table 2).
+ * Multiple loads (and store fills) to the same line coalesce into one
+ * entry and thus one DRAM request; the waiting instruction-window
+ * positions are woken together when the data returns.
+ */
+
+#ifndef STFM_CPU_MSHR_HH
+#define STFM_CPU_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries);
+
+    /** Outcome of a lookup/allocate attempt. */
+    enum class Result
+    {
+        Allocated, ///< New entry created; caller must send a request.
+        Merged,    ///< Coalesced with an existing miss to the line.
+        Full,      ///< No free entry; the access must retry.
+    };
+
+    /**
+     * Register a miss to @p line_addr. If @p window_pos is not
+     * kNoWaiter, the instruction at that window position waits for the
+     * fill. @p dirty_fill marks the line dirty on arrival (store fill).
+     */
+    Result allocate(Addr line_addr, std::uint64_t window_pos,
+                    bool dirty_fill);
+
+    static constexpr std::uint64_t kNoWaiter = ~0ULL;
+
+    /**
+     * Data for @p line_addr arrived: releases the entry.
+     * @param[out] waiters   Window positions to wake.
+     * @param[out] dirty     True if the fill must install dirty.
+     * @return false if no entry matches (spurious completion).
+     */
+    bool complete(Addr line_addr, std::vector<std::uint64_t> &waiters,
+                  bool &dirty);
+
+    /** Is there already an outstanding miss for @p line_addr? */
+    bool has(Addr line_addr) const;
+
+    bool full() const { return used_ == entries_.size(); }
+    unsigned inUse() const { return used_; }
+    /** Number of distinct misses allocated (DRAM demand requests). */
+    std::uint64_t allocations() const { return allocations_; }
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr = 0;
+        bool valid = false;
+        bool dirtyFill = false;
+        std::vector<std::uint64_t> waiters;
+    };
+
+    std::vector<Entry> entries_;
+    unsigned used_ = 0;
+    std::uint64_t allocations_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_CPU_MSHR_HH

@@ -1,0 +1,93 @@
+#include "dram/address_mapping.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+unsigned
+log2Exact(std::uint64_t v, const char *what)
+{
+    STFM_ASSERT(v != 0 && std::has_single_bit(v), what);
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+} // namespace
+
+AddressMapping::AddressMapping(unsigned channels, unsigned banks,
+                               std::uint64_t row_bytes,
+                               std::uint64_t line_bytes, std::uint64_t rows,
+                               bool xor_banks)
+    : channels_(channels), banks_(banks), rowBytes_(row_bytes),
+      lineBytes_(line_bytes), rows_(rows),
+      linesPerRow_(row_bytes / line_bytes), xorBanks_(xor_banks)
+{
+    STFM_ASSERT(row_bytes % line_bytes == 0,
+                "row size must be a multiple of the line size");
+    const unsigned line_bits = log2Exact(line_bytes, "line size");
+    const unsigned channel_bits =
+        log2Exact(channels, "channel count must be a power of two");
+    const unsigned column_bits =
+        log2Exact(linesPerRow_, "lines per row must be a power of two");
+    const unsigned bank_bits =
+        log2Exact(banks, "bank count must be a power of two");
+    log2Exact(rows, "row count must be a power of two");
+
+    channelShift_ = line_bits;
+    columnShift_ = channelShift_ + channel_bits;
+    bankShift_ = columnShift_ + column_bits;
+    rowShift_ = bankShift_ + bank_bits;
+
+    channelMask_ = channels_ - 1;
+    columnMask_ = linesPerRow_ - 1;
+    bankMask_ = banks_ - 1;
+    rowMask_ = rows_ - 1;
+}
+
+AddrDecode
+AddressMapping::decode(Addr addr) const
+{
+    AddrDecode out;
+    out.channel = static_cast<ChannelId>((addr >> channelShift_) &
+                                         channelMask_);
+    out.column = static_cast<ColumnId>((addr >> columnShift_) &
+                                       columnMask_);
+    out.row = static_cast<RowId>((addr >> rowShift_) & rowMask_);
+    std::uint64_t bank = (addr >> bankShift_) & bankMask_;
+    if (xorBanks_)
+        bank ^= out.row & bankMask_;
+    out.bank = static_cast<BankId>(bank);
+    return out;
+}
+
+Addr
+AddressMapping::compose(const AddrDecode &coords) const
+{
+    STFM_ASSERT(coords.channel < channels_, "channel out of range");
+    STFM_ASSERT(coords.bank < banks_, "bank out of range");
+    STFM_ASSERT(coords.row < rows_, "row out of range");
+    STFM_ASSERT(coords.column < linesPerRow_, "column out of range");
+    std::uint64_t bank = coords.bank;
+    if (xorBanks_)
+        bank ^= coords.row & bankMask_; // XOR is its own inverse.
+    Addr addr = 0;
+    addr |= static_cast<Addr>(coords.channel) << channelShift_;
+    addr |= static_cast<Addr>(coords.column) << columnShift_;
+    addr |= static_cast<Addr>(bank) << bankShift_;
+    addr |= static_cast<Addr>(coords.row) << rowShift_;
+    return addr;
+}
+
+std::uint64_t
+AddressMapping::capacityBytes() const
+{
+    return static_cast<std::uint64_t>(channels_) * banks_ * rows_ *
+           rowBytes_;
+}
+
+} // namespace stfm

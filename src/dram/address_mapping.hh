@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Physical address to DRAM coordinate mapping.
+ *
+ * Bit layout, from least significant:
+ *
+ *   | line offset | channel | column | bank | row |
+ *
+ * Cache-line interleaving across channels keeps per-thread bandwidth
+ * scaling with channel count (the paper scales channels with cores).
+ * Within a channel, column bits come below bank bits so that a
+ * consecutive-line stream stays inside one row (open-page friendly).
+ *
+ * Bank index can optionally be permuted with the low row bits
+ * (XOR-based mapping, Frailong et al. / Zhang et al., the scheme the
+ * paper's baseline controller uses) to spread row-conflicting strides
+ * across banks.
+ *
+ * compose() is the exact inverse of decode(); the synthetic workload
+ * generator uses it to build address streams that target specific
+ * (bank, row) coordinates regardless of the mapping scheme.
+ */
+
+#ifndef STFM_DRAM_ADDRESS_MAPPING_HH
+#define STFM_DRAM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** Decoded DRAM coordinates of a physical address. */
+struct AddrDecode
+{
+    ChannelId channel = 0;
+    BankId bank = 0;
+    RowId row = 0;
+    ColumnId column = 0;
+
+    bool operator==(const AddrDecode &other) const = default;
+};
+
+/** Geometry + mapping scheme for one memory system. */
+class AddressMapping
+{
+  public:
+    /**
+     * @param channels     Number of independent channels (power of two).
+     * @param banks        Banks per channel (power of two).
+     * @param row_bytes    Effective row-buffer size across the DIMM's
+     *                     chips (paper baseline: 2 KB/chip x 8 = 16 KB).
+     * @param line_bytes   Cache line size (64 B).
+     * @param rows         Rows per bank (power of two).
+     * @param xor_banks    Enable XOR-based bank index permutation.
+     */
+    AddressMapping(unsigned channels, unsigned banks,
+                   std::uint64_t row_bytes, std::uint64_t line_bytes,
+                   std::uint64_t rows, bool xor_banks);
+
+    /** Decode a physical address into DRAM coordinates. */
+    AddrDecode decode(Addr addr) const;
+
+    /** Inverse of decode(); returns the line-aligned address. */
+    Addr compose(const AddrDecode &coords) const;
+
+    unsigned channels() const { return channels_; }
+    unsigned banksPerChannel() const { return banks_; }
+    std::uint64_t rowsPerBank() const { return rows_; }
+    std::uint64_t linesPerRow() const { return linesPerRow_; }
+    std::uint64_t lineBytes() const { return lineBytes_; }
+    std::uint64_t rowBytes() const { return rowBytes_; }
+
+    /** Total bytes addressable before coordinates wrap. */
+    std::uint64_t capacityBytes() const;
+
+  private:
+    unsigned channels_;
+    unsigned banks_;
+    std::uint64_t rowBytes_;
+    std::uint64_t lineBytes_;
+    std::uint64_t rows_;
+    std::uint64_t linesPerRow_;
+    bool xorBanks_;
+
+    unsigned channelShift_, columnShift_, bankShift_, rowShift_;
+    std::uint64_t channelMask_, columnMask_, bankMask_, rowMask_;
+};
+
+} // namespace stfm
+
+#endif // STFM_DRAM_ADDRESS_MAPPING_HH

@@ -1,0 +1,77 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+RowBufferState
+Bank::rowState(RowId row) const
+{
+    if (openRow_ == kInvalidRow)
+        return RowBufferState::Closed;
+    return openRow_ == row ? RowBufferState::Hit : RowBufferState::Conflict;
+}
+
+bool
+Bank::canIssue(DramCommand cmd, RowId row, DramCycles now) const
+{
+    switch (cmd) {
+      case DramCommand::Activate:
+        return openRow_ == kInvalidRow && now >= actAllowedAt_;
+      case DramCommand::Precharge:
+        return openRow_ != kInvalidRow && now >= preAllowedAt_;
+      case DramCommand::Read:
+        return openRow_ == row && now >= readAllowedAt_;
+      case DramCommand::Write:
+        return openRow_ == row && now >= writeAllowedAt_;
+    }
+    return false;
+}
+
+void
+Bank::blockUntil(DramCycles until)
+{
+    STFM_ASSERT(openRow_ == kInvalidRow, "refreshing an open bank");
+    actAllowedAt_ = std::max(actAllowedAt_, until);
+}
+
+void
+Bank::issue(DramCommand cmd, RowId row, DramCycles now,
+            const DramTiming &timing)
+{
+    STFM_ASSERT(canIssue(cmd, row, now), "illegal DRAM command issue");
+    switch (cmd) {
+      case DramCommand::Activate:
+        openRow_ = row;
+        ++activations_;
+        readAllowedAt_ = std::max(readAllowedAt_, now + timing.tRCD);
+        writeAllowedAt_ = std::max(writeAllowedAt_, now + timing.tRCD);
+        preAllowedAt_ = std::max(preAllowedAt_, now + timing.tRAS);
+        actAllowedAt_ = std::max(actAllowedAt_, now + timing.tRC);
+        break;
+      case DramCommand::Precharge:
+        openRow_ = kInvalidRow;
+        actAllowedAt_ = std::max(actAllowedAt_, now + timing.tRP);
+        break;
+      case DramCommand::Read:
+        // Read-to-precharge spacing: the burst must clear the sense amps.
+        preAllowedAt_ =
+            std::max(preAllowedAt_, now + timing.burst + timing.tRTP);
+        readAllowedAt_ = std::max(readAllowedAt_, now + timing.tCCD);
+        writeAllowedAt_ = std::max(writeAllowedAt_, now + timing.tCCD);
+        break;
+      case DramCommand::Write:
+        // Write recovery: data must be restored before precharge.
+        preAllowedAt_ = std::max(
+            preAllowedAt_, now + timing.tWL + timing.burst + timing.tWR);
+        readAllowedAt_ = std::max(
+            readAllowedAt_, now + timing.tWL + timing.burst + timing.tWTR);
+        writeAllowedAt_ = std::max(writeAllowedAt_, now + timing.tCCD);
+        break;
+    }
+}
+
+} // namespace stfm

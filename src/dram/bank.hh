@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-bank DRAM state machine.
+ *
+ * Each bank tracks its open row and the earliest DRAM cycle at which each
+ * command class may legally issue, derived from the DDR2 timing
+ * constraints. The channel (dram/channel.hh) layers bus-level and
+ * cross-bank constraints on top.
+ */
+
+#ifndef STFM_DRAM_BANK_HH
+#define STFM_DRAM_BANK_HH
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace stfm
+{
+
+/** One DRAM bank: row-buffer state plus timing bookkeeping. */
+class Bank
+{
+  public:
+    Bank() = default;
+
+    /** Currently open row, or kInvalidRow if the bank is precharged. */
+    RowId openRow() const { return openRow_; }
+
+    /** Row-buffer category a request for @p row would encounter now. */
+    RowBufferState rowState(RowId row) const;
+
+    /** Earliest cycle an ACTIVATE may issue (bank-local constraints). */
+    DramCycles actAllowedAt() const { return actAllowedAt_; }
+    /** Earliest cycle a PRECHARGE may issue. */
+    DramCycles preAllowedAt() const { return preAllowedAt_; }
+    /** Earliest cycle a READ may issue. */
+    DramCycles readAllowedAt() const { return readAllowedAt_; }
+    /** Earliest cycle a WRITE may issue. */
+    DramCycles writeAllowedAt() const { return writeAllowedAt_; }
+
+    /**
+     * Check bank-local legality of @p cmd targeting @p row at cycle
+     * @p now. Does not consider bus or cross-bank constraints.
+     */
+    bool canIssue(DramCommand cmd, RowId row, DramCycles now) const;
+
+    /**
+     * Apply the state update for issuing @p cmd at cycle @p now.
+     * Precondition: canIssue() returned true.
+     */
+    void issue(DramCommand cmd, RowId row, DramCycles now,
+               const DramTiming &timing);
+
+    /** Number of ACT commands issued (row openings). */
+    std::uint64_t activations() const { return activations_; }
+
+    /** Block the (precharged) bank until @p until (refresh). */
+    void blockUntil(DramCycles until);
+
+  private:
+    RowId openRow_ = kInvalidRow;
+    DramCycles actAllowedAt_ = 0;
+    DramCycles preAllowedAt_ = 0;
+    DramCycles readAllowedAt_ = 0;
+    DramCycles writeAllowedAt_ = 0;
+    std::uint64_t activations_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_DRAM_BANK_HH

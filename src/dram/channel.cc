@@ -1,0 +1,110 @@
+#include "dram/channel.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+DramChannel::DramChannel(unsigned num_banks, const DramTiming &timing)
+    : timing_(timing), banks_(num_banks)
+{
+    STFM_ASSERT(num_banks > 0, "channel needs at least one bank");
+    STFM_ASSERT(timing.valid(), "inconsistent DRAM timing parameters");
+    actWindow_.fill(0);
+}
+
+RowBufferState
+DramChannel::rowState(BankId b, RowId row) const
+{
+    return banks_[b].rowState(row);
+}
+
+bool
+DramChannel::allBanksClosed() const
+{
+    for (const Bank &bank : banks_) {
+        if (bank.openRow() != kInvalidRow)
+            return false;
+    }
+    return true;
+}
+
+DramCycles
+DramChannel::refreshAll(DramCycles now)
+{
+    STFM_ASSERT(allBanksClosed(), "refresh requires precharged banks");
+    const DramCycles done = now + timing_.tRFC;
+    for (Bank &bank : banks_)
+        bank.blockUntil(done);
+    ++stats_.refreshes;
+    return done;
+}
+
+bool
+DramChannel::canIssue(DramCommand cmd, BankId b, RowId row,
+                      DramCycles now) const
+{
+    if (!banks_[b].canIssue(cmd, row, now))
+        return false;
+
+    switch (cmd) {
+      case DramCommand::Activate: {
+        if (now < actAllowedAt_)
+            return false;
+        // tFAW: the fourth-oldest activate must be at least tFAW ago.
+        if (actCount_ < actWindow_.size())
+            return true;
+        return now >= actWindow_[actWindowIdx_] + timing_.tFAW;
+      }
+      case DramCommand::Precharge:
+        return true;
+      case DramCommand::Read:
+        if (now < readAllowedAt_)
+            return false;
+        return now + timing_.tCL >= dataBusFreeAt_;
+      case DramCommand::Write:
+        return now + timing_.tWL >= dataBusFreeAt_;
+    }
+    return false;
+}
+
+DramCycles
+DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
+{
+    STFM_ASSERT(canIssue(cmd, b, row, now), "channel: illegal issue");
+    banks_[b].issue(cmd, row, now, timing_);
+
+    switch (cmd) {
+      case DramCommand::Activate:
+        ++stats_.activates;
+        actAllowedAt_ = now + timing_.tRRD;
+        actWindow_[actWindowIdx_] = now;
+        actWindowIdx_ = (actWindowIdx_ + 1) % actWindow_.size();
+        ++actCount_;
+        return now + timing_.tRCD;
+      case DramCommand::Precharge:
+        ++stats_.precharges;
+        return now + timing_.tRP;
+      case DramCommand::Read: {
+        ++stats_.reads;
+        const DramCycles data_end = now + timing_.tCL + timing_.burst;
+        dataBusFreeAt_ = data_end;
+        stats_.dataBusBusyCycles += timing_.burst;
+        return data_end;
+      }
+      case DramCommand::Write: {
+        ++stats_.writes;
+        const DramCycles data_end = now + timing_.tWL + timing_.burst;
+        dataBusFreeAt_ = data_end;
+        // tWTR applies from the end of write data to the next read.
+        readAllowedAt_ = std::max(readAllowedAt_, data_end + timing_.tWTR);
+        stats_.dataBusBusyCycles += timing_.burst;
+        return data_end;
+      }
+    }
+    STFM_PANIC("unreachable");
+}
+
+} // namespace stfm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * One DRAM channel: a set of banks plus the shared command and data
+ * buses and the cross-bank timing constraints (tRRD, tFAW, bus
+ * turnaround).
+ *
+ * The channel answers two questions for the controller:
+ *   - canIssue(cmd, bank, row, now): is this command legal right now,
+ *     considering bank state, bus occupancy, and cross-bank windows?
+ *     (This is exactly the paper's notion of a "ready" DRAM command.)
+ *   - issue(...): commit the command, returning when its data burst
+ *     finishes (for column commands).
+ */
+
+#ifndef STFM_DRAM_CHANNEL_HH
+#define STFM_DRAM_CHANNEL_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace stfm
+{
+
+/** Statistics exported by a channel. */
+struct ChannelStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t dataBusBusyCycles = 0;
+};
+
+/** A single-rank DRAM channel with @p num_banks banks. */
+class DramChannel
+{
+  public:
+    DramChannel(unsigned num_banks, const DramTiming &timing);
+
+    /** Bank accessors. */
+    unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
+    const Bank &bank(BankId b) const { return banks_[b]; }
+
+    /** Row-buffer category a request for (bank, row) sees right now. */
+    RowBufferState rowState(BankId b, RowId row) const;
+
+    /**
+     * Full readiness check for issuing @p cmd to (bank, row) at @p now:
+     * bank-local constraints plus data-bus availability for column
+     * commands, plus tRRD/tFAW for activates. The command bus itself
+     * admits one command per cycle; the controller enforces that by
+     * issuing at most once per tick.
+     */
+    bool canIssue(DramCommand cmd, BankId b, RowId row,
+                  DramCycles now) const;
+
+    /**
+     * Issue @p cmd. For READ/WRITE returns the cycle at which the last
+     * data beat leaves the bus; for ACT/PRE returns the cycle the bank
+     * becomes usable for the following command class.
+     */
+    DramCycles issue(DramCommand cmd, BankId b, RowId row, DramCycles now);
+
+    /** First cycle the data bus is free. */
+    DramCycles dataBusFreeAt() const { return dataBusFreeAt_; }
+
+    /** True when every bank is precharged (refresh precondition). */
+    bool allBanksClosed() const;
+
+    /**
+     * Issue an all-bank auto-refresh at @p now: every bank becomes
+     * unavailable for tRFC. Precondition: allBanksClosed().
+     * @return the cycle the rank is usable again.
+     */
+    DramCycles refreshAll(DramCycles now);
+
+    const DramTiming &timing() const { return timing_; }
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    DramTiming timing_;
+    std::vector<Bank> banks_;
+
+    DramCycles dataBusFreeAt_ = 0;
+    /** Earliest cycle a READ may issue channel-wide (tWTR turnaround). */
+    DramCycles readAllowedAt_ = 0;
+    /** Earliest cycle an ACT may issue channel-wide (tRRD). */
+    DramCycles actAllowedAt_ = 0;
+    /** Issue times of the last four activates, for tFAW. */
+    std::array<DramCycles, 4> actWindow_{};
+    unsigned actWindowIdx_ = 0;
+    std::uint64_t actCount_ = 0;
+
+    ChannelStats stats_;
+};
+
+} // namespace stfm
+
+#endif // STFM_DRAM_CHANNEL_HH

@@ -1,0 +1,29 @@
+#include "dram/command.hh"
+
+namespace stfm
+{
+
+const char *
+toString(DramCommand cmd)
+{
+    switch (cmd) {
+      case DramCommand::Activate: return "ACT";
+      case DramCommand::Precharge: return "PRE";
+      case DramCommand::Read: return "RD";
+      case DramCommand::Write: return "WR";
+    }
+    return "?";
+}
+
+const char *
+toString(RowBufferState state)
+{
+    switch (state) {
+      case RowBufferState::Hit: return "hit";
+      case RowBufferState::Closed: return "closed";
+      case RowBufferState::Conflict: return "conflict";
+    }
+    return "?";
+}
+
+} // namespace stfm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DRAM command vocabulary.
+ *
+ * The controller translates each memory request into a sequence of these
+ * commands depending on the target bank's row-buffer state:
+ *   row hit      -> READ/WRITE
+ *   row closed   -> ACTIVATE, READ/WRITE
+ *   row conflict -> PRECHARGE, ACTIVATE, READ/WRITE
+ */
+
+#ifndef STFM_DRAM_COMMAND_HH
+#define STFM_DRAM_COMMAND_HH
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** The four page-mode DRAM commands the controller issues. */
+enum class DramCommand
+{
+    Activate,  ///< Open a row into the bank's row buffer.
+    Precharge, ///< Write the row buffer back; close the bank.
+    Read,      ///< Column read from the open row.
+    Write,     ///< Column write into the open row.
+};
+
+/** True for the column-access (CAS) commands. */
+inline bool
+isColumnCommand(DramCommand cmd)
+{
+    return cmd == DramCommand::Read || cmd == DramCommand::Write;
+}
+
+/** True for the row-access commands (activate/precharge). */
+inline bool
+isRowCommand(DramCommand cmd)
+{
+    return !isColumnCommand(cmd);
+}
+
+/** Row-buffer state categories a request can encounter (Section 2.1). */
+enum class RowBufferState
+{
+    Hit,      ///< Requested row is open in the row buffer.
+    Closed,   ///< No row is open.
+    Conflict, ///< A different row is open.
+};
+
+const char *toString(DramCommand cmd);
+const char *toString(RowBufferState state);
+
+} // namespace stfm
+
+#endif // STFM_DRAM_COMMAND_HH

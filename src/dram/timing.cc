@@ -1,0 +1,18 @@
+#include "dram/timing.hh"
+
+namespace stfm
+{
+
+bool
+DramTiming::valid() const
+{
+    if (tCL == 0 || tRCD == 0 || tRP == 0 || burst == 0)
+        return false;
+    if (tRC < tRAS)
+        return false;
+    if (tWL > tCL)
+        return false;
+    return true;
+}
+
+} // namespace stfm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DDR2 SDRAM timing parameters.
+ *
+ * All values are in DRAM bus cycles (tCK = 2.5 ns for DDR2-800). The
+ * defaults reproduce the Micron MT47H128M8HQ-25 values the paper's
+ * Table 2 uses: tCL = tRCD = tRP = 15 ns (6 cycles) and a burst of
+ * BL/2 = 10 ns (4 cycles) on the data bus.
+ */
+
+#ifndef STFM_DRAM_TIMING_HH
+#define STFM_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** Timing constraint set for one DRAM channel (single rank). */
+struct DramTiming
+{
+    /** CAS (read) latency: column command to first data beat. */
+    DramCycles tCL = 6;
+    /** RAS-to-CAS delay: activate to column command. */
+    DramCycles tRCD = 6;
+    /** Row precharge time: precharge to activate. */
+    DramCycles tRP = 6;
+    /** Row active time: activate to precharge (minimum). */
+    DramCycles tRAS = 18;
+    /** Row cycle time: activate to activate, same bank. */
+    DramCycles tRC = 24;
+    /** Write recovery: end of write data to precharge. */
+    DramCycles tWR = 6;
+    /** Write-to-read turnaround: end of write data to read command. */
+    DramCycles tWTR = 3;
+    /** Read-to-precharge delay. */
+    DramCycles tRTP = 3;
+    /** Column-to-column delay (back-to-back CAS commands). */
+    DramCycles tCCD = 2;
+    /** Activate-to-activate delay, different banks. */
+    DramCycles tRRD = 3;
+    /** Four-activate window. */
+    DramCycles tFAW = 18;
+    /** Write latency: write command to first data beat (tCL - 1). */
+    DramCycles tWL = 5;
+    /** Data burst length on the bus in cycles (BL/2 for DDR). */
+    DramCycles burst = 4;
+    /** Average refresh interval (7.8 us at 2.5 ns/cycle). */
+    DramCycles tREFI = 3120;
+    /** Refresh cycle time (127.5 ns for a 1 Gb DDR2 device). */
+    DramCycles tRFC = 51;
+
+    /** Bank latency of a row-hit column access (no data transfer). */
+    DramCycles rowHitLatency() const { return tCL; }
+    /** Bank latency of an access to a closed (precharged) bank. */
+    DramCycles rowClosedLatency() const { return tRCD + tCL; }
+    /** Bank latency of a row-conflict access. */
+    DramCycles rowConflictLatency() const { return tRP + tRCD + tCL; }
+
+    /** Validate internal consistency; returns false on nonsense. */
+    bool valid() const;
+};
+
+} // namespace stfm
+
+#endif // STFM_DRAM_TIMING_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared driver for the paper's case-study figures: run one workload
+ * under all five schedulers and print the per-thread slowdown table,
+ * the unfairness, and the three throughput metrics — the two panels of
+ * Figures 6, 7, 8, 10 and 13.
+ */
+
+#ifndef STFM_HARNESS_CASE_STUDY_HH
+#define STFM_HARNESS_CASE_STUDY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace stfm
+{
+
+/**
+ * Run @p workload on a baseline system sized to it under all five
+ * evaluation schedulers and print both panels.
+ *
+ * @param title          Heading printed above the tables.
+ * @param workload       One benchmark name per core.
+ * @param default_budget Per-thread instruction budget (honors the
+ *                       STFM_INSTRUCTIONS environment override).
+ */
+void runCaseStudy(const std::string &title, const Workload &workload,
+                  std::uint64_t default_budget = 60000);
+
+} // namespace stfm
+
+#endif // STFM_HARNESS_CASE_STUDY_HH

@@ -1,0 +1,131 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "trace/catalog.hh"
+
+namespace stfm
+{
+
+ExperimentRunner::ExperimentRunner(SimConfig base) : base_(std::move(base))
+{
+    base_.instructionBudget = budgetFromEnv(base_.instructionBudget);
+}
+
+std::uint64_t
+ExperimentRunner::budgetFromEnv(std::uint64_t fallback)
+{
+    if (const char *env = std::getenv("STFM_INSTRUCTIONS")) {
+        const long long parsed = std::atoll(env);
+        if (parsed > 0)
+            return static_cast<std::uint64_t>(parsed);
+    }
+    return fallback;
+}
+
+SimConfig
+ExperimentRunner::configFor(const Workload &workload,
+                            const SchedulerConfig &scheduler) const
+{
+    SimConfig config = base_;
+    config.cores = static_cast<unsigned>(workload.size());
+    config.scheduler = scheduler;
+    return config;
+}
+
+std::string
+ExperimentRunner::aloneKey(const std::string &benchmark) const
+{
+    return benchmark + "#" + std::to_string(base_.memory.channels) + "x" +
+           std::to_string(base_.memory.banksPerChannel) + "x" +
+           std::to_string(base_.memory.rowBytes) + "@" +
+           std::to_string(base_.instructionBudget);
+}
+
+const ThreadResult &
+ExperimentRunner::aloneResult(const std::string &benchmark)
+{
+    const std::string key = aloneKey(benchmark);
+    const auto it = aloneCache_.find(key);
+    if (it != aloneCache_.end())
+        return it->second;
+
+    // Alone baseline: the benchmark runs by itself on the same memory
+    // system with FR-FCFS (Section 6.2).
+    SimConfig config = base_;
+    config.cores = 1;
+    config.scheduler = SchedulerConfig{}; // FR-FCFS, no knobs.
+
+    const BenchmarkProfile &profile = findBenchmark(benchmark);
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(makeBenchmarkTrace(profile, mapping, 0, 1));
+
+    CmpSystem system(config, std::move(traces));
+    const SimResult result = system.run();
+    STFM_ASSERT(!result.hitCycleLimit, "alone run hit the cycle limit");
+    return aloneCache_.emplace(key, result.threads[0]).first->second;
+}
+
+RunOutcome
+ExperimentRunner::run(const Workload &workload,
+                      const SchedulerConfig &scheduler)
+{
+    const SimConfig config = configFor(workload, scheduler);
+
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (unsigned t = 0; t < workload.size(); ++t) {
+        traces.push_back(makeBenchmarkTrace(findBenchmark(workload[t]),
+                                            mapping, t, config.cores));
+    }
+
+    CmpSystem system(config, std::move(traces));
+
+    RunOutcome outcome;
+    outcome.policyName = system.memory().policy().name();
+    outcome.shared = system.run();
+
+    std::vector<ThreadResult> alone;
+    alone.reserve(workload.size());
+    for (const auto &name : workload)
+        alone.push_back(aloneResult(name));
+    outcome.metrics = computeMetrics(outcome.shared, alone);
+    return outcome;
+}
+
+std::vector<RunOutcome>
+ExperimentRunner::runAll(const Workload &workload,
+                         const std::vector<SchedulerConfig> &schedulers)
+{
+    std::vector<RunOutcome> out;
+    out.reserve(schedulers.size());
+    for (const auto &scheduler : schedulers)
+        out.push_back(run(workload, scheduler));
+    return out;
+}
+
+std::vector<SchedulerConfig>
+ExperimentRunner::paperSchedulers()
+{
+    std::vector<SchedulerConfig> out(5);
+    out[0].kind = PolicyKind::FrFcfs;
+    out[1].kind = PolicyKind::Fcfs;
+    out[2].kind = PolicyKind::FrFcfsCap;
+    out[2].cap = 4;
+    out[3].kind = PolicyKind::Nfq;
+    out[4].kind = PolicyKind::Stfm;
+    out[4].alpha = 1.10;
+    return out;
+}
+
+} // namespace stfm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment runner: builds CMP systems from workload definitions, runs
+ * them under a scheduling policy, and computes the Section 6.2 metrics
+ * against memoized alone-run (FR-FCFS) baselines.
+ */
+
+#ifndef STFM_HARNESS_RUNNER_HH
+#define STFM_HARNESS_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/workloads.hh"
+#include "sim/config.hh"
+#include "sim/results.hh"
+#include "sim/system.hh"
+#include "stats/metrics.hh"
+
+namespace stfm
+{
+
+/** One workload run under one policy, with its metrics. */
+struct RunOutcome
+{
+    std::string policyName;
+    SimResult shared;
+    MetricsReport metrics;
+};
+
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param base Baseline system configuration; `cores` and the
+     *             scheduler field are overridden per run.
+     *
+     * The per-thread instruction budget honors the STFM_INSTRUCTIONS
+     * environment variable if set (sweeps can be scaled up for tighter
+     * convergence at the cost of runtime).
+     */
+    explicit ExperimentRunner(SimConfig base);
+
+    /**
+     * Run @p workload (one benchmark name per core) under
+     * @p scheduler. Alone baselines are computed (and cached) with
+     * FR-FCFS on the same memory configuration.
+     */
+    RunOutcome run(const Workload &workload,
+                   const SchedulerConfig &scheduler);
+
+    /** Alone-run result of one benchmark on the base memory system. */
+    const ThreadResult &aloneResult(const std::string &benchmark);
+
+    /** Run every scheduler in @p schedulers on @p workload. */
+    std::vector<RunOutcome> runAll(
+        const Workload &workload,
+        const std::vector<SchedulerConfig> &schedulers);
+
+    const SimConfig &base() const { return base_; }
+
+    /** The five evaluation policies in the paper's presentation order. */
+    static std::vector<SchedulerConfig> paperSchedulers();
+
+    /** Instruction budget override from STFM_INSTRUCTIONS, if set. */
+    static std::uint64_t budgetFromEnv(std::uint64_t fallback);
+
+  private:
+    SimConfig configFor(const Workload &workload,
+                        const SchedulerConfig &scheduler) const;
+    std::string aloneKey(const std::string &benchmark) const;
+
+    SimConfig base_;
+    std::map<std::string, ThreadResult> aloneCache_;
+};
+
+} // namespace stfm
+
+#endif // STFM_HARNESS_RUNNER_HH

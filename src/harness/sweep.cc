@@ -1,0 +1,59 @@
+#include "harness/sweep.hh"
+
+#include <iostream>
+
+#include "harness/table.hh"
+
+namespace stfm
+{
+
+std::vector<SweepResult>
+runSweep(const std::string &title,
+         const std::vector<Workload> &workload_list,
+         std::size_t label_rows, std::uint64_t default_budget)
+{
+    STFM_ASSERT(!workload_list.empty(), "sweep needs workloads");
+    SimConfig base = SimConfig::baseline(
+        static_cast<unsigned>(workload_list.front().size()));
+    base.instructionBudget =
+        ExperimentRunner::budgetFromEnv(default_budget);
+    ExperimentRunner runner(base);
+
+    const auto schedulers = ExperimentRunner::paperSchedulers();
+    std::vector<SweepResult> results(schedulers.size());
+
+    std::cout << title << " (" << workload_list.size()
+              << " workloads)\n\n";
+
+    TextTable unfairness_table({"workload", "FR-FCFS", "FCFS",
+                                "FRFCFS+Cap", "NFQ", "STFM"});
+    for (std::size_t w = 0; w < workload_list.size(); ++w) {
+        const Workload &workload = workload_list[w];
+        std::vector<std::string> row{workloadLabel(workload)};
+        for (std::size_t s = 0; s < schedulers.size(); ++s) {
+            const RunOutcome outcome = runner.run(workload,
+                                                  schedulers[s]);
+            results[s].policyName = outcome.policyName;
+            results[s].summary.add(outcome.metrics);
+            row.push_back(fmt(outcome.metrics.unfairness));
+        }
+        if (w < label_rows)
+            unfairness_table.addRow(std::move(row));
+    }
+    unfairness_table.print(std::cout);
+
+    std::cout << "\nGMEAN over all " << workload_list.size()
+              << " workloads:\n";
+    TextTable summary({"scheduler", "unfairness", "weighted-speedup",
+                       "sum-of-IPCs", "hmean-speedup"});
+    for (const SweepResult &r : results) {
+        summary.addRow({r.policyName, fmt(r.summary.unfairness.value()),
+                        fmt(r.summary.weightedSpeedup.value()),
+                        fmt(r.summary.sumOfIpcs.value()),
+                        fmt(r.summary.hmeanSpeedup.value(), 3)});
+    }
+    summary.print(std::cout);
+    return results;
+}
+
+} // namespace stfm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared driver for the averaged sweeps (Figures 9, 11 and 12): run a
+ * set of workloads under all five schedulers and print each workload's
+ * unfairness plus the GMEAN unfairness and throughput metrics.
+ */
+
+#ifndef STFM_HARNESS_SWEEP_HH
+#define STFM_HARNESS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "stats/summary.hh"
+
+namespace stfm
+{
+
+/** Aggregates of one scheduler over a sweep. */
+struct SweepResult
+{
+    std::string policyName;
+    SweepSummary summary;
+};
+
+/**
+ * Run @p workload_list under all five evaluation schedulers.
+ *
+ * @param title           Heading.
+ * @param label_rows      Print a per-workload unfairness row for the
+ *                        first this-many workloads (the "sample
+ *                        workloads" panels of Figures 9 and 11).
+ * @param default_budget  Per-thread instruction budget (honors
+ *                        STFM_INSTRUCTIONS).
+ * @return one aggregate per scheduler, in paperSchedulers() order.
+ */
+std::vector<SweepResult>
+runSweep(const std::string &title,
+         const std::vector<Workload> &workload_list,
+         std::size_t label_rows, std::uint64_t default_budget);
+
+} // namespace stfm
+
+#endif // STFM_HARNESS_SWEEP_HH

@@ -1,0 +1,167 @@
+#include "harness/workloads.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "trace/catalog.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+/** Benchmark name by its 1-based Table 3 index (intensity order). */
+std::string
+byIndex(unsigned index)
+{
+    const auto &catalog = benchmarkCatalog();
+    STFM_ASSERT(index >= 1 && index <= catalog.size(),
+                "benchmark index out of range");
+    return catalog[index - 1].name;
+}
+
+Workload
+fromIndices(std::initializer_list<unsigned> indices)
+{
+    Workload out;
+    for (const unsigned i : indices)
+        out.push_back(byIndex(i));
+    return out;
+}
+
+} // namespace
+
+namespace workloads
+{
+
+Workload
+fig1FourCore()
+{
+    return {"hmmer", "libquantum", "h264ref", "omnetpp"};
+}
+
+Workload
+fig1EightCore()
+{
+    return {"mcf",     "hmmer", "GemsFDTD", "libquantum",
+            "omnetpp", "astar", "sphinx3",  "dealII"};
+}
+
+Workload
+caseIntensive()
+{
+    return {"mcf", "libquantum", "GemsFDTD", "astar"};
+}
+
+Workload
+caseMixed()
+{
+    return {"mcf", "leslie3d", "h264ref", "bzip2"};
+}
+
+Workload
+caseNonIntensive()
+{
+    return {"libquantum", "omnetpp", "hmmer", "h264ref"};
+}
+
+Workload
+eightCoreCase()
+{
+    return {"mcf",   "h264ref", "bzip2", "gromacs",
+            "gobmk", "dealII",  "wrf",   "namd"};
+}
+
+Workload
+desktop()
+{
+    return {"xml-parser", "matlab", "iexplorer", "instant-messenger"};
+}
+
+Workload
+weighted()
+{
+    return {"libquantum", "cactusADM", "astar", "omnetpp"};
+}
+
+std::vector<Workload>
+sixteenCore()
+{
+    // Figure 12: (1) the 16 most intensive benchmarks, (2) the 8 most
+    // intensive with the 8 least intensive, (3) the 16 least intensive.
+    Workload high16, high8_low8, low16;
+    for (unsigned i = 1; i <= 16; ++i)
+        high16.push_back(byIndex(i));
+    for (unsigned i = 1; i <= 8; ++i)
+        high8_low8.push_back(byIndex(i));
+    for (unsigned i = 19; i <= 26; ++i)
+        high8_low8.push_back(byIndex(i));
+    for (unsigned i = 11; i <= 26; ++i)
+        low16.push_back(byIndex(i));
+    return {high16, high8_low8, low16};
+}
+
+std::vector<Workload>
+eightCoreSamples()
+{
+    // The ten individually plotted 8-core mixes of Figure 11,
+    // reconstructed from the figure's benchmark-index labels.
+    return {
+        fromIndices({5, 1, 6, 2, 7, 3, 9, 4}),
+        fromIndices({11, 1, 2, 4, 13, 7, 9, 14}),
+        fromIndices({11, 12, 8, 2, 9, 13, 10, 4}),
+        fromIndices({13, 1, 9, 14, 16, 10, 18, 11}),
+        fromIndices({8, 1, 9, 2, 10, 3, 11, 4}),
+        fromIndices({14, 9, 16, 10, 18, 11, 19, 13}),
+        fromIndices({16, 1, 17, 2, 18, 14, 19, 15}),
+        fromIndices({23, 19, 24, 20, 25, 21, 26, 22}),
+        fromIndices({17, 2, 18, 14, 19, 15, 21, 16}),
+        fromIndices({16, 9, 17, 11, 18, 14, 19, 15}),
+    };
+}
+
+} // namespace workloads
+
+std::vector<Workload>
+sampleWorkloads(unsigned cores, unsigned count, std::uint64_t seed)
+{
+    // Partition the catalog by category, then fill each workload by
+    // cycling through the categories so every mix is diverse — the
+    // paper's "combinations of benchmarks from different categories".
+    std::vector<std::vector<std::string>> by_category(4);
+    for (const auto &profile : benchmarkCatalog())
+        by_category[profile.category].push_back(profile.name);
+
+    Rng rng(seed);
+    std::vector<Workload> out;
+    out.reserve(count);
+    for (unsigned w = 0; w < count; ++w) {
+        Workload workload;
+        // Start the category rotation at a different point each time so
+        // intensive and non-intensive slots move around the cores.
+        const unsigned start = static_cast<unsigned>(rng.nextBelow(4));
+        for (unsigned c = 0; c < cores; ++c) {
+            const auto &bucket = by_category[(start + c) % 4];
+            workload.push_back(
+                bucket[rng.nextBelow(bucket.size())]);
+        }
+        out.push_back(std::move(workload));
+    }
+    return out;
+}
+
+std::string
+workloadLabel(const Workload &workload)
+{
+    std::string label;
+    for (const auto &name : workload) {
+        if (!label.empty())
+            label += '+';
+        label += name;
+    }
+    return label;
+}
+
+} // namespace stfm

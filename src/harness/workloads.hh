@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Workload definitions: the specific multiprogrammed mixes of the
+ * paper's case studies plus category-balanced random sampling for the
+ * averaged sweeps (Figures 9, 11 and 12; Table 5).
+ */
+
+#ifndef STFM_HARNESS_WORKLOADS_HH
+#define STFM_HARNESS_WORKLOADS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stfm
+{
+
+/** A multiprogrammed workload: one benchmark name per core. */
+using Workload = std::vector<std::string>;
+
+/** The named case-study workloads of the evaluation section. */
+namespace workloads
+{
+
+/** Figure 1 left: 4-core motivation workload. */
+Workload fig1FourCore();
+/** Figure 1 right: 8-core motivation workload. */
+Workload fig1EightCore();
+/** Figure 6: memory-intensive 4-core case study. */
+Workload caseIntensive();
+/** Figure 7: mixed-behavior 4-core case study. */
+Workload caseMixed();
+/** Figure 8: non-memory-intensive 4-core case study. */
+Workload caseNonIntensive();
+/** Figure 10: 8-core non-intensive case study. */
+Workload eightCoreCase();
+/** Figure 13: desktop-application workload. */
+Workload desktop();
+/** Figure 14: the thread-weight evaluation workload. */
+Workload weighted();
+
+/** Figure 12: the three 16-core workloads (high16, high8+low8, low16). */
+std::vector<Workload> sixteenCore();
+
+/** The 10 sample 8-core workloads shown individually in Figure 11. */
+std::vector<Workload> eightCoreSamples();
+
+} // namespace workloads
+
+/**
+ * Sample @p count category-balanced workloads of @p cores benchmarks
+ * each, mirroring the paper's "combinations of benchmarks from
+ * different categories". Deterministic in @p seed.
+ */
+std::vector<Workload> sampleWorkloads(unsigned cores, unsigned count,
+                                      std::uint64_t seed);
+
+/** Render "a+b+c" for report labels. */
+std::string workloadLabel(const Workload &workload);
+
+} // namespace stfm
+
+#endif // STFM_HARNESS_WORKLOADS_HH

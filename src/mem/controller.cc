@@ -1,0 +1,372 @@
+#include "mem/controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+MemoryController::MemoryController(ChannelId channel_id, unsigned num_banks,
+                                   const DramTiming &timing,
+                                   const ControllerParams &params,
+                                   SchedulingPolicy &policy,
+                                   ThreadBankOccupancy &occupancy,
+                                   unsigned num_threads)
+    : channelId_(channel_id), channel_(num_banks, timing), params_(params),
+      policy_(policy), occupancy_(occupancy),
+      buffer_(num_banks, params.requestBufferEntries,
+              params.writeBufferEntries),
+      drain_(std::min(params.writeDrainHigh, params.writeBufferEntries),
+             params.writeBufferEntries),
+      threadStats_(num_threads), readLatency_(num_threads)
+{}
+
+void
+MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
+                              ThreadId thread, bool blocking,
+                              Cycles cpu_now, DramCycles dram_now)
+{
+    STFM_ASSERT(canAcceptRead(), "enqueueRead on a full request buffer");
+
+    // Write-to-read forwarding: the freshest copy of the line is in the
+    // write buffer; no DRAM access is needed.
+    if (Request *write = buffer_.findWrite(addr)) {
+        (void)write;
+        auto req = std::make_unique<Request>();
+        req->id = nextId_++;
+        req->addr = addr;
+        req->coords = coords;
+        req->thread = thread;
+        req->arrivalCpu = cpu_now;
+        req->arrivalDram = dram_now;
+        req->finishAt = dram_now + 1;
+        forwarded_.push_back(std::move(req));
+        return;
+    }
+
+    Request req;
+    req.id = nextId_++;
+    req.addr = addr;
+    req.coords = coords;
+    req.isWrite = false;
+    req.blocking = blocking;
+    req.thread = thread;
+    req.arrivalCpu = cpu_now;
+    req.arrivalDram = dram_now;
+    req.seq = nextSeq_++;
+    req.arrivalState = channel_.rowState(coords.bank, coords.row);
+    buffer_.add(req);
+    occupancy_.onArrive(thread,
+                        channelId_ * channel_.numBanks() + coords.bank,
+                        blocking);
+}
+
+void
+MemoryController::enqueueWrite(Addr addr, const AddrDecode &coords,
+                               ThreadId thread, Cycles cpu_now,
+                               DramCycles dram_now)
+{
+    // Coalesce with an already-queued write to the same line.
+    if (buffer_.findWrite(addr) != nullptr)
+        return;
+    STFM_ASSERT(canAcceptWrite(), "enqueueWrite on a full write buffer");
+    Request req;
+    req.id = nextId_++;
+    req.addr = addr;
+    req.coords = coords;
+    req.isWrite = true;
+    req.thread = thread;
+    req.arrivalCpu = cpu_now;
+    req.arrivalDram = dram_now;
+    req.seq = nextSeq_++;
+    req.arrivalState = channel_.rowState(coords.bank, coords.row);
+    buffer_.add(req);
+}
+
+Candidate
+MemoryController::pickBankCandidate(BankId bank, bool allow_writes,
+                                    bool allow_reads,
+                                    const SchedContext &ctx,
+                                    std::uint64_t &oldest_row_seq) const
+{
+    oldest_row_seq = std::numeric_limits<std::uint64_t>::max();
+    Candidate best;
+    // Highest-priority column access that is merely blocked by bus or
+    // CAS timing (its row is open). Issuing a precharge past such a
+    // request would let a lower-priority thread close a row a
+    // higher-priority request is about to hit — real per-bank
+    // schedulers hold the row instead, which is exactly the row-hit
+    // monopolization behavior Section 2.5 analyzes.
+    Candidate best_pending_column;
+    for (const auto &owned : buffer_.queue(bank)) {
+        const Request *req = owned.get();
+        const RowBufferState state =
+            channel_.rowState(bank, req->coords.row);
+        const DramCommand cmd = nextCommandFor(*req, state);
+        const Candidate cand{req, cmd};
+        const bool allowed = req->isWrite ? allow_writes : allow_reads;
+        // Row protection considers currently schedulable requests only:
+        // a request held back by the read/write gating (e.g. a write
+        // below the drain threshold) must not pin its row, or requests
+        // needing a precharge in that bank would deadlock behind it.
+        if (isColumnCommand(cmd) && allowed &&
+            (!best_pending_column.valid() ||
+             policy_.higherPriority(cand, best_pending_column, ctx))) {
+            best_pending_column = cand;
+        }
+        if (!allowed)
+            continue;
+        if (isRowCommand(cmd))
+            oldest_row_seq = std::min(oldest_row_seq, req->seq);
+        if (!channel_.canIssue(cmd, bank, req->coords.row, ctx.dramNow))
+            continue;
+        if (!best.valid() || policy_.higherPriority(cand, best, ctx))
+            best = cand;
+    }
+    if (params_.rowProtection && best.valid() &&
+        best.cmd == DramCommand::Precharge &&
+        best_pending_column.valid() &&
+        policy_.higherPriority(best_pending_column, best, ctx)) {
+        // Hold the open row for the pending column access; any other
+        // ready command in this bank is an equivalent precharge.
+        return {};
+    }
+    return best;
+}
+
+std::uint32_t
+MemoryController::readyColumnThreadMask(DramCycles now) const
+{
+    // Threads with at least one *ready* column command in this channel
+    // (evaluated pre-issue): these are the threads the scheduled data
+    // burst actually delays on the bus. Requests queued behind their
+    // own thread's traffic are not ready and thus not charged — they
+    // would have waited just the same running alone.
+    std::uint32_t mask = 0;
+    for (BankId b = 0; b < channel_.numBanks(); ++b) {
+        for (const auto &owned : buffer_.queue(b)) {
+            const Request *req = owned.get();
+            if (channel_.rowState(b, req->coords.row) !=
+                RowBufferState::Hit) {
+                continue;
+            }
+            if (req->isWrite || !req->blocking)
+                continue; // Delaying these produces no stall.
+            if (channel_.canIssue(DramCommand::Read, b, req->coords.row,
+                                  now)) {
+                mask |= 1u << req->thread;
+            }
+        }
+    }
+    return mask;
+}
+
+void
+MemoryController::issueCommand(const Candidate &winner,
+                               bool bypassed_older_row,
+                               const SchedContext &ctx)
+{
+    // The buffer owns the request; candidates are const views handed to
+    // the policy. Recover the mutable record to update its state.
+    Request *req = const_cast<Request *>(winner.req);
+    const BankId bank = req->coords.bank;
+
+    if (winner.cmd == DramCommand::Precharge ||
+        winner.cmd == DramCommand::Activate) {
+        channel_.issue(winner.cmd, bank, req->coords.row, ctx.dramNow);
+        if (winner.cmd == DramCommand::Precharge)
+            req->sawPrecharge = true;
+        else
+            req->sawActivate = true;
+        policy_.onRowCommand({req, winner.cmd, bank}, ctx);
+        return;
+    }
+
+    // Column command: the request enters service.
+    const RowBufferState service_state =
+        req->sawPrecharge ? RowBufferState::Conflict
+        : req->sawActivate ? RowBufferState::Closed
+                           : RowBufferState::Hit;
+    const DramTiming &timing = channel_.timing();
+    DramCycles bank_latency = timing.rowHitLatency();
+    if (service_state == RowBufferState::Closed)
+        bank_latency = timing.rowClosedLatency();
+    else if (service_state == RowBufferState::Conflict)
+        bank_latency = timing.rowConflictLatency();
+
+    const std::uint32_t ready_mask = readyColumnThreadMask(ctx.dramNow);
+
+    // Threads with a ready command to this bank that lost arbitration
+    // to the winner (evaluated pre-issue).
+    std::uint32_t ready_bank_mask = 0;
+    for (const auto &owned : buffer_.queue(bank)) {
+        const Request *other = owned.get();
+        if (other == req || other->isWrite)
+            continue;
+        const RowBufferState st = channel_.rowState(bank,
+                                                    other->coords.row);
+        const DramCommand other_cmd = nextCommandFor(*other, st);
+        if (channel_.canIssue(other_cmd, bank, other->coords.row,
+                              ctx.dramNow)) {
+            ready_bank_mask |= 1u << other->thread;
+        }
+    }
+
+    const DramCycles finish =
+        channel_.issue(winner.cmd, bank, req->coords.row, ctx.dramNow);
+    req->columnIssued = true;
+    req->finishAt = finish;
+    req->serviceState = service_state;
+
+    ControllerThreadStats &stats = threadStats_[req->thread];
+    if (req->isWrite) {
+        ++stats.writesServiced;
+        if (service_state == RowBufferState::Hit)
+            ++stats.writeRowHits;
+    } else {
+        // Row-buffer locality is reported for demand reads only, the
+        // way the paper characterizes a benchmark's accesses.
+        ++stats.readsServiced;
+        switch (service_state) {
+          case RowBufferState::Hit: ++stats.rowHits; break;
+          case RowBufferState::Closed: ++stats.rowClosed; break;
+          case RowBufferState::Conflict: ++stats.rowConflicts; break;
+        }
+    }
+
+    if (!req->isWrite) {
+        occupancy_.onColumnIssue(req->thread,
+                                 channelId_ * channel_.numBanks() + bank,
+                                 req->blocking);
+    }
+
+    ColumnIssueEvent ev;
+    ev.req = req;
+    ev.serviceState = service_state;
+    ev.bankLatency = bank_latency;
+    ev.busBusyUntil = finish;
+    ev.readyColumnThreads = ready_mask & ~(1u << req->thread);
+    ev.readyBankThreads = ready_bank_mask & ~(1u << req->thread);
+    ev.bypassedOlderRowAccess = bypassed_older_row;
+    policy_.onColumnCommand(ev, ctx);
+
+    inFlight_.push_back(buffer_.extract(req));
+}
+
+void
+MemoryController::deliverCompletions(const SchedContext &ctx)
+{
+    for (std::size_t i = 0; i < inFlight_.size();) {
+        if (inFlight_[i]->finishAt <= ctx.dramNow) {
+            std::unique_ptr<Request> req = std::move(inFlight_[i]);
+            inFlight_[i] = std::move(inFlight_.back());
+            inFlight_.pop_back();
+            if (!req->isWrite) {
+                occupancy_.onComplete(req->thread,
+                                      channelId_ * channel_.numBanks() +
+                                          req->coords.bank);
+                readLatency_[req->thread].add(req->finishAt -
+                                              req->arrivalDram);
+                policy_.onRequestCompleted(*req, ctx);
+                if (readCallback_)
+                    readCallback_(*req);
+            } else {
+                policy_.onRequestCompleted(*req, ctx);
+            }
+        } else {
+            ++i;
+        }
+    }
+    for (std::size_t i = 0; i < forwarded_.size();) {
+        if (forwarded_[i]->finishAt <= ctx.dramNow) {
+            std::unique_ptr<Request> req = std::move(forwarded_[i]);
+            forwarded_[i] = std::move(forwarded_.back());
+            forwarded_.pop_back();
+            if (readCallback_)
+                readCallback_(*req);
+        } else {
+            ++i;
+        }
+    }
+}
+
+bool
+MemoryController::handleRefresh(const SchedContext &ctx)
+{
+    if (!params_.refreshEnabled)
+        return false;
+    if (!refreshPending_) {
+        if (ctx.dramNow < nextRefreshAt_)
+            return false;
+        refreshPending_ = true;
+    }
+    // Close any open banks first (maintenance precharges bypass the
+    // request scheduler and are not attributed to any thread).
+    if (channel_.allBanksClosed()) {
+        channel_.refreshAll(ctx.dramNow);
+        refreshPending_ = false;
+        nextRefreshAt_ =
+            std::max(nextRefreshAt_ + channel_.timing().tREFI,
+                     ctx.dramNow + 1);
+        return true;
+    }
+    for (BankId b = 0; b < channel_.numBanks(); ++b) {
+        const RowId open = channel_.bank(b).openRow();
+        if (open == kInvalidRow)
+            continue;
+        if (channel_.canIssue(DramCommand::Precharge, b, open,
+                              ctx.dramNow)) {
+            channel_.issue(DramCommand::Precharge, b, open, ctx.dramNow);
+            return true; // One command per cycle.
+        }
+    }
+    return true; // Waiting on bank timing; hold off normal work.
+}
+
+void
+MemoryController::tick(const SchedContext &ctx)
+{
+    deliverCompletions(ctx);
+
+    if (handleRefresh(ctx))
+        return;
+
+    if (buffer_.empty())
+        return;
+
+    // Reads are prioritized over writes (Table 2): writes are only
+    // schedulable during a drain episode (see WriteDrainControl), which
+    // also starts early when the read queues are empty. All write
+    // service is bank-batched so row disturbance stays contained.
+    drain_.update(buffer_);
+
+    Candidate best;
+    std::uint64_t best_oldest_row_seq = 0;
+    for (BankId b = 0; b < channel_.numBanks(); ++b) {
+        const bool draining_this_bank =
+            drain_.emergency() ||
+            (drain_.draining() && b == drain_.drainBank());
+        const bool allow_writes = draining_this_bank;
+        const bool allow_reads =
+            !(draining_this_bank && buffer_.writeCount(b) > 0);
+        std::uint64_t oldest_row_seq = 0;
+        const Candidate cand = pickBankCandidate(
+            b, allow_writes, allow_reads, ctx, oldest_row_seq);
+        if (!cand.valid())
+            continue;
+        if (!best.valid() || policy_.higherPriority(cand, best, ctx)) {
+            best = cand;
+            best_oldest_row_seq = oldest_row_seq;
+        }
+    }
+    if (!best.valid())
+        return;
+
+    const bool bypassed = isColumnCommand(best.cmd) &&
+                          best_oldest_row_seq < best.req->seq;
+    issueCommand(best, bypassed, ctx);
+}
+
+} // namespace stfm

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Per-channel DRAM memory controller.
+ *
+ * Implements the two-level scheduler of Section 2.3: every DRAM cycle,
+ * each per-bank scheduler selects the highest-priority *ready* command
+ * among the requests queued for its bank (priority order supplied by
+ * the pluggable SchedulingPolicy), and the across-bank channel scheduler
+ * selects the highest-priority of those, issuing at most one DRAM
+ * command per cycle on the channel's command bus.
+ *
+ * Also implements the baseline controller behaviors of Table 2:
+ * open-page row-buffer management, a 128-entry request buffer, a
+ * 32-entry write buffer with reads prioritized over writes, and
+ * write-to-read forwarding.
+ */
+
+#ifndef STFM_MEM_CONTROLLER_HH
+#define STFM_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "mem/occupancy.hh"
+#include "mem/request.hh"
+#include "mem/request_buffer.hh"
+#include "mem/write_buffer.hh"
+#include "sched/policy.hh"
+#include "stats/histogram.hh"
+
+namespace stfm
+{
+
+/** Controller tunables (defaults are the paper's Table 2 values). */
+struct ControllerParams
+{
+    unsigned requestBufferEntries = 128;
+    unsigned writeBufferEntries = 32;
+    unsigned writeDrainHigh = 28;
+    unsigned writeDrainLow = 4;
+    /**
+     * Model periodic all-bank auto-refresh (tREFI/tRFC). Off by
+     * default: the paper does not evaluate refresh and it adds noise
+     * to short runs; enable for longer fidelity studies.
+     */
+    bool refreshEnabled = false;
+    /**
+     * Hold a bank's open row while a higher-priority schedulable
+     * column access is pending instead of letting a precharge close it
+     * (the behavior behind FR-FCFS's row-hit monopolization). Ablation
+     * knob; on in the baseline.
+     */
+    bool rowProtection = true;
+};
+
+/** Per-thread service statistics a controller accumulates. */
+struct ControllerThreadStats
+{
+    std::uint64_t readsServiced = 0;
+    std::uint64_t writesServiced = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowClosed = 0;
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t writeRowHits = 0;
+
+    double
+    rowHitRate() const
+    {
+        const std::uint64_t total = rowHits + rowClosed + rowConflicts;
+        return total ? static_cast<double>(rowHits) / total : 0.0;
+    }
+};
+
+class MemoryController
+{
+  public:
+    /** Invoked when a read's data is available (at the DRAM tick). */
+    using ReadCallback = std::function<void(const Request &)>;
+
+    MemoryController(ChannelId channel_id, unsigned num_banks,
+                     const DramTiming &timing, const ControllerParams &params,
+                     SchedulingPolicy &policy, ThreadBankOccupancy &occupancy,
+                     unsigned num_threads);
+
+    /** Capacity checks callers must pass before enqueueing. */
+    bool canAcceptRead() const { return buffer_.canAcceptRead(); }
+    bool canAcceptWrite() const { return buffer_.canAcceptWrite(); }
+
+    /**
+     * Enqueue a demand read. If the line is sitting in the write buffer
+     * it is forwarded and completes on the next tick without touching
+     * DRAM.
+     */
+    void enqueueRead(Addr addr, const AddrDecode &coords, ThreadId thread,
+                     bool blocking, Cycles cpu_now, DramCycles dram_now);
+
+    /** Enqueue a writeback; coalesces with a queued write to the line. */
+    void enqueueWrite(Addr addr, const AddrDecode &coords, ThreadId thread,
+                      Cycles cpu_now, DramCycles dram_now);
+
+    /**
+     * Advance one DRAM cycle: deliver finished bursts, then make one
+     * scheduling decision. @p ctx must have `channel` set to this
+     * controller's channel id.
+     */
+    void tick(const SchedContext &ctx);
+
+    void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
+
+    const DramChannel &channel() const { return channel_; }
+    const RequestBuffer &buffer() const { return buffer_; }
+    const ControllerThreadStats &threadStats(ThreadId t) const
+    {
+        return threadStats_[t];
+    }
+
+    /** Distribution of demand-read service latencies (enqueue to data,
+     *  DRAM cycles) for @p t. Covers the whole run including warmup. */
+    const LatencyHistogram &readLatency(ThreadId t) const
+    {
+        return readLatency_[t];
+    }
+
+    /** True when no request is queued or in flight. */
+    bool idle() const { return buffer_.empty() && inFlight_.empty(); }
+
+  private:
+    Candidate pickBankCandidate(BankId bank, bool allow_writes,
+                                bool allow_reads, const SchedContext &ctx,
+                                std::uint64_t &oldest_row_seq) const;
+    void issueCommand(const Candidate &winner, bool bypassed_older_row,
+                      const SchedContext &ctx);
+    std::uint32_t readyColumnThreadMask(DramCycles now) const;
+    void deliverCompletions(const SchedContext &ctx);
+
+    ChannelId channelId_;
+    DramChannel channel_;
+    ControllerParams params_;
+    SchedulingPolicy &policy_;
+    ThreadBankOccupancy &occupancy_;
+
+    RequestBuffer buffer_;
+    WriteDrainControl drain_;
+    std::vector<std::unique_ptr<Request>> inFlight_;
+    std::vector<std::unique_ptr<Request>> forwarded_;
+    std::vector<ControllerThreadStats> threadStats_;
+    std::vector<LatencyHistogram> readLatency_;
+    ReadCallback readCallback_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextId_ = 0;
+
+    /** Refresh state machine (active when params_.refreshEnabled). */
+    DramCycles nextRefreshAt_ = 0;
+    bool refreshPending_ = false;
+
+    /** @return true if this cycle was consumed by refresh work. */
+    bool handleRefresh(const SchedContext &ctx);
+};
+
+} // namespace stfm
+
+#endif // STFM_MEM_CONTROLLER_HH

@@ -1,0 +1,142 @@
+#include "mem/memory_system.hh"
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+MemorySystem::MemorySystem(const MemoryConfig &config,
+                           const SchedulerConfig &sched_config,
+                           unsigned num_threads)
+    : config_(config), numThreads_(num_threads),
+      mapping_(config.channels, config.banksPerChannel, config.rowBytes,
+               config.lineBytes, config.rowsPerBank,
+               config.xorBankMapping),
+      occupancy_(num_threads, config.channels * config.banksPerChannel),
+      policy_(makeSchedulingPolicy(sched_config, num_threads,
+                                   config.channels *
+                                       config.banksPerChannel))
+{
+    STFM_ASSERT(num_threads <= 32,
+                "thread bitmasks limit the system to 32 threads");
+    for (ChannelId c = 0; c < config.channels; ++c) {
+        controllers_.push_back(std::make_unique<MemoryController>(
+            c, config.banksPerChannel, config.timing, config.controller,
+            *policy_, occupancy_, num_threads));
+    }
+}
+
+bool
+MemorySystem::canAcceptRead(Addr addr) const
+{
+    return controllers_[mapping_.decode(addr).channel]->canAcceptRead();
+}
+
+bool
+MemorySystem::canAcceptWrite(Addr addr) const
+{
+    return controllers_[mapping_.decode(addr).channel]->canAcceptWrite();
+}
+
+void
+MemorySystem::issueRead(Addr addr, ThreadId thread, bool blocking)
+{
+    const AddrDecode coords = mapping_.decode(addr);
+    controllers_[coords.channel]->enqueueRead(addr, coords, thread,
+                                              blocking, cpuNow_,
+                                              dramNow_);
+}
+
+void
+MemorySystem::issueWrite(Addr addr, ThreadId thread)
+{
+    const AddrDecode coords = mapping_.decode(addr);
+    controllers_[coords.channel]->enqueueWrite(addr, coords, thread,
+                                               cpuNow_, dramNow_);
+}
+
+void
+MemorySystem::noteEnqueueBlocked(Addr addr, ThreadId thread)
+{
+    const ChannelId channel = mapping_.decode(addr).channel;
+    const RequestBuffer &buffer = controllers_[channel]->buffer();
+    const unsigned total = buffer.readCount();
+    if (total == 0)
+        return;
+    const double foreign =
+        static_cast<double>(total - buffer.readCount(thread)) / total;
+    policy_->onEnqueueBlocked(thread, foreign,
+                              makeContext(channel, cpuNow_));
+}
+
+void
+MemorySystem::setReadCallback(ReadCallback cb)
+{
+    for (auto &controller : controllers_)
+        controller->setReadCallback(cb);
+}
+
+SchedContext
+MemorySystem::makeContext(ChannelId channel, Cycles cpu_now) const
+{
+    SchedContext ctx;
+    ctx.cpuNow = cpu_now;
+    ctx.dramNow = dramNow_;
+    ctx.channel = channel;
+    ctx.numThreads = numThreads_;
+    ctx.banksPerChannel = config_.banksPerChannel;
+    ctx.cpuPerDram = config_.cpuPerDram;
+    ctx.timing = &config_.timing;
+    ctx.occupancy = &occupancy_;
+    ctx.stallCycles = stallCycles_;
+    return ctx;
+}
+
+void
+MemorySystem::tick(Cycles cpu_now)
+{
+    cpuNow_ = cpu_now;
+    if (cpu_now % config_.cpuPerDram != 0)
+        return;
+    ++dramNow_;
+    policy_->beginCycle(makeContext(0, cpu_now));
+    for (ChannelId c = 0; c < controllers_.size(); ++c)
+        controllers_[c]->tick(makeContext(c, cpu_now));
+}
+
+ControllerThreadStats
+MemorySystem::threadStats(ThreadId thread) const
+{
+    ControllerThreadStats out;
+    for (const auto &controller : controllers_) {
+        const ControllerThreadStats &s = controller->threadStats(thread);
+        out.readsServiced += s.readsServiced;
+        out.writesServiced += s.writesServiced;
+        out.rowHits += s.rowHits;
+        out.rowClosed += s.rowClosed;
+        out.rowConflicts += s.rowConflicts;
+        out.writeRowHits += s.writeRowHits;
+    }
+    return out;
+}
+
+LatencyHistogram
+MemorySystem::readLatency(ThreadId thread) const
+{
+    LatencyHistogram merged;
+    for (const auto &controller : controllers_)
+        merged.merge(controller->readLatency(thread));
+    return merged;
+}
+
+bool
+MemorySystem::idle() const
+{
+    for (const auto &controller : controllers_) {
+        if (!controller->idle())
+            return false;
+    }
+    return true;
+}
+
+} // namespace stfm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The shared multi-channel DRAM memory system.
+ *
+ * Owns the address mapping, one controller + channel pair per DRAM
+ * channel, the occupancy tracker and the scheduling policy (one policy
+ * instance governs all channels; the paper scales channel count with
+ * core count: 1, 1, 2, 4 channels for 2, 4, 8, 16 cores).
+ */
+
+#ifndef STFM_MEM_MEMORY_SYSTEM_HH
+#define STFM_MEM_MEMORY_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/memory_port.hh"
+#include "dram/address_mapping.hh"
+#include "mem/controller.hh"
+#include "mem/occupancy.hh"
+#include "sched/policy.hh"
+
+namespace stfm
+{
+
+/** Geometry + device + controller configuration of the memory system. */
+struct MemoryConfig
+{
+    unsigned channels = 1;
+    unsigned banksPerChannel = 8;
+    /** Effective row-buffer bytes across the DIMM (2 KB/chip x 8). */
+    std::uint64_t rowBytes = 16 * 1024;
+    std::uint64_t lineBytes = 64;
+    std::uint64_t rowsPerBank = 16 * 1024;
+    bool xorBankMapping = true;
+    DramTiming timing;
+    ControllerParams controller;
+    /** CPU cycles per DRAM cycle (4 GHz / 400 MHz = 10). */
+    Cycles cpuPerDram = 10;
+};
+
+class MemorySystem : public MemoryPort
+{
+  public:
+    using ReadCallback = std::function<void(const Request &)>;
+
+    MemorySystem(const MemoryConfig &config,
+                 const SchedulerConfig &sched_config, unsigned num_threads);
+
+    // MemoryPort interface --------------------------------------------
+    bool canAcceptRead(Addr addr) const override;
+    bool canAcceptWrite(Addr addr) const override;
+    void issueRead(Addr addr, ThreadId thread, bool blocking) override;
+    void issueWrite(Addr addr, ThreadId thread) override;
+    void noteEnqueueBlocked(Addr addr, ThreadId thread) override;
+
+    /**
+     * Advance to CPU cycle @p cpu_now; internally ticks the DRAM domain
+     * once every cpuPerDram CPU cycles.
+     */
+    void tick(Cycles cpu_now);
+
+    /** Completion notifications for demand reads. */
+    void setReadCallback(ReadCallback cb);
+
+    /**
+     * The cores' cumulative memory-stall counters, refreshed by the
+     * simulation loop; consumed by STFM's slowdown estimation.
+     */
+    void setStallCounters(const std::vector<Cycles> *stalls)
+    {
+        stallCycles_ = stalls;
+    }
+
+    const AddressMapping &mapping() const { return mapping_; }
+    SchedulingPolicy &policy() { return *policy_; }
+    const SchedulingPolicy &policy() const { return *policy_; }
+    unsigned totalBanks() const
+    {
+        return config_.channels * config_.banksPerChannel;
+    }
+
+    /** Service stats for @p thread aggregated over all channels. */
+    ControllerThreadStats threadStats(ThreadId thread) const;
+
+    /** Read-latency distribution for @p thread, merged over channels. */
+    LatencyHistogram readLatency(ThreadId thread) const;
+
+    /** True when no channel holds queued or in-flight requests. */
+    bool idle() const;
+
+    const MemoryConfig &config() const { return config_; }
+
+  private:
+    SchedContext makeContext(ChannelId channel, Cycles cpu_now) const;
+
+    MemoryConfig config_;
+    unsigned numThreads_;
+    AddressMapping mapping_;
+    ThreadBankOccupancy occupancy_;
+    std::unique_ptr<SchedulingPolicy> policy_;
+    std::vector<std::unique_ptr<MemoryController>> controllers_;
+    const std::vector<Cycles> *stallCycles_ = nullptr;
+    DramCycles dramNow_ = 0;
+    Cycles cpuNow_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Per-thread, per-bank occupancy bookkeeping shared by all channels of a
+ * memory system.
+ *
+ * This is the substrate behind two STFM registers from the paper's
+ * Table 1:
+ *  - BankWaitingParallelism: number of banks with at least one waiting
+ *    request from the thread, and
+ *  - BankAccessParallelism: number of banks currently servicing a
+ *    request from the thread.
+ *
+ * Demand reads are tracked in two classes: *blocking* reads (a load is
+ * stalled on them — they produce memory stall time) and non-blocking
+ * fills (store misses / prefetch-like traffic that commits without
+ * waiting). Interference accounting charges only blocking reads:
+ * delaying a fill that nobody waits for produces no extra stall.
+ * Writebacks are not tracked at all.
+ */
+
+#ifndef STFM_MEM_OCCUPANCY_HH
+#define STFM_MEM_OCCUPANCY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** Tracks waiting/in-service read counts per (thread, global bank). */
+class ThreadBankOccupancy
+{
+  public:
+    ThreadBankOccupancy(unsigned threads, unsigned total_banks)
+        : threads_(threads), banks_(total_banks),
+          waiting_(threads * total_banks, 0),
+          waitingBlocking_(threads * total_banks, 0),
+          inService_(threads * total_banks, 0),
+          waitingBanksBlocking_(threads, 0), serviceBanks_(threads, 0),
+          waitingTotal_(threads, 0)
+    {}
+
+    /** A read from @p t to @p bank entered the request buffer. */
+    void
+    onArrive(ThreadId t, unsigned bank, bool blocking)
+    {
+        ++waiting_[idx(t, bank)];
+        if (blocking && waitingBlocking_[idx(t, bank)]++ == 0)
+            ++waitingBanksBlocking_[t];
+        ++waitingTotal_[t];
+    }
+
+    /** The read's column command issued: waiting -> in service. */
+    void
+    onColumnIssue(ThreadId t, unsigned bank, bool blocking)
+    {
+        STFM_ASSERT(waiting_[idx(t, bank)] > 0, "occupancy underflow");
+        --waiting_[idx(t, bank)];
+        if (blocking && --waitingBlocking_[idx(t, bank)] == 0)
+            --waitingBanksBlocking_[t];
+        --waitingTotal_[t];
+        if (inService_[idx(t, bank)]++ == 0)
+            ++serviceBanks_[t];
+    }
+
+    /** The read's data burst finished. */
+    void
+    onComplete(ThreadId t, unsigned bank)
+    {
+        STFM_ASSERT(inService_[idx(t, bank)] > 0, "occupancy underflow");
+        if (--inService_[idx(t, bank)] == 0)
+            --serviceBanks_[t];
+    }
+
+    /** Banks with >= 1 waiting *blocking* read from @p t
+     *  (BankWaitingParallelism). */
+    unsigned bankWaitingParallelism(ThreadId t) const
+    {
+        return waitingBanksBlocking_[t];
+    }
+
+    /** Banks servicing a read from @p t (BankAccessParallelism). */
+    unsigned bankAccessParallelism(ThreadId t) const
+    {
+        return serviceBanks_[t];
+    }
+
+    /** Waiting reads (any class) from @p t to @p bank. */
+    unsigned waiting(ThreadId t, unsigned bank) const
+    {
+        return waiting_[idx(t, bank)];
+    }
+
+    /** Waiting blocking reads from @p t to @p bank. */
+    unsigned waitingBlocking(ThreadId t, unsigned bank) const
+    {
+        return waitingBlocking_[idx(t, bank)];
+    }
+
+    /** Reads from @p t currently in service in @p bank. */
+    unsigned inService(ThreadId t, unsigned bank) const
+    {
+        return inService_[idx(t, bank)];
+    }
+
+    /** Total waiting reads from @p t across all banks. */
+    unsigned waitingTotal(ThreadId t) const { return waitingTotal_[t]; }
+
+    unsigned threads() const { return threads_; }
+    unsigned totalBanks() const { return banks_; }
+
+  private:
+    std::size_t idx(ThreadId t, unsigned bank) const
+    {
+        return static_cast<std::size_t>(t) * banks_ + bank;
+    }
+
+    unsigned threads_;
+    unsigned banks_;
+    std::vector<std::uint32_t> waiting_;
+    std::vector<std::uint32_t> waitingBlocking_;
+    std::vector<std::uint32_t> inService_;
+    std::vector<std::uint32_t> waitingBanksBlocking_;
+    std::vector<std::uint32_t> serviceBanks_;
+    std::vector<std::uint32_t> waitingTotal_;
+};
+
+} // namespace stfm
+
+#endif // STFM_MEM_OCCUPANCY_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Memory request record held in the controller's request buffer.
+ *
+ * Each entry mirrors the paper's request-buffer state: address, type,
+ * thread identifier, age, readiness and completion status. The
+ * thread-ID tag is the hook every fairness-aware policy keys on.
+ */
+
+#ifndef STFM_MEM_REQUEST_HH
+#define STFM_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/address_mapping.hh"
+#include "dram/command.hh"
+
+namespace stfm
+{
+
+/** One outstanding memory request. */
+struct Request
+{
+    /** Globally unique request identifier (assigned by the controller). */
+    std::uint64_t id = 0;
+    /** Line-aligned physical address. */
+    Addr addr = 0;
+    /** Decoded DRAM coordinates. */
+    AddrDecode coords;
+    /** True for a writeback, false for a demand read / fill. */
+    bool isWrite = false;
+    /**
+     * A load is stalled on this read (it contributes to memory stall
+     * time). Store fills and other background reads are non-blocking:
+     * delaying them produces no extra stall, so fairness accounting
+     * ignores them.
+     */
+    bool blocking = true;
+    /** Originating hardware thread. */
+    ThreadId thread = kInvalidThread;
+    /** CPU cycle the request entered the controller. */
+    Cycles arrivalCpu = 0;
+    /** DRAM cycle the request entered the controller. */
+    DramCycles arrivalDram = 0;
+    /** Arrival order within the controller (FCFS age). */
+    std::uint64_t seq = 0;
+
+    /** Set once the column (read/write) command has issued. */
+    bool columnIssued = false;
+    /** A precharge was issued with this request as the winner. */
+    bool sawPrecharge = false;
+    /** An activate was issued with this request as the winner. */
+    bool sawActivate = false;
+    /** Row-buffer category observed when the column command issued. */
+    RowBufferState serviceState = RowBufferState::Closed;
+    /** DRAM cycle at which the data burst completes (valid once issued). */
+    DramCycles finishAt = 0;
+    /** Row-buffer category seen at arrival (for row-hit-rate stats). */
+    RowBufferState arrivalState = RowBufferState::Closed;
+};
+
+/**
+ * The next DRAM command a request needs, given the current row-buffer
+ * state of its bank.
+ */
+inline DramCommand
+nextCommandFor(const Request &req, RowBufferState state)
+{
+    switch (state) {
+      case RowBufferState::Hit:
+        return req.isWrite ? DramCommand::Write : DramCommand::Read;
+      case RowBufferState::Closed:
+        return DramCommand::Activate;
+      case RowBufferState::Conflict:
+        return DramCommand::Precharge;
+    }
+    return DramCommand::Activate;
+}
+
+/** A schedulable (request, command) pair offered to the policy. */
+struct Candidate
+{
+    const Request *req = nullptr;
+    DramCommand cmd = DramCommand::Activate;
+
+    bool valid() const { return req != nullptr; }
+};
+
+} // namespace stfm
+
+#endif // STFM_MEM_REQUEST_HH

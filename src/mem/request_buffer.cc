@@ -1,0 +1,97 @@
+#include "mem/request_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+RequestBuffer::RequestBuffer(unsigned banks, unsigned read_capacity,
+                             unsigned write_capacity, unsigned threads)
+    : readCapacity_(read_capacity), writeCapacity_(write_capacity),
+      bankWrites_(banks, 0), threadReads_(threads, 0), queues_(banks)
+{
+    STFM_ASSERT(banks > 0, "request buffer needs at least one bank");
+}
+
+Request *
+RequestBuffer::add(const Request &req)
+{
+    if (req.isWrite) {
+        STFM_ASSERT(canAcceptWrite(), "write buffer overflow");
+        ++writeCount_;
+        ++bankWrites_[req.coords.bank];
+    } else {
+        STFM_ASSERT(canAcceptRead(), "request buffer overflow");
+        ++readCount_;
+        ++threadReads_[req.thread];
+    }
+    auto owned = std::make_unique<Request>(req);
+    Request *ptr = owned.get();
+    queues_[req.coords.bank].push_back(std::move(owned));
+    return ptr;
+}
+
+std::unique_ptr<Request>
+RequestBuffer::extract(Request *req)
+{
+    auto &queue = queues_[req->coords.bank];
+    const auto it = std::find_if(
+        queue.begin(), queue.end(),
+        [req](const std::unique_ptr<Request> &p) { return p.get() == req; });
+    STFM_ASSERT(it != queue.end(), "extracting unknown request");
+    std::unique_ptr<Request> owned = std::move(*it);
+    queue.erase(it);
+    if (owned->isWrite) {
+        --writeCount_;
+        --bankWrites_[owned->coords.bank];
+    } else {
+        --readCount_;
+        --threadReads_[owned->thread];
+    }
+    return owned;
+}
+
+BankId
+RequestBuffer::busiestWriteBank() const
+{
+    BankId best = 0;
+    for (BankId b = 1; b < static_cast<BankId>(bankWrites_.size()); ++b) {
+        if (bankWrites_[b] > bankWrites_[best])
+            best = b;
+    }
+    return best;
+}
+
+BankId
+RequestBuffer::oldestWriteBank() const
+{
+    BankId best = 0;
+    std::uint64_t best_seq = ~0ULL;
+    for (BankId b = 0; b < static_cast<BankId>(queues_.size()); ++b) {
+        for (const auto &req : queues_[b]) {
+            if (req->isWrite && req->seq < best_seq) {
+                best_seq = req->seq;
+                best = b;
+            }
+        }
+    }
+    return best;
+}
+
+Request *
+RequestBuffer::findWrite(Addr addr) const
+{
+    // Queues are short (<= capacity), so a linear scan mirrors the
+    // associative lookup real write buffers do.
+    for (const auto &queue : queues_) {
+        for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
+            if ((*it)->isWrite && (*it)->addr == addr)
+                return it->get();
+        }
+    }
+    return nullptr;
+}
+
+} // namespace stfm

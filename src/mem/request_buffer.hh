@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The controller's request buffer: per-bank queues of outstanding
+ * requests with separate capacity accounting for reads (the 128-entry
+ * request buffer of Table 2) and writes (the 32-entry write data
+ * buffer).
+ */
+
+#ifndef STFM_MEM_REQUEST_BUFFER_HH
+#define STFM_MEM_REQUEST_BUFFER_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace stfm
+{
+
+class RequestBuffer
+{
+  public:
+    RequestBuffer(unsigned banks, unsigned read_capacity,
+                  unsigned write_capacity, unsigned threads = 32);
+
+    bool canAcceptRead() const { return readCount_ < readCapacity_; }
+    bool canAcceptWrite() const { return writeCount_ < writeCapacity_; }
+
+    /** Insert a request; returns a stable pointer to the stored copy. */
+    Request *add(const Request &req);
+
+    /** Remove @p req from its bank queue and return ownership. */
+    std::unique_ptr<Request> extract(Request *req);
+
+    /** Un-issued requests queued for @p bank, in arrival order. */
+    const std::vector<std::unique_ptr<Request>> &queue(BankId bank) const
+    {
+        return queues_[bank];
+    }
+
+    /** Youngest queued write to @p addr (for coalescing/forwarding). */
+    Request *findWrite(Addr addr) const;
+
+    unsigned readCount() const { return readCount_; }
+    /** Queued reads belonging to @p thread. */
+    unsigned readCount(ThreadId thread) const
+    {
+        return threadReads_[thread];
+    }
+    unsigned writeCount() const { return writeCount_; }
+    /** Queued writes destined for @p bank. */
+    unsigned writeCount(BankId bank) const { return bankWrites_[bank]; }
+    /** Bank with the most queued writes (ties to the lowest id). */
+    BankId busiestWriteBank() const;
+    /** Bank holding the oldest queued write (FIFO-fair drain target). */
+    BankId oldestWriteBank() const;
+    bool empty() const { return readCount_ + writeCount_ == 0; }
+
+    unsigned readCapacity() const { return readCapacity_; }
+    unsigned writeCapacity() const { return writeCapacity_; }
+
+  private:
+    unsigned readCapacity_;
+    unsigned writeCapacity_;
+    unsigned readCount_ = 0;
+    unsigned writeCount_ = 0;
+    std::vector<unsigned> bankWrites_;
+    std::vector<unsigned> threadReads_;
+    std::vector<std::vector<std::unique_ptr<Request>>> queues_;
+};
+
+} // namespace stfm
+
+#endif // STFM_MEM_REQUEST_BUFFER_HH

@@ -1,0 +1,51 @@
+#include "mem/write_buffer.hh"
+
+#include "common/logging.hh"
+#include "mem/request_buffer.hh"
+
+namespace stfm
+{
+
+WriteDrainControl::WriteDrainControl(unsigned high, unsigned capacity)
+    : high_(high), capacity_(capacity),
+      bankBatch_(std::max(2u, capacity / 4))
+{
+    STFM_ASSERT(high <= capacity, "drain watermark above capacity");
+}
+
+bool
+WriteDrainControl::pickDrainBank(const RequestBuffer &buffer)
+{
+    // Prefer a bank that has accumulated a worthwhile batch: each drain
+    // episode costs the victim bank two row re-opens (the write row in,
+    // the read row back), so batching writes amortizes that cost.
+    const BankId busiest = buffer.busiestWriteBank();
+    if (buffer.writeCount(busiest) >= bankBatch_) {
+        drainBank_ = busiest;
+        return true;
+    }
+    // No bank has a full batch; drain by age under buffer pressure or
+    // when the read queues are empty (free bandwidth).
+    if (buffer.writeCount() >= high_ ||
+        (buffer.readCount() == 0 && buffer.writeCount() > 0)) {
+        drainBank_ = buffer.oldestWriteBank();
+        return true;
+    }
+    return false;
+}
+
+void
+WriteDrainControl::update(const RequestBuffer &buffer)
+{
+    const unsigned total = buffer.writeCount();
+    emergency_ = total + 1 >= capacity_;
+
+    if (!draining_) {
+        draining_ = pickDrainBank(buffer);
+        return;
+    }
+    if (buffer.writeCount(drainBank_) == 0)
+        draining_ = pickDrainBank(buffer);
+}
+
+} // namespace stfm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Write-drain control.
+ *
+ * The baseline controller (Table 2) prioritizes reads over writes, so
+ * writebacks are only scheduled when the write buffer is nearly full or
+ * there is no read work. Drains are bank-batched: an episode starts
+ * when occupancy reaches the high watermark, drains the single bank
+ * holding the most writes, and ends when that bank is empty. One
+ * episode therefore disturbs one bank's open row instead of closing
+ * rows across the whole channel — essential for preserving the read
+ * streams' row-buffer locality. If the buffer nevertheless fills to
+ * the brim, an emergency mode opens all banks to writes.
+ */
+
+#ifndef STFM_MEM_WRITE_BUFFER_HH
+#define STFM_MEM_WRITE_BUFFER_HH
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+class RequestBuffer;
+
+class WriteDrainControl
+{
+  public:
+    /**
+     * @param high     Start a drain episode at this occupancy.
+     * @param capacity Total write-buffer entries (emergency threshold).
+     */
+    WriteDrainControl(unsigned high, unsigned capacity);
+
+    /**
+     * Advance the drain state machine for this cycle. Free bandwidth
+     * (no queued reads) starts an episode early, but writes still go
+     * out one bank at a time so their row disturbance stays contained.
+     */
+    void update(const RequestBuffer &buffer);
+
+    /** Is a drain episode active? */
+    bool draining() const { return draining_; }
+    /** Bank being drained (valid while draining). */
+    BankId drainBank() const { return drainBank_; }
+    /** Buffer is critically full: writes allowed in every bank. */
+    bool emergency() const { return emergency_; }
+
+  private:
+    bool pickDrainBank(const RequestBuffer &buffer);
+
+    unsigned high_;
+    unsigned capacity_;
+    /** Per-bank batch size that triggers an eager drain episode. */
+    unsigned bankBatch_;
+    bool draining_ = false;
+    bool emergency_ = false;
+    BankId drainBank_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_MEM_WRITE_BUFFER_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * FCFS: plain first-come-first-serve over ready DRAM commands
+ * (Section 4 of the paper). Ignores row-buffer state entirely, which
+ * removes the locality-exploitation unfairness of FR-FCFS but degrades
+ * DRAM throughput and still favors memory-intensive threads.
+ */
+
+#ifndef STFM_SCHED_FCFS_HH
+#define STFM_SCHED_FCFS_HH
+
+#include "sched/policy.hh"
+
+namespace stfm
+{
+
+class FcfsPolicy : public SchedulingPolicy
+{
+  public:
+    std::string name() const override { return "FCFS"; }
+
+    bool
+    higherPriority(const Candidate &a, const Candidate &b,
+                   const SchedContext &) const override
+    {
+        return a.req->seq < b.req->seq;
+    }
+};
+
+} // namespace stfm
+
+#endif // STFM_SCHED_FCFS_HH

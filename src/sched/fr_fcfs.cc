@@ -1,0 +1,23 @@
+#include "sched/fr_fcfs.hh"
+
+namespace stfm
+{
+
+bool
+FrFcfsPolicy::frFcfsBefore(const Candidate &a, const Candidate &b)
+{
+    const bool col_a = isColumnCommand(a.cmd);
+    const bool col_b = isColumnCommand(b.cmd);
+    if (col_a != col_b)
+        return col_a;
+    return a.req->seq < b.req->seq;
+}
+
+bool
+FrFcfsPolicy::higherPriority(const Candidate &a, const Candidate &b,
+                             const SchedContext &) const
+{
+    return frFcfsBefore(a, b);
+}
+
+} // namespace stfm

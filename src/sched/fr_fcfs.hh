@@ -1,0 +1,34 @@
+/**
+ * @file
+ * FR-FCFS: first-ready, first-come-first-serve scheduling (Rixner et
+ * al.), the throughput-oriented baseline of the paper (Section 2.4).
+ *
+ * Priority rules over ready commands:
+ *   1. Column-first: ready column accesses (read/write) over ready row
+ *      accesses (activate/precharge).
+ *   2. Oldest-first: earlier-arrived requests over later ones.
+ */
+
+#ifndef STFM_SCHED_FR_FCFS_HH
+#define STFM_SCHED_FR_FCFS_HH
+
+#include "sched/policy.hh"
+
+namespace stfm
+{
+
+class FrFcfsPolicy : public SchedulingPolicy
+{
+  public:
+    std::string name() const override { return "FR-FCFS"; }
+
+    bool higherPriority(const Candidate &a, const Candidate &b,
+                        const SchedContext &ctx) const override;
+
+    /** The shared rank function, reused by other policies' tie-breaks. */
+    static bool frFcfsBefore(const Candidate &a, const Candidate &b);
+};
+
+} // namespace stfm
+
+#endif // STFM_SCHED_FR_FCFS_HH

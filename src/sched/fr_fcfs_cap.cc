@@ -1,0 +1,44 @@
+#include "sched/fr_fcfs_cap.hh"
+
+#include "sched/fr_fcfs.hh"
+
+namespace stfm
+{
+
+FrFcfsCapPolicy::FrFcfsCapPolicy(unsigned cap, unsigned total_banks)
+    : cap_(cap), bypass_(total_banks, 0)
+{}
+
+bool
+FrFcfsCapPolicy::higherPriority(const Candidate &a, const Candidate &b,
+                                const SchedContext &ctx) const
+{
+    const unsigned bank_a = ctx.globalBank(a.req->coords.bank);
+    const unsigned bank_b = ctx.globalBank(b.req->coords.bank);
+    // The cap is a per-bank property: once a bank has burned its bypass
+    // budget, requests inside it are ordered FCFS. Across banks the
+    // baseline rule applies (row accesses in other banks do not block).
+    if (bank_a == bank_b && bypass_[bank_a] >= cap_)
+        return a.req->seq < b.req->seq;
+    return FrFcfsPolicy::frFcfsBefore(a, b);
+}
+
+void
+FrFcfsCapPolicy::onRowCommand(const RowIssueEvent &ev,
+                              const SchedContext &ctx)
+{
+    // A row access was finally serviced in this bank; the reordering
+    // budget resets.
+    if (ev.cmd == DramCommand::Activate)
+        bypass_[ctx.globalBank(ev.bank)] = 0;
+}
+
+void
+FrFcfsCapPolicy::onColumnCommand(const ColumnIssueEvent &ev,
+                                 const SchedContext &ctx)
+{
+    if (ev.bypassedOlderRowAccess)
+        ++bypass_[ctx.globalBank(ev.req->coords.bank)];
+}
+
+} // namespace stfm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * FR-FCFS+Cap: the new comparison algorithm introduced in Section 4 of
+ * the paper. It behaves like FR-FCFS, but at most `cap` younger column
+ * (row-hit) accesses may be serviced before an older row access to the
+ * same bank; once the cap is reached, scheduling within that bank falls
+ * back to FCFS until a row access is serviced there.
+ */
+
+#ifndef STFM_SCHED_FR_FCFS_CAP_HH
+#define STFM_SCHED_FR_FCFS_CAP_HH
+
+#include <vector>
+
+#include "sched/policy.hh"
+
+namespace stfm
+{
+
+class FrFcfsCapPolicy : public SchedulingPolicy
+{
+  public:
+    FrFcfsCapPolicy(unsigned cap, unsigned total_banks);
+
+    std::string name() const override { return "FR-FCFS+Cap"; }
+
+    bool higherPriority(const Candidate &a, const Candidate &b,
+                        const SchedContext &ctx) const override;
+
+    void onRowCommand(const RowIssueEvent &ev,
+                      const SchedContext &ctx) override;
+    void onColumnCommand(const ColumnIssueEvent &ev,
+                         const SchedContext &ctx) override;
+
+    /** Current bypass count of a global bank (for tests). */
+    unsigned bypassCount(unsigned global_bank) const
+    {
+        return bypass_[global_bank];
+    }
+
+  private:
+    unsigned cap_;
+    /** Consecutive column bypasses of an older row access, per bank. */
+    std::vector<unsigned> bypass_;
+};
+
+} // namespace stfm
+
+#endif // STFM_SCHED_FR_FCFS_CAP_HH

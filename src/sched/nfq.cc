@@ -1,0 +1,77 @@
+#include "sched/nfq.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+NfqPolicy::NfqPolicy(unsigned num_threads, unsigned total_banks,
+                     std::vector<double> shares, DramCycles threshold)
+    : threads_(num_threads), banks_(total_banks),
+      latencyFactor_(num_threads, static_cast<double>(num_threads)),
+      vft_(static_cast<std::size_t>(num_threads) * total_banks, 0.0),
+      threshold_(threshold)
+{
+    if (!shares.empty()) {
+        STFM_ASSERT(shares.size() == num_threads,
+                    "NFQ shares must cover every thread");
+        const double total =
+            std::accumulate(shares.begin(), shares.end(), 0.0);
+        STFM_ASSERT(total > 0.0, "NFQ shares must be positive");
+        // A thread with share phi_i of the bandwidth may be slowed by
+        // 1/phi_i, so its deadline advances by latency/phi_i.
+        for (unsigned t = 0; t < num_threads; ++t) {
+            STFM_ASSERT(shares[t] > 0.0, "NFQ share must be positive");
+            latencyFactor_[t] = total / shares[t];
+        }
+    }
+}
+
+DramCycles
+NfqPolicy::threshold(const SchedContext &ctx) const
+{
+    if (threshold_ != 0)
+        return threshold_;
+    return ctx.timing ? ctx.timing->tRAS : 18;
+}
+
+bool
+NfqPolicy::higherPriority(const Candidate &a, const Candidate &b,
+                          const SchedContext &ctx) const
+{
+    const bool col_a = isColumnCommand(a.cmd);
+    const bool col_b = isColumnCommand(b.cmd);
+    if (col_a != col_b) {
+        // First-ready rule, limited by priority inversion prevention:
+        // a column access loses its boost once the competing row access
+        // has waited longer than the threshold.
+        const Candidate &row_cand = col_a ? b : a;
+        const DramCycles waited =
+            ctx.dramNow - row_cand.req->arrivalDram;
+        if (waited <= threshold(ctx))
+            return col_a;
+        // Fall through to deadline comparison.
+    }
+    const double vft_a =
+        vft_[idx(a.req->thread, ctx.globalBank(a.req->coords.bank))];
+    const double vft_b =
+        vft_[idx(b.req->thread, ctx.globalBank(b.req->coords.bank))];
+    if (vft_a != vft_b)
+        return vft_a < vft_b;
+    return a.req->seq < b.req->seq;
+}
+
+void
+NfqPolicy::onColumnCommand(const ColumnIssueEvent &ev,
+                           const SchedContext &ctx)
+{
+    const unsigned bank = ctx.globalBank(ev.req->coords.bank);
+    const double latency = static_cast<double>(
+        ev.bankLatency + (ctx.timing ? ctx.timing->burst : 0));
+    vft_[idx(ev.req->thread, bank)] +=
+        latency * latencyFactor_[ev.req->thread];
+}
+
+} // namespace stfm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Network-fair-queueing memory scheduler (Nesbit et al., MICRO-39),
+ * the FQ-VFTF variant the paper compares against in Section 4.
+ *
+ * Each thread maintains a virtual finish time (a "virtual deadline")
+ * per bank. When a request of thread i is serviced in bank b, the
+ * thread's deadline in that bank advances by the request's access
+ * latency divided by the thread's bandwidth share (equal shares: times
+ * the number of threads). Ready commands are prioritized earliest-
+ * deadline-first, with a first-ready (row-hit-first) rule on top,
+ * limited by the priority-inversion-prevention threshold (tRAS): a
+ * younger column access may not bypass an older row access that has
+ * already waited longer than the threshold.
+ *
+ * Deadlines deliberately do NOT synchronize with real time while a
+ * thread is idle — that is the source of the idleness problem the
+ * paper analyzes (Figure 3), and reproducing it faithfully matters.
+ */
+
+#ifndef STFM_SCHED_NFQ_HH
+#define STFM_SCHED_NFQ_HH
+
+#include <vector>
+
+#include "sched/policy.hh"
+
+namespace stfm
+{
+
+class NfqPolicy : public SchedulingPolicy
+{
+  public:
+    /**
+     * @param shares    Per-thread bandwidth shares; empty = equal.
+     *                  Shares are normalized internally.
+     * @param threshold Priority-inversion-prevention threshold in DRAM
+     *                  cycles; 0 = use tRAS from the context's timing.
+     */
+    NfqPolicy(unsigned num_threads, unsigned total_banks,
+              std::vector<double> shares, DramCycles threshold);
+
+    std::string name() const override { return "NFQ"; }
+
+    bool higherPriority(const Candidate &a, const Candidate &b,
+                        const SchedContext &ctx) const override;
+
+    void onColumnCommand(const ColumnIssueEvent &ev,
+                         const SchedContext &ctx) override;
+
+    /** Virtual finish time of (thread, global bank), for tests. */
+    double virtualFinishTime(ThreadId t, unsigned global_bank) const
+    {
+        return vft_[idx(t, global_bank)];
+    }
+
+  private:
+    std::size_t idx(ThreadId t, unsigned global_bank) const
+    {
+        return static_cast<std::size_t>(t) * banks_ + global_bank;
+    }
+
+    DramCycles threshold(const SchedContext &ctx) const;
+
+    unsigned threads_;
+    unsigned banks_;
+    /** Normalized so that an equal-share thread has factor numThreads. */
+    std::vector<double> latencyFactor_;
+    std::vector<double> vft_;
+    DramCycles threshold_;
+};
+
+} // namespace stfm
+
+#endif // STFM_SCHED_NFQ_HH

@@ -1,0 +1,25 @@
+#include "sim/config.hh"
+
+namespace stfm
+{
+
+unsigned
+SimConfig::channelsForCores(unsigned cores)
+{
+    if (cores <= 4)
+        return 1;
+    if (cores <= 8)
+        return 2;
+    return 4;
+}
+
+SimConfig
+SimConfig::baseline(unsigned cores)
+{
+    SimConfig config;
+    config.cores = cores;
+    config.memory.channels = channelsForCores(cores);
+    return config;
+}
+
+} // namespace stfm

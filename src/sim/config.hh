@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Top-level simulation configuration.
+ *
+ * SimConfig::baseline(cores) reproduces the paper's Table 2 system:
+ * 4 GHz cores, 128-entry windows, 32 KB L1 / 512 KB L2 private caches,
+ * 64 MSHRs, DDR2-800 with 8 banks and 2 KB/chip row buffers, a
+ * 128-entry request buffer, and channel count scaled with core count
+ * (1, 1, 2, 4 channels for 2, 4, 8, 16 cores).
+ */
+
+#ifndef STFM_SIM_CONFIG_HH
+#define STFM_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "cpu/core.hh"
+#include "mem/memory_system.hh"
+#include "sched/policy.hh"
+
+namespace stfm
+{
+
+struct SimConfig
+{
+    unsigned cores = 4;
+    CoreParams cpu;
+    MemoryConfig memory;
+    SchedulerConfig scheduler;
+
+    /** Instructions each thread must commit before its stats freeze. */
+    std::uint64_t instructionBudget = 100000;
+    /**
+     * Instructions each thread commits before measurement starts (cache
+     * and row-buffer warmup; excludes cold-start transients and lets
+     * L2 writeback traffic reach steady state).
+     */
+    std::uint64_t warmupInstructions = 30000;
+    /** Hard safety limit on simulated CPU cycles. */
+    Cycles maxCycles = 2'000'000'000ULL;
+
+    /** The paper's baseline system for @p cores cores. */
+    static SimConfig baseline(unsigned cores);
+
+    /** Channels the paper uses for a given core count (1,1,2,4). */
+    static unsigned channelsForCores(unsigned cores);
+};
+
+} // namespace stfm
+
+#endif // STFM_SIM_CONFIG_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulation result records.
+ */
+
+#ifndef STFM_SIM_RESULTS_HH
+#define STFM_SIM_RESULTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** Per-thread outcome, frozen when the thread reaches its budget. */
+struct ThreadResult
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    Cycles memStallCycles = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowClosed = 0;
+    std::uint64_t rowConflicts = 0;
+    /** Demand-read service latency (enqueue to data) in DRAM cycles,
+     *  over the whole run including warmup. */
+    double readLatencyMean = 0.0;
+    std::uint64_t readLatencyP50 = 0;
+    std::uint64_t readLatencyP99 = 0;
+    std::uint64_t readLatencyMax = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    /** Memory (L2-miss) stall cycles per instruction. */
+    double
+    mcpi() const
+    {
+        return instructions ? static_cast<double>(memStallCycles) /
+                                  instructions
+                            : 0.0;
+    }
+
+    /** L2 misses per kilo-instruction. */
+    double
+    mpki() const
+    {
+        return instructions ? 1000.0 * l2Misses / instructions : 0.0;
+    }
+
+    /** Row-buffer hit rate of the thread's serviced DRAM accesses. */
+    double
+    rowHitRate() const
+    {
+        const std::uint64_t total = rowHits + rowClosed + rowConflicts;
+        return total ? static_cast<double>(rowHits) / total : 0.0;
+    }
+};
+
+/** Outcome of one simulation run. */
+struct SimResult
+{
+    std::vector<ThreadResult> threads;
+    Cycles totalCycles = 0;
+    /** True if the safety cycle limit fired before all budgets. */
+    bool hitCycleLimit = false;
+};
+
+} // namespace stfm
+
+#endif // STFM_SIM_RESULTS_HH

@@ -1,0 +1,118 @@
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+CmpSystem::CmpSystem(const SimConfig &config,
+                     std::vector<std::unique_ptr<TraceSource>> traces)
+    : config_(config), traces_(std::move(traces)),
+      memory_(config.memory, config.scheduler, config.cores),
+      stallSnapshot_(config.cores, 0), frozen_(config.cores, false),
+      warm_(config.cores)
+{
+    STFM_ASSERT(traces_.size() == config.cores,
+                "one trace per core required");
+    std::vector<WarmLine> footprint;
+    for (unsigned t = 0; t < config_.cores; ++t) {
+        cores_.push_back(std::make_unique<Core>(t, config_.cpu,
+                                                *traces_[t], memory_));
+        traces_[t]->warmupFootprint(
+            config_.cpu.l2.sizeBytes / config_.cpu.l2.lineBytes,
+            footprint);
+        cores_.back()->prewarmCaches(footprint);
+    }
+    memory_.setStallCounters(&stallSnapshot_);
+    memory_.setReadCallback([this](const Request &req) {
+        cores_[req.thread]->onReadComplete(req.addr, cpuNow_);
+    });
+}
+
+void
+CmpSystem::snapshotThread(unsigned t, Cycles now)
+{
+    WarmSnapshot &w = warm_[t];
+    const Core &core = *cores_[t];
+    w.taken = true;
+    w.instructions = core.instructionsCommitted();
+    w.cycle = now;
+    w.memStall = core.memStallCycles();
+    w.l2Misses = core.l2Misses();
+    w.memStats = memory_.threadStats(t);
+}
+
+void
+CmpSystem::freezeThread(unsigned t, Cycles now, SimResult &result)
+{
+    const WarmSnapshot &w = warm_[t];
+    ThreadResult &r = result.threads[t];
+    const Core &core = *cores_[t];
+    r.instructions = core.instructionsCommitted() - w.instructions;
+    r.cycles = now + 1 - w.cycle;
+    r.memStallCycles = core.memStallCycles() - w.memStall;
+    r.l2Misses = core.l2Misses() - w.l2Misses;
+    const ControllerThreadStats stats = memory_.threadStats(t);
+    r.dramReads = stats.readsServiced - w.memStats.readsServiced;
+    r.dramWrites = stats.writesServiced - w.memStats.writesServiced;
+    r.rowHits = stats.rowHits - w.memStats.rowHits;
+    r.rowClosed = stats.rowClosed - w.memStats.rowClosed;
+    r.rowConflicts = stats.rowConflicts - w.memStats.rowConflicts;
+    const LatencyHistogram latency = memory_.readLatency(t);
+    r.readLatencyMean = latency.mean();
+    r.readLatencyP50 = latency.quantile(0.5);
+    r.readLatencyP99 = latency.quantile(0.99);
+    r.readLatencyMax = latency.max();
+    frozen_[t] = true;
+}
+
+SimResult
+CmpSystem::run()
+{
+    SimResult result;
+    result.threads.resize(config_.cores);
+
+    unsigned active = config_.cores;
+    const Cycles cpu_per_dram = config_.memory.cpuPerDram;
+
+    for (cpuNow_ = 0; active > 0 && cpuNow_ < config_.maxCycles;
+         ++cpuNow_) {
+        for (auto &core : cores_)
+            core->tick(cpuNow_);
+
+        if (cpuNow_ % cpu_per_dram == 0) {
+            for (unsigned t = 0; t < config_.cores; ++t)
+                stallSnapshot_[t] = cores_[t]->memStallCycles();
+        }
+        memory_.tick(cpuNow_);
+
+        for (unsigned t = 0; t < config_.cores; ++t) {
+            if (frozen_[t])
+                continue;
+            const std::uint64_t done =
+                cores_[t]->instructionsCommitted();
+            if (!warm_[t].taken &&
+                done >= config_.warmupInstructions) {
+                snapshotThread(t, cpuNow_);
+            }
+            if (warm_[t].taken &&
+                done >= config_.warmupInstructions +
+                            config_.instructionBudget) {
+                freezeThread(t, cpuNow_, result);
+                --active;
+            }
+        }
+    }
+
+    // Anything still unfrozen hit the cycle limit.
+    for (unsigned t = 0; t < config_.cores; ++t) {
+        if (!frozen_[t]) {
+            freezeThread(t, cpuNow_, result);
+            result.hitCycleLimit = true;
+        }
+    }
+    result.totalCycles = cpuNow_;
+    return result;
+}
+
+} // namespace stfm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The CMP system: N trace-driven cores sharing one multi-channel DRAM
+ * memory system through the scheduling policy under test.
+ *
+ * Following the paper's methodology (Section 6), each thread runs a
+ * fixed instruction budget; its statistics freeze the cycle it commits
+ * the budget, but the thread keeps executing so that the remaining
+ * threads continue to see its interference. The run ends when every
+ * thread's stats are frozen.
+ */
+
+#ifndef STFM_SIM_SYSTEM_HH
+#define STFM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "mem/memory_system.hh"
+#include "sim/config.hh"
+#include "sim/results.hh"
+#include "trace/trace.hh"
+
+namespace stfm
+{
+
+class CmpSystem
+{
+  public:
+    /**
+     * @param config System configuration; `config.cores` must equal
+     *               `traces.size()`.
+     * @param traces One instruction stream per core.
+     */
+    CmpSystem(const SimConfig &config,
+              std::vector<std::unique_ptr<TraceSource>> traces);
+
+    /** Run to completion (all budgets met or the cycle limit). */
+    SimResult run();
+
+    MemorySystem &memory() { return memory_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    /** Counter snapshot taken when a thread finishes its warmup. */
+    struct WarmSnapshot
+    {
+        bool taken = false;
+        std::uint64_t instructions = 0;
+        Cycles cycle = 0;
+        Cycles memStall = 0;
+        std::uint64_t l2Misses = 0;
+        ControllerThreadStats memStats;
+    };
+
+    void snapshotThread(unsigned t, Cycles now);
+    void freezeThread(unsigned t, Cycles now, SimResult &result);
+
+    SimConfig config_;
+    std::vector<std::unique_ptr<TraceSource>> traces_;
+    MemorySystem memory_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Cycles> stallSnapshot_;
+    std::vector<bool> frozen_;
+    std::vector<WarmSnapshot> warm_;
+    Cycles cpuNow_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_SIM_SYSTEM_HH

@@ -1,0 +1,61 @@
+#include "stats/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+MetricsReport
+computeMetrics(const SimResult &shared,
+               const std::vector<ThreadResult> &alone)
+{
+    STFM_ASSERT(shared.threads.size() == alone.size(),
+                "alone baselines must align with shared threads");
+    MetricsReport report;
+    const std::size_t n = shared.threads.size();
+    report.slowdowns.resize(n);
+    report.relIpc.resize(n);
+
+    double inv_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const ThreadResult &s = shared.threads[i];
+        const ThreadResult &a = alone[i];
+
+        // Guard against near-zero alone MCPI (compute-bound threads):
+        // floor the baseline at a tenth of a stall cycle per kilo-instr.
+        const double mcpi_alone = std::max(a.mcpi(), 1e-4);
+        const double mcpi_shared = std::max(s.mcpi(), 1e-4);
+        report.slowdowns[i] = mcpi_shared / mcpi_alone;
+
+        const double ipc_alone = std::max(a.ipc(), 1e-9);
+        const double rel = s.ipc() / ipc_alone;
+        report.relIpc[i] = rel;
+        report.weightedSpeedup += rel;
+        inv_sum += 1.0 / std::max(rel, 1e-9);
+        report.sumOfIpcs += s.ipc();
+    }
+
+    const auto [min_it, max_it] = std::minmax_element(
+        report.slowdowns.begin(), report.slowdowns.end());
+    report.unfairness =
+        (*min_it > 0.0) ? (*max_it / *min_it) : kSlowdownInfinity;
+    report.hmeanSpeedup = static_cast<double>(n) / inv_sum;
+    return report;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    STFM_ASSERT(!values.empty(), "geometric mean of an empty set");
+    double log_sum = 0.0;
+    for (const double v : values) {
+        STFM_ASSERT(v > 0.0, "geometric mean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace stfm

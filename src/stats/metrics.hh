@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fairness and throughput metrics (Section 6.2 of the paper).
+ *
+ *   MemSlowdown_i = MCPI_i^shared / MCPI_i^alone
+ *   Unfairness    = max_i MemSlowdown_i / min_i MemSlowdown_i
+ *   Weighted Speedup = sum_i IPC_i^shared / IPC_i^alone
+ *   Hmean Speedup    = N / sum_i 1 / (IPC_i^shared / IPC_i^alone)
+ *   Sum of IPCs      = sum_i IPC_i^shared   (report with caution;
+ *                      the paper only uses it for insight)
+ *
+ * The alone baseline is always measured with FR-FCFS in the same
+ * memory system, regardless of the scheduler under test.
+ */
+
+#ifndef STFM_STATS_METRICS_HH
+#define STFM_STATS_METRICS_HH
+
+#include <vector>
+
+#include "sim/results.hh"
+
+namespace stfm
+{
+
+/** Sentinel for "perfectly unfair" (a starved thread). */
+inline constexpr double kSlowdownInfinity = 1e9;
+
+/** All Section 6.2 metrics for one workload run. */
+struct MetricsReport
+{
+    std::vector<double> slowdowns; ///< MemSlowdown per thread.
+    std::vector<double> relIpc;    ///< IPC_shared / IPC_alone per thread.
+    double unfairness = 1.0;
+    double weightedSpeedup = 0.0;
+    double hmeanSpeedup = 0.0;
+    double sumOfIpcs = 0.0;
+};
+
+/**
+ * Compute the metrics of @p shared against per-thread @p alone
+ * baselines (index-aligned with the shared threads).
+ */
+MetricsReport computeMetrics(const SimResult &shared,
+                             const std::vector<ThreadResult> &alone);
+
+/** Geometric mean of @p values (values must be positive). */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace stfm
+
+#endif // STFM_STATS_METRICS_HH

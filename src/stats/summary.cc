@@ -1,0 +1,25 @@
+#include "stats/summary.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+void
+GeoMean::add(double value)
+{
+    STFM_ASSERT(value > 0.0, "geometric mean needs positive values");
+    logSum_ += std::log(value);
+    ++count_;
+}
+
+double
+GeoMean::value() const
+{
+    STFM_ASSERT(count_ > 0, "geometric mean of an empty set");
+    return std::exp(logSum_ / static_cast<double>(count_));
+}
+
+} // namespace stfm

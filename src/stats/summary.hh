@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Accumulators for averaging metrics over workload sweeps (the GMEAN
+ * columns of Figures 9, 11 and 12 and Table 5).
+ */
+
+#ifndef STFM_STATS_SUMMARY_HH
+#define STFM_STATS_SUMMARY_HH
+
+#include <vector>
+
+#include "stats/metrics.hh"
+
+namespace stfm
+{
+
+/** Streaming geometric-mean accumulator. */
+class GeoMean
+{
+  public:
+    void add(double value);
+    double value() const;
+    std::size_t count() const { return count_; }
+
+  private:
+    double logSum_ = 0.0;
+    std::size_t count_ = 0;
+};
+
+/** Per-policy aggregate over a workload sweep. */
+struct SweepSummary
+{
+    GeoMean unfairness;
+    GeoMean weightedSpeedup;
+    GeoMean hmeanSpeedup;
+    GeoMean sumOfIpcs;
+
+    void
+    add(const MetricsReport &report)
+    {
+        unfairness.add(report.unfairness);
+        weightedSpeedup.add(report.weightedSpeedup);
+        hmeanSpeedup.add(report.hmeanSpeedup);
+        sumOfIpcs.add(report.sumOfIpcs);
+    }
+};
+
+} // namespace stfm
+
+#endif // STFM_STATS_SUMMARY_HH

@@ -1,0 +1,282 @@
+#include "trace/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(
+    const TraceProfile &profile, const AddressMapping &mapping,
+    ThreadId thread, unsigned num_threads, std::uint64_t seed)
+    : profile_(profile), mapping_(mapping), thread_(thread),
+      rng_(combineSeeds(seed, thread))
+{
+    STFM_ASSERT(profile.mpki > 0.0, "profile needs a positive MPKI");
+    STFM_ASSERT(num_threads > 0, "need at least one thread");
+
+    // Private row region: threads share banks but not rows.
+    regionRows_ = std::max<std::uint64_t>(
+        mapping_.rowsPerBank() / num_threads, 64);
+    regionBase_ = static_cast<RowId>(
+        (static_cast<std::uint64_t>(thread) * regionRows_) %
+        mapping_.rowsPerBank());
+
+    // Choose the bank subset. The subset is a property of the
+    // *benchmark* (same seed -> same banks), not of the core it runs on.
+    const unsigned total_banks =
+        mapping_.channels() * mapping_.banksPerChannel();
+    const unsigned spread =
+        (profile.bankSpread == 0 || profile.bankSpread > total_banks)
+            ? total_banks
+            : profile.bankSpread;
+    std::vector<unsigned> all(total_banks);
+    std::iota(all.begin(), all.end(), 0u);
+    Rng bank_rng(seed); // Thread-independent.
+    for (unsigned i = 0; i < spread; ++i) {
+        const unsigned j =
+            i + static_cast<unsigned>(bank_rng.nextBelow(total_banks - i));
+        std::swap(all[i], all[j]);
+    }
+    bankSet_.assign(all.begin(), all.begin() + spread);
+
+    // One stream per bank at most: two streams of the same thread
+    // alternating in one bank would destroy the thread's own alone-mode
+    // row locality.
+    const unsigned streams =
+        std::max(1u, std::min(profile.streamCount, spread));
+    streams_.resize(streams);
+    const std::uint64_t rows_per_stream =
+        std::max<std::uint64_t>(regionRows_ / streams, 8);
+    for (unsigned s = 0; s < streams; ++s) {
+        streams_[s].globalBank = bankSet_[s % bankSet_.size()];
+        streams_[s].rowCursor =
+            s * rows_per_stream + rng_.nextBelow(rows_per_stream);
+        streams_[s].remainingInRun = 0;
+    }
+
+    // Burst arithmetic: T instructions contain burstLength misses;
+    // the active part of the cycle occupies duty * T of them.
+    const double total_instr =
+        profile.burstLength * 1000.0 / profile.mpki;
+    const double duty = std::clamp(profile.burstDuty, 0.05, 1.0);
+    gapInstr_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::llround(total_instr * duty / profile.burstLength)));
+    const std::uint64_t active = gapInstr_ * profile.burstLength;
+    idleInstr_ = total_instr > static_cast<double>(active)
+                     ? static_cast<std::uint64_t>(total_instr) - active
+                     : 0;
+
+    // Hot set for cache-hitting background loads: one reserved row per
+    // thread, never touched by the miss streams. Kept tiny (8 lines) so
+    // every line is re-touched frequently enough to stay LRU-resident in
+    // the caches — a larger set gets evicted by the miss streams' fills
+    // and its DRAM re-fetches would shred the streams' row locality.
+    const RowId hot_row =
+        static_cast<RowId>(regionBase_ + regionRows_ - 1);
+    for (unsigned i = 0; i < 8; ++i) {
+        AddrDecode coords;
+        coords.channel = 0;
+        coords.bank = static_cast<BankId>(
+            bankSet_[0] % mapping_.banksPerChannel());
+        coords.row = hot_row;
+        coords.column = static_cast<ColumnId>(
+            i % mapping_.linesPerRow());
+        hotSet_.push_back(mapping_.compose(coords));
+    }
+
+    missesLeftInBurst_ = profile.burstLength;
+    inBurst_ = true;
+}
+
+RowId
+SyntheticTraceGenerator::regionRow(std::uint64_t cursor) const
+{
+    return static_cast<RowId>(regionBase_ + (cursor % (regionRows_ - 1)));
+}
+
+void
+SyntheticTraceGenerator::advanceStream(Stream &stream)
+{
+    stream.row = regionRow(stream.rowCursor++);
+    stream.column = static_cast<ColumnId>(
+        rng_.nextBelow(mapping_.linesPerRow()));
+
+    // Sample the run length so the mean matches 1 / (1 - hit_rate).
+    // For high-locality profiles the run length is stretched to
+    // compensate for writeback-drain self-interference: every drained
+    // writeback closes rows the read streams have open, converting
+    // about 0.6 read hits per write into conflicts. The paper's
+    // row-buffer hit rates are properties of the application's access
+    // stream, so the compensation keeps the *measured* alone-run rate
+    // on target (see DESIGN.md, substitutions).
+    const double h = std::clamp(profile_.rowBufferHitRate, 0.0, 0.995);
+    // Streaming stores are row-local and cause no drain damage, so no
+    // compensation is needed for them.
+    double conflict = 1.0 - h;
+    if (h >= 0.2 && !profile_.streamingStores) {
+        conflict =
+            std::max(0.005, conflict - 0.7 * profile_.storeFraction);
+    }
+    const double target = 1.0 / conflict;
+    const auto lo = static_cast<unsigned>(target);
+    const double frac = target - lo;
+    stream.remainingInRun = lo + (rng_.nextBool(frac) ? 1u : 0u);
+    stream.remainingInRun = std::max(1u, stream.remainingInRun);
+}
+
+Addr
+SyntheticTraceGenerator::nextMissAddress()
+{
+    Stream &stream = streams_[nextStream_];
+    nextStream_ = (nextStream_ + 1) % static_cast<unsigned>(
+                                          streams_.size());
+    if (stream.remainingInRun == 0)
+        advanceStream(stream);
+    --stream.remainingInRun;
+
+    AddrDecode coords;
+    coords.channel = static_cast<ChannelId>(stream.globalBank /
+                                            mapping_.banksPerChannel());
+    coords.bank = static_cast<BankId>(stream.globalBank %
+                                      mapping_.banksPerChannel());
+    coords.row = stream.row;
+    coords.column = stream.column;
+    stream.column = static_cast<ColumnId>(
+        (stream.column + 1) % mapping_.linesPerRow());
+    return mapping_.compose(coords);
+}
+
+void
+SyntheticTraceGenerator::warmupFootprint(std::size_t lines,
+                                         std::vector<WarmLine> &out)
+{
+    out.clear();
+    out.reserve(lines);
+    Rng rng(combineSeeds(0x77a7, thread_));
+    const std::uint64_t span = regionRows_ - 1;
+    const std::uint64_t lines_per_row = mapping_.linesPerRow();
+
+    // Lay the footprint out the way the workload itself would have:
+    // whole rows of consecutive lines per stream, oldest rows first.
+    // Eviction order then mirrors fill order, so the resulting
+    // writeback stream has the same row locality as real streaming
+    // history (a random layout here would turn every write drain into
+    // a row-conflict storm and wreck the read streams' locality).
+    const std::uint64_t rows_needed =
+        (lines + streams_.size() * lines_per_row - 1) /
+        (streams_.size() * lines_per_row);
+    for (std::uint64_t back = rows_needed; back >= 1; --back) {
+        for (const Stream &stream : streams_) {
+            const RowId row = static_cast<RowId>(
+                regionBase_ +
+                (stream.rowCursor + span * 16 - back) % span);
+            AddrDecode coords;
+            coords.channel = static_cast<ChannelId>(
+                stream.globalBank / mapping_.banksPerChannel());
+            coords.bank = static_cast<BankId>(
+                stream.globalBank % mapping_.banksPerChannel());
+            coords.row = row;
+            for (std::uint64_t col = 0; col < lines_per_row; ++col) {
+                if (out.size() >= lines)
+                    return;
+                coords.column = static_cast<ColumnId>(col);
+                out.push_back(
+                    {mapping_.compose(coords),
+                     rng.nextBool(profile_.storeFraction)});
+            }
+        }
+    }
+}
+
+Addr
+SyntheticTraceGenerator::nextHitAddress()
+{
+    const Addr addr = hotSet_[hotCursor_];
+    hotCursor_ = (hotCursor_ + 1) % hotSet_.size();
+    return addr;
+}
+
+TraceOp
+SyntheticTraceGenerator::next()
+{
+    if (havePendingStore_) {
+        havePendingStore_ = false;
+        TraceOp op;
+        op.kind = TraceOp::Kind::Store;
+        op.nonTemporal = true;
+        op.aluBefore = 1;
+        op.addr = pendingStoreAddr_;
+        return op;
+    }
+    if (!inBurst_) {
+        // Idle / compute phase between bursts.
+        inBurst_ = true;
+        missesLeftInBurst_ = std::max(1u, profile_.burstLength);
+        TraceOp op;
+        op.kind = TraceOp::Kind::None;
+        op.aluBefore = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(idleInstr_, 0xffffffffULL));
+        return op;
+    }
+
+    // Cache-hitting background loads queued by the previous miss slot;
+    // they share that slot's instruction budget.
+    if (pendingHits_ > 0) {
+        --pendingHits_;
+        TraceOp op;
+        op.kind = TraceOp::Kind::Load;
+        op.aluBefore = hitGap_;
+        op.addr = nextHitAddress();
+        return op;
+    }
+
+    std::uint32_t gap = static_cast<std::uint32_t>(gapInstr_);
+
+    // Decide how many hit accesses accompany this miss. The carry keeps
+    // the long-run ratio at hitAccessesPer1k regardless of MPKI.
+    hitCarry_ += profile_.hitAccessesPer1k / profile_.mpki;
+    const unsigned hits =
+        static_cast<unsigned>(std::min(hitCarry_, 8.0));
+    hitCarry_ -= hits;
+    hitCarry_ = std::min(hitCarry_, 8.0);
+    pendingHits_ = hits;
+    if (hits > 0) {
+        const std::uint32_t hit_share = gap / 2;
+        hitGap_ = std::max(1u, hit_share / hits);
+        gap -= std::min(gap, hitGap_ * hits);
+    }
+
+    TraceOp op;
+    op.aluBefore = gap;
+    op.addr = nextMissAddress();
+    if (profile_.streamingStores) {
+        // Read-modify-write streaming: every miss is a load; a
+        // non-temporal store to the same line follows with probability
+        // storeFraction, landing in the row the load just opened.
+        op.kind = TraceOp::Kind::Load;
+        op.dependsOnPrev = rng_.nextBool(profile_.dependentFraction);
+        if (rng_.nextBool(profile_.storeFraction)) {
+            pendingStoreAddr_ = op.addr;
+            havePendingStore_ = true;
+        }
+    } else {
+        const bool is_store = rng_.nextBool(profile_.storeFraction);
+        op.kind = is_store ? TraceOp::Kind::Store : TraceOp::Kind::Load;
+        op.dependsOnPrev =
+            !is_store && rng_.nextBool(profile_.dependentFraction);
+    }
+    if (--missesLeftInBurst_ == 0) {
+        if (idleInstr_ > 0)
+            inBurst_ = false;
+        else
+            missesLeftInBurst_ = std::max(1u, profile_.burstLength);
+    }
+    return op;
+}
+
+} // namespace stfm

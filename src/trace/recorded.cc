@@ -1,0 +1,96 @@
+#include "trace/recorded.hh"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+TraceRecorder::TraceRecorder(TraceSource &inner, std::ostream &out)
+    : inner_(inner), out_(out)
+{}
+
+std::string
+TraceRecorder::formatOp(const TraceOp &op)
+{
+    char kind = 'N';
+    if (op.kind == TraceOp::Kind::Load)
+        kind = 'L';
+    else if (op.kind == TraceOp::Kind::Store)
+        kind = 'S';
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%u %c %d %d %llx", op.aluBefore, kind,
+                  op.dependsOnPrev ? 1 : 0, op.nonTemporal ? 1 : 0,
+                  static_cast<unsigned long long>(op.addr));
+    return buf;
+}
+
+TraceOp
+TraceRecorder::next()
+{
+    const TraceOp op = inner_.next();
+    out_ << formatOp(op) << '\n';
+    ++recorded_;
+    return op;
+}
+
+bool
+RecordedTrace::parseLine(const std::string &line, TraceOp &op)
+{
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+        ++i;
+    if (i >= line.size() || line[i] == '#')
+        return false;
+
+    unsigned alu = 0;
+    char kind = 0;
+    int dep = 0, nt = 0;
+    unsigned long long addr = 0;
+    if (std::sscanf(line.c_str() + i, "%u %c %d %d %llx", &alu, &kind,
+                    &dep, &nt, &addr) != 5) {
+        STFM_FATAL("malformed trace line");
+    }
+    op = TraceOp{};
+    op.aluBefore = alu;
+    op.dependsOnPrev = dep != 0;
+    op.nonTemporal = nt != 0;
+    op.addr = static_cast<Addr>(addr);
+    switch (kind) {
+      case 'N': op.kind = TraceOp::Kind::None; break;
+      case 'L': op.kind = TraceOp::Kind::Load; break;
+      case 'S': op.kind = TraceOp::Kind::Store; break;
+      default: STFM_FATAL("unknown trace op kind");
+    }
+    return true;
+}
+
+RecordedTrace::RecordedTrace(std::istream &in)
+{
+    std::string line;
+    TraceOp op;
+    while (std::getline(in, line)) {
+        if (parseLine(line, op))
+            ops_.push_back(op);
+    }
+    STFM_ASSERT(!ops_.empty(), "recorded trace is empty");
+}
+
+RecordedTrace::RecordedTrace(std::vector<TraceOp> ops)
+    : ops_(std::move(ops))
+{
+    STFM_ASSERT(!ops_.empty(), "recorded trace is empty");
+}
+
+TraceOp
+RecordedTrace::next()
+{
+    const TraceOp op = ops_[cursor_];
+    cursor_ = (cursor_ + 1) % ops_.size();
+    return op;
+}
+
+} // namespace stfm

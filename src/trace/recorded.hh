@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * `TraceRecorder` tees any TraceSource to a portable text format (one
+ * op per line); `RecordedTrace` replays such a file, looping forever
+ * (traces are infinite streams by contract). This enables
+ * reproducible experiment sharing without shipping the generator
+ * configuration, and lets externally produced traces (e.g. converted
+ * Pin/DynamoRIO output) drive the simulator.
+ *
+ * Format: one op per line,
+ *
+ *   <aluBefore> <kind:N|L|S> <dependsOnPrev:0|1> <nonTemporal:0|1> <addr-hex>
+ *
+ * Lines starting with '#' are comments.
+ */
+
+#ifndef STFM_TRACE_RECORDED_HH
+#define STFM_TRACE_RECORDED_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace stfm
+{
+
+/** Pass-through TraceSource that writes every op to a stream. */
+class TraceRecorder : public TraceSource
+{
+  public:
+    /**
+     * @param inner Source being recorded (not owned).
+     * @param out   Destination stream (not owned; must outlive this).
+     */
+    TraceRecorder(TraceSource &inner, std::ostream &out);
+
+    TraceOp next() override;
+
+    /** Ops recorded so far. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Serialize one op into the line format. */
+    static std::string formatOp(const TraceOp &op);
+
+  private:
+    TraceSource &inner_;
+    std::ostream &out_;
+    std::uint64_t recorded_ = 0;
+};
+
+/** Replays a recorded trace, looping when it reaches the end. */
+class RecordedTrace : public TraceSource
+{
+  public:
+    /** Parse from a stream; throws via fatal() on malformed input. */
+    explicit RecordedTrace(std::istream &in);
+    /** Construct directly from ops (for tests / programmatic use). */
+    explicit RecordedTrace(std::vector<TraceOp> ops);
+
+    TraceOp next() override;
+
+    std::size_t size() const { return ops_.size(); }
+
+    /** Parse a single line; returns false for blank/comment lines. */
+    static bool parseLine(const std::string &line, TraceOp &op);
+
+  private:
+    std::vector<TraceOp> ops_;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_TRACE_RECORDED_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The instruction-trace abstraction feeding each core.
+ *
+ * A trace is an infinite stream of TraceOps. Each op contributes
+ * `aluBefore` plain single-cycle instructions followed (for Load/Store
+ * kinds) by one memory instruction. Kind::None ops model pure-compute /
+ * idle phases (the bursty behavior behind NFQ's idleness problem).
+ *
+ * `dependsOnPrev` marks a load whose address depends on the previous
+ * load (pointer chasing); the core may not issue it until that load
+ * completes, which destroys memory-level parallelism exactly the way
+ * low-MLP applications like omnetpp do.
+ */
+
+#ifndef STFM_TRACE_TRACE_HH
+#define STFM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+struct TraceOp
+{
+    enum class Kind : std::uint8_t
+    {
+        None,  ///< aluBefore plain instructions, no memory access.
+        Load,  ///< ... followed by a load from `addr`.
+        Store, ///< ... followed by a store to `addr`.
+    };
+
+    std::uint32_t aluBefore = 0;
+    Kind kind = Kind::None;
+    bool dependsOnPrev = false;
+    /**
+     * Non-temporal (streaming) store: bypasses the caches and goes
+     * straight to the DRAM write queue, hitting the row its companion
+     * load just opened. Streaming workloads (libquantum, lbm, ...)
+     * write this way; their store traffic reinforces their row-buffer
+     * locality instead of scattering it through eviction writebacks.
+     */
+    bool nonTemporal = false;
+    Addr addr = 0;
+};
+
+/** A line to pre-install during cache warmup. */
+struct WarmLine
+{
+    Addr addr = 0;
+    bool dirty = false;
+};
+
+/** Infinite instruction stream. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    virtual TraceOp next() = 0;
+
+    /**
+     * Produce up to @p lines cache lines representing the working set
+     * the workload touched *before* the simulated window, used to
+     * pre-warm the L2 so capacity evictions (and thus writeback
+     * traffic) are in steady state from the first measured cycle.
+     * Default: no footprint (cold caches).
+     */
+    virtual void
+    warmupFootprint(std::size_t lines, std::vector<WarmLine> &out)
+    {
+        (void)lines;
+        out.clear();
+    }
+};
+
+} // namespace stfm
+
+#endif // STFM_TRACE_TRACE_HH

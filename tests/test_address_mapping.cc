@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit and property tests for the address mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/address_mapping.hh"
+
+namespace stfm
+{
+namespace
+{
+
+AddressMapping
+baselineMapping(bool xor_banks = true, unsigned channels = 1,
+                unsigned banks = 8)
+{
+    return AddressMapping(channels, banks, 16 * 1024, 64, 16 * 1024,
+                          xor_banks);
+}
+
+TEST(AddressMapping, GeometryDerivation)
+{
+    const AddressMapping m = baselineMapping();
+    EXPECT_EQ(m.linesPerRow(), 256u);
+    EXPECT_EQ(m.capacityBytes(), 8ULL * 16384 * 16384);
+}
+
+TEST(AddressMapping, ConsecutiveLinesShareARow)
+{
+    const AddressMapping m = baselineMapping();
+    const AddrDecode first = m.decode(0);
+    const AddrDecode second = m.decode(64);
+    EXPECT_EQ(first.row, second.row);
+    EXPECT_EQ(first.bank, second.bank);
+    EXPECT_EQ(first.column + 1, second.column);
+}
+
+TEST(AddressMapping, RowStrideChangesBankUnderXor)
+{
+    // With the XOR scheme, adjacent rows of the "same" bank bits land in
+    // different physical banks, spreading row-conflicting strides.
+    const AddressMapping m = baselineMapping(true);
+    const Addr row_stride = 16 * 1024 * 8; // rowBytes * banks
+    const AddrDecode a = m.decode(0);
+    const AddrDecode b = m.decode(row_stride);
+    EXPECT_NE(a.row, b.row);
+    EXPECT_NE(a.bank, b.bank);
+}
+
+TEST(AddressMapping, LinearMappingKeepsBankOnRowStride)
+{
+    const AddressMapping m = baselineMapping(false);
+    const Addr row_stride = 16 * 1024 * 8;
+    EXPECT_EQ(m.decode(0).bank, m.decode(row_stride).bank);
+}
+
+class MappingRoundTrip
+    : public ::testing::TestWithParam<std::tuple<bool, unsigned, unsigned>>
+{};
+
+TEST_P(MappingRoundTrip, ComposeInvertsDecode)
+{
+    const auto [xor_banks, channels, banks] = GetParam();
+    const AddressMapping m = baselineMapping(xor_banks, channels, banks);
+    Rng rng(123);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr =
+            (rng.next() % m.capacityBytes()) & ~Addr{63}; // line aligned
+        const AddrDecode coords = m.decode(addr);
+        EXPECT_EQ(m.compose(coords), addr);
+    }
+}
+
+TEST_P(MappingRoundTrip, DecodeInvertsCompose)
+{
+    const auto [xor_banks, channels, banks] = GetParam();
+    const AddressMapping m = baselineMapping(xor_banks, channels, banks);
+    Rng rng(321);
+    for (int i = 0; i < 2000; ++i) {
+        AddrDecode coords;
+        coords.channel = static_cast<ChannelId>(rng.nextBelow(channels));
+        coords.bank = static_cast<BankId>(rng.nextBelow(banks));
+        coords.row = static_cast<RowId>(rng.nextBelow(m.rowsPerBank()));
+        coords.column =
+            static_cast<ColumnId>(rng.nextBelow(m.linesPerRow()));
+        EXPECT_EQ(m.decode(m.compose(coords)), coords);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MappingRoundTrip,
+    ::testing::Values(std::tuple{true, 1u, 8u}, std::tuple{false, 1u, 8u},
+                      std::tuple{true, 2u, 8u}, std::tuple{true, 4u, 8u},
+                      std::tuple{true, 1u, 4u}, std::tuple{true, 1u, 16u},
+                      std::tuple{false, 4u, 16u}));
+
+TEST(AddressMapping, ChannelInterleavingIsLineGranular)
+{
+    const AddressMapping m = baselineMapping(true, 4);
+    EXPECT_EQ(m.decode(0).channel, 0u);
+    EXPECT_EQ(m.decode(64).channel, 1u);
+    EXPECT_EQ(m.decode(128).channel, 2u);
+    EXPECT_EQ(m.decode(192).channel, 3u);
+    EXPECT_EQ(m.decode(256).channel, 0u);
+}
+
+TEST(AddressMapping, RowBufferSizeSweepChangesColumns)
+{
+    const AddressMapping small(1, 8, 8 * 1024, 64, 16 * 1024, true);
+    const AddressMapping large(1, 8, 32 * 1024, 64, 16 * 1024, true);
+    EXPECT_EQ(small.linesPerRow(), 128u);
+    EXPECT_EQ(large.linesPerRow(), 512u);
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the per-bank DRAM state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bank.hh"
+
+namespace stfm
+{
+namespace
+{
+
+DramTiming
+timing()
+{
+    return DramTiming{}; // DDR2-800 defaults.
+}
+
+TEST(Bank, StartsClosed)
+{
+    Bank bank;
+    EXPECT_EQ(bank.openRow(), kInvalidRow);
+    EXPECT_EQ(bank.rowState(5), RowBufferState::Closed);
+}
+
+TEST(Bank, ActivateOpensRow)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    ASSERT_TRUE(bank.canIssue(DramCommand::Activate, 7, 0));
+    bank.issue(DramCommand::Activate, 7, 0, t);
+    EXPECT_EQ(bank.openRow(), 7u);
+    EXPECT_EQ(bank.rowState(7), RowBufferState::Hit);
+    EXPECT_EQ(bank.rowState(8), RowBufferState::Conflict);
+}
+
+TEST(Bank, ReadRequiresOpenMatchingRow)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    EXPECT_FALSE(bank.canIssue(DramCommand::Read, 3, 100));
+    bank.issue(DramCommand::Activate, 3, 0, t);
+    EXPECT_FALSE(bank.canIssue(DramCommand::Read, 4, 100));
+    EXPECT_TRUE(bank.canIssue(DramCommand::Read, 3, t.tRCD));
+}
+
+TEST(Bank, TrcdGatesColumnAccess)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 10, t);
+    EXPECT_FALSE(bank.canIssue(DramCommand::Read, 1, 10 + t.tRCD - 1));
+    EXPECT_TRUE(bank.canIssue(DramCommand::Read, 1, 10 + t.tRCD));
+}
+
+TEST(Bank, TrasGatesPrecharge)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 0, t);
+    EXPECT_FALSE(bank.canIssue(DramCommand::Precharge, 0, t.tRAS - 1));
+    EXPECT_TRUE(bank.canIssue(DramCommand::Precharge, 0, t.tRAS));
+}
+
+TEST(Bank, TrpGatesNextActivate)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 0, t);
+    bank.issue(DramCommand::Precharge, 0, t.tRAS, t);
+    EXPECT_EQ(bank.openRow(), kInvalidRow);
+    EXPECT_FALSE(bank.canIssue(DramCommand::Activate, 2,
+                               t.tRAS + t.tRP - 1));
+    EXPECT_TRUE(bank.canIssue(DramCommand::Activate, 2, t.tRAS + t.tRP));
+}
+
+TEST(Bank, TrcGatesActivateToActivate)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 0, t);
+    // Even after an early precharge, tRC separates consecutive ACTs.
+    bank.issue(DramCommand::Precharge, 0, t.tRAS, t);
+    const DramCycles after_pre = t.tRAS + t.tRP;
+    if (after_pre < t.tRC) {
+        EXPECT_FALSE(bank.canIssue(DramCommand::Activate, 2, t.tRC - 1));
+    }
+    EXPECT_TRUE(bank.canIssue(DramCommand::Activate, 2, t.tRC));
+}
+
+TEST(Bank, WriteRecoveryDelaysPrecharge)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 0, t);
+    const DramCycles wr_at = t.tRCD;
+    bank.issue(DramCommand::Write, 1, wr_at, t);
+    const DramCycles pre_ok = wr_at + t.tWL + t.burst + t.tWR;
+    EXPECT_FALSE(bank.canIssue(DramCommand::Precharge, 0, pre_ok - 1));
+    EXPECT_TRUE(bank.canIssue(DramCommand::Precharge, 0, pre_ok));
+}
+
+TEST(Bank, ReadToPrechargeSpacing)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 0, t);
+    const DramCycles rd_at = t.tRCD;
+    bank.issue(DramCommand::Read, 1, rd_at, t);
+    const DramCycles pre_ok =
+        std::max(t.tRAS, rd_at + t.burst + t.tRTP);
+    EXPECT_FALSE(bank.canIssue(DramCommand::Precharge, 0, pre_ok - 1));
+    EXPECT_TRUE(bank.canIssue(DramCommand::Precharge, 0, pre_ok));
+}
+
+TEST(Bank, BackToBackReadsGatedByTccd)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 0, t);
+    bank.issue(DramCommand::Read, 1, t.tRCD, t);
+    EXPECT_FALSE(bank.canIssue(DramCommand::Read, 1, t.tRCD + 1));
+    EXPECT_TRUE(bank.canIssue(DramCommand::Read, 1, t.tRCD + t.tCCD));
+}
+
+TEST(Bank, ActivationsCounted)
+{
+    Bank bank;
+    const DramTiming t = timing();
+    bank.issue(DramCommand::Activate, 1, 0, t);
+    bank.issue(DramCommand::Precharge, 0, t.tRAS, t);
+    bank.issue(DramCommand::Activate, 2, t.tRC, t);
+    EXPECT_EQ(bank.activations(), 2u);
+}
+
+TEST(Bank, PrechargeNeedsOpenRow)
+{
+    Bank bank;
+    EXPECT_FALSE(bank.canIssue(DramCommand::Precharge, 0, 1000));
+}
+
+TEST(Timing, DefaultsAreValidAndMatchDdr2800)
+{
+    const DramTiming t = timing();
+    EXPECT_TRUE(t.valid());
+    // 15 ns at 2.5 ns/cycle.
+    EXPECT_EQ(t.tCL, 6u);
+    EXPECT_EQ(t.tRCD, 6u);
+    EXPECT_EQ(t.tRP, 6u);
+    // BL/2 = 10 ns.
+    EXPECT_EQ(t.burst, 4u);
+    // Uncontended bank latencies behind Table 2's 35/50/70 ns round
+    // trips (which add the 10 ns burst and 10 ns overhead).
+    EXPECT_EQ(t.rowHitLatency(), 6u);
+    EXPECT_EQ(t.rowClosedLatency(), 12u);
+    EXPECT_EQ(t.rowConflictLatency(), 18u);
+}
+
+TEST(Timing, ValidityChecks)
+{
+    DramTiming t = timing();
+    t.tRC = t.tRAS - 1;
+    EXPECT_FALSE(t.valid());
+    t = timing();
+    t.burst = 0;
+    EXPECT_FALSE(t.valid());
+    t = timing();
+    t.tWL = t.tCL + 1;
+    EXPECT_FALSE(t.valid());
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the benchmark catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/catalog.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Catalog, HasAllTable3Benchmarks)
+{
+    EXPECT_EQ(benchmarkCatalog().size(), 26u);
+    EXPECT_EQ(desktopCatalog().size(), 4u);
+}
+
+TEST(Catalog, OrderedByIntensity)
+{
+    const auto &catalog = benchmarkCatalog();
+    for (std::size_t i = 1; i < catalog.size(); ++i) {
+        EXPECT_GE(catalog[i - 1].paperMcpi, catalog[i].paperMcpi)
+            << catalog[i].name;
+    }
+}
+
+TEST(Catalog, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : benchmarkCatalog())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+    for (const auto &p : desktopCatalog())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Catalog, FindBenchmarkCoversBothCatalogs)
+{
+    EXPECT_EQ(findBenchmark("mcf").paperMpki, 101.06);
+    EXPECT_EQ(findBenchmark("matlab").paperMcpi, 11.06);
+}
+
+TEST(Catalog, CategoriesMatchIntensity)
+{
+    for (const auto &p : benchmarkCatalog()) {
+        EXPECT_GE(p.category, 0);
+        EXPECT_LE(p.category, 3);
+        EXPECT_EQ(isIntensive(p), p.category >= 2) << p.name;
+    }
+}
+
+TEST(Catalog, AllCategoriesPopulated)
+{
+    std::set<int> seen;
+    for (const auto &p : benchmarkCatalog())
+        seen.insert(p.category);
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Catalog, PaperHighlights)
+{
+    // Spot checks against Table 3 of the paper.
+    EXPECT_NEAR(findBenchmark("libquantum").paperRowHit, 0.984, 1e-9);
+    EXPECT_NEAR(findBenchmark("GemsFDTD").paperRowHit, 0.002, 1e-9);
+    EXPECT_NEAR(findBenchmark("dealII").paperRowHit, 0.902, 1e-9);
+    // Prose-derived knobs: the two bank-skewed benchmarks.
+    EXPECT_EQ(findBenchmark("dealII").trace.bankSpread, 2u);
+    EXPECT_EQ(findBenchmark("astar").trace.bankSpread, 2u);
+    EXPECT_EQ(findBenchmark("iexplorer").trace.bankSpread, 2u);
+    EXPECT_EQ(findBenchmark("instant-messenger").trace.bankSpread, 3u);
+    // mcf runs continuously; h264ref is bursty.
+    EXPECT_DOUBLE_EQ(findBenchmark("mcf").trace.burstDuty, 1.0);
+    EXPECT_LT(findBenchmark("h264ref").trace.burstDuty, 0.5);
+}
+
+TEST(Catalog, SeedsDeterministicPerName)
+{
+    EXPECT_EQ(benchmarkSeed("mcf"), benchmarkSeed("mcf"));
+    EXPECT_NE(benchmarkSeed("mcf"), benchmarkSeed("lbm"));
+}
+
+TEST(Catalog, MakeBenchmarkTraceProducesWorkingSource)
+{
+    const AddressMapping m(1, 8, 16 * 1024, 64, 16 * 1024, true);
+    const auto trace = makeBenchmarkTrace(findBenchmark("hmmer"), m, 0, 4);
+    ASSERT_NE(trace, nullptr);
+    unsigned mem_ops = 0;
+    for (int i = 0; i < 1000; ++i)
+        mem_ops += trace->next().kind != TraceOp::Kind::None;
+    EXPECT_GT(mem_ops, 0u);
+}
+
+} // namespace
+} // namespace stfm

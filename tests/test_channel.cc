@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for channel-level DRAM constraints (bus contention, tRRD,
+ * tFAW, write-to-read turnaround).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Channel, BankIndependenceForActivates)
+{
+    DramChannel ch(8, DramTiming{});
+    const DramTiming &t = ch.timing();
+    ch.issue(DramCommand::Activate, 0, 1, 0);
+    // Same bank blocked by tRC, different bank only by tRRD.
+    EXPECT_FALSE(ch.canIssue(DramCommand::Activate, 0, 2, t.tRRD));
+    EXPECT_TRUE(ch.canIssue(DramCommand::Activate, 1, 2, t.tRRD));
+    EXPECT_FALSE(ch.canIssue(DramCommand::Activate, 1, 2, t.tRRD - 1));
+}
+
+TEST(Channel, FourActivateWindow)
+{
+    DramChannel ch(8, DramTiming{});
+    const DramTiming &t = ch.timing();
+    DramCycles now = 0;
+    for (BankId b = 0; b < 4; ++b) {
+        ASSERT_TRUE(ch.canIssue(DramCommand::Activate, b, 1, now));
+        ch.issue(DramCommand::Activate, b, 1, now);
+        now += t.tRRD;
+    }
+    // The fifth activate must wait for the oldest to age past tFAW.
+    EXPECT_FALSE(ch.canIssue(DramCommand::Activate, 4, 1, now));
+    EXPECT_TRUE(ch.canIssue(DramCommand::Activate, 4, 1, t.tFAW));
+}
+
+TEST(Channel, DataBusSerializesReads)
+{
+    DramChannel ch(8, DramTiming{});
+    const DramTiming &t = ch.timing();
+    ch.issue(DramCommand::Activate, 0, 1, 0);
+    ch.issue(DramCommand::Activate, 1, 1, t.tRRD);
+    const DramCycles rd_at = t.tRCD;
+    const DramCycles data_end = ch.issue(DramCommand::Read, 0, 1, rd_at);
+    EXPECT_EQ(data_end, rd_at + t.tCL + t.burst);
+    // A read in another bank cannot overlap its burst with the first.
+    EXPECT_FALSE(ch.canIssue(DramCommand::Read, 1, 1, rd_at + 1));
+    const DramCycles next_rd = data_end - t.tCL;
+    EXPECT_TRUE(ch.canIssue(DramCommand::Read, 1, 1, next_rd));
+}
+
+TEST(Channel, WriteToReadTurnaround)
+{
+    DramChannel ch(8, DramTiming{});
+    const DramTiming &t = ch.timing();
+    ch.issue(DramCommand::Activate, 0, 1, 0);
+    ch.issue(DramCommand::Activate, 1, 1, t.tRRD);
+    const DramCycles wr_at = t.tRCD;
+    const DramCycles data_end = ch.issue(DramCommand::Write, 0, 1, wr_at);
+    EXPECT_EQ(data_end, wr_at + t.tWL + t.burst);
+    // Reads anywhere on the channel wait tWTR past the write data.
+    EXPECT_FALSE(ch.canIssue(DramCommand::Read, 1, 1, data_end));
+    EXPECT_TRUE(
+        ch.canIssue(DramCommand::Read, 1, 1, data_end + t.tWTR));
+}
+
+TEST(Channel, RowStateDelegatesToBank)
+{
+    DramChannel ch(4, DramTiming{});
+    EXPECT_EQ(ch.rowState(2, 9), RowBufferState::Closed);
+    ch.issue(DramCommand::Activate, 2, 9, 0);
+    EXPECT_EQ(ch.rowState(2, 9), RowBufferState::Hit);
+    EXPECT_EQ(ch.rowState(2, 10), RowBufferState::Conflict);
+    EXPECT_EQ(ch.rowState(3, 9), RowBufferState::Closed);
+}
+
+TEST(Channel, StatsAccumulate)
+{
+    DramChannel ch(8, DramTiming{});
+    const DramTiming &t = ch.timing();
+    ch.issue(DramCommand::Activate, 0, 1, 0);
+    ch.issue(DramCommand::Read, 0, 1, t.tRCD);
+    ch.issue(DramCommand::Precharge, 0, 1,
+             std::max(t.tRAS, t.tRCD + t.burst + t.tRTP));
+    EXPECT_EQ(ch.stats().activates, 1u);
+    EXPECT_EQ(ch.stats().reads, 1u);
+    EXPECT_EQ(ch.stats().precharges, 1u);
+    EXPECT_EQ(ch.stats().dataBusBusyCycles, t.burst);
+}
+
+TEST(Channel, UncontendedLatenciesMatchTable2)
+{
+    // Row hit: tCL + burst = 10 cycles = 25 ns; with the 10 ns fixed
+    // overhead modeled at the core this is the paper's 35 ns.
+    DramChannel ch(8, DramTiming{});
+    const DramTiming &t = ch.timing();
+    ch.issue(DramCommand::Activate, 0, 5, 0);
+    const DramCycles hit_end =
+        ch.issue(DramCommand::Read, 0, 5, t.tRCD) - t.tRCD;
+    EXPECT_EQ(hit_end, t.tCL + t.burst); // 10 DRAM cycles = 25 ns.
+
+    // Closed: tRCD + tCL + burst = 40 ns total with overhead = 50 ns.
+    EXPECT_EQ(t.tRCD + t.tCL + t.burst, 16u);
+    // Conflict: tRP + tRCD + tCL + burst = 60 ns + overhead = 70 ns.
+    EXPECT_EQ(t.tRP + t.tRCD + t.tCL + t.burst, 22u);
+}
+
+} // namespace
+} // namespace stfm

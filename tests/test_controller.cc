@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Integration tests for the memory controller: request flow, FR-FCFS
+ * ordering, row protection, write drains and forwarding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "mem/controller.hh"
+#include "sched/fcfs.hh"
+#include "sched/fr_fcfs.hh"
+
+namespace stfm
+{
+namespace
+{
+
+/** Small controller test fixture with a pluggable policy. */
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    static constexpr unsigned kBanks = 8;
+    static constexpr unsigned kThreads = 4;
+
+    ControllerTest()
+        : mapping_(1, kBanks, 16 * 1024, 64, 16 * 1024, true),
+          occupancy_(kThreads, kBanks)
+    {}
+
+    void
+    build(SchedulingPolicy &policy)
+    {
+        controller_ = std::make_unique<MemoryController>(
+            0, kBanks, timing_, params_, policy, occupancy_, kThreads);
+        controller_->setReadCallback(
+            [this](const Request &req) { completed_.push_back(req); });
+    }
+
+    void
+    enqueueRead(BankId bank, RowId row, ColumnId col, ThreadId thread)
+    {
+        AddrDecode coords;
+        coords.bank = bank;
+        coords.row = row;
+        coords.column = col;
+        controller_->enqueueRead(mapping_.compose(coords), coords, thread,
+                                 true, dram_ * 10, dram_);
+    }
+
+    void
+    enqueueWrite(BankId bank, RowId row, ColumnId col, ThreadId thread)
+    {
+        AddrDecode coords;
+        coords.bank = bank;
+        coords.row = row;
+        coords.column = col;
+        controller_->enqueueWrite(mapping_.compose(coords), coords,
+                                  thread, dram_ * 10, dram_);
+    }
+
+    void
+    run(unsigned cycles)
+    {
+        SchedContext ctx;
+        ctx.numThreads = kThreads;
+        ctx.banksPerChannel = kBanks;
+        ctx.timing = &timing_;
+        ctx.occupancy = &occupancy_;
+        for (unsigned i = 0; i < cycles; ++i) {
+            ctx.dramNow = ++dram_;
+            ctx.cpuNow = dram_ * 10;
+            controller_->tick(ctx);
+        }
+    }
+
+    DramTiming timing_;
+    ControllerParams params_;
+    AddressMapping mapping_;
+    ThreadBankOccupancy occupancy_;
+    std::unique_ptr<MemoryController> controller_;
+    std::vector<Request> completed_;
+    DramCycles dram_ = 0;
+};
+
+TEST_F(ControllerTest, SingleReadCompletes)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueRead(0, 5, 0, 0);
+    run(40);
+    ASSERT_EQ(completed_.size(), 1u);
+    EXPECT_EQ(completed_[0].serviceState, RowBufferState::Closed);
+    EXPECT_TRUE(controller_->idle());
+}
+
+TEST_F(ControllerTest, RowHitChainsServiceInOrder)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    for (ColumnId c = 0; c < 4; ++c)
+        enqueueRead(0, 5, c, 0);
+    run(60);
+    ASSERT_EQ(completed_.size(), 4u);
+    // First access opens the row; the rest are hits.
+    EXPECT_EQ(completed_[0].serviceState, RowBufferState::Closed);
+    for (int i = 1; i < 4; ++i)
+        EXPECT_EQ(completed_[i].serviceState, RowBufferState::Hit);
+}
+
+TEST_F(ControllerTest, FrFcfsPrefersRowHitOverOlderConflict)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueRead(0, 1, 0, 0);
+    run(20); // Row 1 is now open; the request completed.
+    completed_.clear();
+    enqueueRead(0, 2, 0, 1); // Older, conflicts.
+    enqueueRead(0, 1, 1, 2); // Younger, row hit.
+    run(60);
+    ASSERT_EQ(completed_.size(), 2u);
+    EXPECT_EQ(completed_[0].thread, 2u); // The hit won.
+    EXPECT_EQ(completed_[1].thread, 1u);
+}
+
+TEST_F(ControllerTest, FcfsServicesOldestFirstRegardlessOfRow)
+{
+    FcfsPolicy policy;
+    build(policy);
+    enqueueRead(0, 1, 0, 0);
+    run(20);
+    completed_.clear();
+    enqueueRead(0, 2, 0, 1); // Older conflict.
+    enqueueRead(0, 1, 1, 2); // Younger hit.
+    run(80);
+    ASSERT_EQ(completed_.size(), 2u);
+    EXPECT_EQ(completed_[0].thread, 1u); // Oldest first.
+}
+
+TEST_F(ControllerTest, RowProtectionStarvesConflictBehindHitStream)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueRead(0, 1, 0, 0);
+    run(20);
+    completed_.clear();
+    // Thread 1 wants a different row; thread 0 keeps feeding hits.
+    enqueueRead(0, 9, 0, 1);
+    for (ColumnId c = 1; c < 12; ++c)
+        enqueueRead(0, 1, c, 0);
+    run(11 * 4 + 8); // Enough for all hits but little more.
+    // The conflicting request must be serviced last.
+    ASSERT_GE(completed_.size(), 2u);
+    for (std::size_t i = 0; i + 1 < completed_.size(); ++i)
+        EXPECT_EQ(completed_[i].thread, 0u);
+}
+
+TEST_F(ControllerTest, WriteForwardingServesReadFromWriteBuffer)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueWrite(3, 7, 5, 0);
+    enqueueRead(3, 7, 5, 1); // Same line: forwarded, no DRAM access.
+    run(5);
+    ASSERT_EQ(completed_.size(), 1u);
+    EXPECT_EQ(completed_[0].thread, 1u);
+    EXPECT_EQ(controller_->channel().stats().reads, 0u);
+}
+
+TEST_F(ControllerTest, WriteCoalescingDropsDuplicates)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueWrite(2, 4, 1, 0);
+    enqueueWrite(2, 4, 1, 0); // Same line: coalesced.
+    EXPECT_EQ(controller_->buffer().writeCount(), 1u);
+}
+
+TEST_F(ControllerTest, WritesDrainOnFreeBandwidth)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueWrite(1, 3, 0, 0);
+    run(40); // No reads anywhere: the write drains.
+    EXPECT_EQ(controller_->channel().stats().writes, 1u);
+    EXPECT_TRUE(controller_->idle());
+}
+
+TEST_F(ControllerTest, ReadsPrioritizedOverWritesBelowWatermark)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueWrite(0, 9, 0, 0);
+    enqueueRead(0, 5, 0, 1);
+    run(30);
+    // The read completed; the write is still queued (reads pending
+    // until now kept the drain from starting... after the read's done,
+    // free bandwidth lets the write go).
+    ASSERT_EQ(completed_.size(), 1u);
+    run(60);
+    EXPECT_EQ(controller_->channel().stats().writes, 1u);
+}
+
+TEST_F(ControllerTest, BankParallelismOverlapsActivates)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueRead(0, 1, 0, 0);
+    enqueueRead(1, 2, 0, 1);
+    run(30);
+    EXPECT_EQ(completed_.size(), 2u);
+    // Both banks opened rows; total service took far less than twice
+    // the single-request latency thanks to bank-level parallelism.
+}
+
+TEST_F(ControllerTest, OccupancyReflectsLifecycle)
+{
+    FrFcfsPolicy policy;
+    build(policy);
+    enqueueRead(4, 1, 0, 2);
+    EXPECT_EQ(occupancy_.waiting(2, 4), 1u);
+    run(40);
+    EXPECT_EQ(occupancy_.waiting(2, 4), 0u);
+    EXPECT_EQ(occupancy_.inService(2, 4), 0u);
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the fixed-point slowdown-register arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(FixedPoint, OneRoundTripsExactly)
+{
+    const auto one = SlowdownReg::fromDouble(1.0);
+    EXPECT_DOUBLE_EQ(one.toDouble(), 1.0);
+}
+
+TEST(FixedPoint, QuantizationStep)
+{
+    // SlowdownReg has 3 fractional bits: resolution 0.125.
+    EXPECT_DOUBLE_EQ(quantizeSlowdown(1.0625), 1.125); // rounds to nearest
+    EXPECT_DOUBLE_EQ(quantizeSlowdown(1.05), 1.0);
+    EXPECT_DOUBLE_EQ(quantizeSlowdown(2.49), 2.5);
+}
+
+TEST(FixedPoint, SaturatesAtRegisterMax)
+{
+    const double max = SlowdownReg::fromRaw(SlowdownReg::kMaxRaw).toDouble();
+    EXPECT_DOUBLE_EQ(quantizeSlowdown(1000.0), max);
+    EXPECT_NEAR(max, 31.875, 1e-9); // 5 integer bits, 3 fractional.
+}
+
+TEST(FixedPoint, NegativeClampsToZero)
+{
+    EXPECT_DOUBLE_EQ(quantizeSlowdown(-3.0), 0.0);
+}
+
+TEST(FixedPoint, OrderingPreserved)
+{
+    const auto a = SlowdownReg::fromDouble(1.5);
+    const auto b = SlowdownReg::fromDouble(2.75);
+    EXPECT_LT(a, b);
+    EXPECT_EQ(a, SlowdownReg::fromDouble(1.5));
+}
+
+TEST(FixedPoint, DistinctSlowdownsStayDistinctAboveResolution)
+{
+    // Two slowdowns more than one quantization step apart must remain
+    // ordered after quantization (the STFM comparator depends on this).
+    for (double s = 1.0; s < 30.0; s += 0.5) {
+        EXPECT_LT(quantizeSlowdown(s), quantizeSlowdown(s + 0.25))
+            << "at s=" << s;
+    }
+}
+
+TEST(FixedPoint, WiderFormatIsMorePrecise)
+{
+    using Wide = FixedPoint<8, 8>;
+    EXPECT_NEAR(Wide::fromDouble(1.0625).toDouble(), 1.0625, 1.0 / 256);
+}
+
+} // namespace
+} // namespace stfm

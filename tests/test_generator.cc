@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit and property tests for the synthetic trace generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/generator.hh"
+
+namespace stfm
+{
+namespace
+{
+
+AddressMapping
+mapping(unsigned channels = 1, unsigned banks = 8)
+{
+    return AddressMapping(channels, banks, 16 * 1024, 64, 16 * 1024,
+                          true);
+}
+
+TraceProfile
+profile()
+{
+    TraceProfile p;
+    p.mpki = 50;
+    p.rowBufferHitRate = 0.9;
+    p.burstDuty = 1.0;
+    p.burstLength = 64;
+    p.streamCount = 4;
+    p.storeFraction = 0.0;
+    p.hitAccessesPer1k = 0.0;
+    return p;
+}
+
+TEST(Generator, Deterministic)
+{
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator a(profile(), m, 0, 4, 42);
+    SyntheticTraceGenerator b(profile(), m, 0, 4, 42);
+    for (int i = 0; i < 2000; ++i) {
+        const TraceOp oa = a.next(), ob = b.next();
+        EXPECT_EQ(oa.addr, ob.addr);
+        EXPECT_EQ(oa.aluBefore, ob.aluBefore);
+        EXPECT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind));
+    }
+}
+
+TEST(Generator, DifferentThreadsDifferentStreams)
+{
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator a(profile(), m, 0, 4, 42);
+    SyntheticTraceGenerator b(profile(), m, 1, 4, 42);
+    std::set<Addr> a_addrs, b_addrs;
+    for (int i = 0; i < 500; ++i) {
+        a_addrs.insert(a.next().addr);
+        b_addrs.insert(b.next().addr);
+    }
+    for (const Addr addr : a_addrs)
+        EXPECT_EQ(b_addrs.count(addr), 0u) << "address overlap";
+}
+
+TEST(Generator, MpkiApproximatelyMet)
+{
+    const AddressMapping m = mapping();
+    TraceProfile p = profile();
+    p.mpki = 20;
+    SyntheticTraceGenerator gen(p, m, 0, 4, 7);
+    std::uint64_t instructions = 0, misses = 0;
+    while (misses < 2000) {
+        const TraceOp op = gen.next();
+        instructions += op.aluBefore;
+        if (op.kind != TraceOp::Kind::None) {
+            ++instructions;
+            ++misses;
+        }
+    }
+    const double mpki = 1000.0 * misses / instructions;
+    EXPECT_NEAR(mpki, 20.0, 3.0);
+}
+
+TEST(Generator, BurstDutyCreatesIdlePhases)
+{
+    TraceProfile p = profile();
+    p.burstDuty = 0.3;
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator gen(p, m, 0, 4, 7);
+    bool saw_idle = false;
+    for (int i = 0; i < 500; ++i) {
+        const TraceOp op = gen.next();
+        if (op.kind == TraceOp::Kind::None && op.aluBefore > 100)
+            saw_idle = true;
+    }
+    EXPECT_TRUE(saw_idle);
+    EXPECT_GT(gen.idleInstructionsPerBurst(), 0u);
+}
+
+TEST(Generator, FullDutyNeverIdles)
+{
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator gen(profile(), m, 0, 4, 7);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_NE(static_cast<int>(gen.next().kind),
+                  static_cast<int>(TraceOp::Kind::None));
+}
+
+TEST(Generator, BankSpreadRespected)
+{
+    TraceProfile p = profile();
+    p.bankSpread = 2;
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator gen(p, m, 0, 4, 99);
+    std::set<BankId> banks;
+    for (int i = 0; i < 2000; ++i) {
+        const TraceOp op = gen.next();
+        if (op.kind != TraceOp::Kind::None)
+            banks.insert(m.decode(op.addr).bank);
+    }
+    EXPECT_LE(banks.size(), 2u);
+}
+
+TEST(Generator, BankSubsetStableAcrossCores)
+{
+    // The bank subset is derived from the benchmark seed, not the
+    // thread id, so a benchmark keeps its signature banks wherever it
+    // is scheduled.
+    TraceProfile p = profile();
+    p.bankSpread = 2;
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator a(p, m, 0, 4, 1234);
+    SyntheticTraceGenerator b(p, m, 3, 4, 1234);
+    std::set<unsigned> banks_a, banks_b;
+    for (int i = 0; i < 1000; ++i) {
+        const TraceOp oa = a.next(), ob = b.next();
+        if (oa.kind != TraceOp::Kind::None)
+            banks_a.insert(m.decode(oa.addr).bank);
+        if (ob.kind != TraceOp::Kind::None)
+            banks_b.insert(m.decode(ob.addr).bank);
+    }
+    EXPECT_EQ(banks_a, banks_b);
+}
+
+TEST(Generator, RowRunLengthTracksHitRateTarget)
+{
+    // Within one bank, consecutive misses should form runs whose mean
+    // length approximates 1 / (1 - target hit rate).
+    TraceProfile p = profile();
+    p.rowBufferHitRate = 0.875; // Mean run of 8.
+    p.storeFraction = 0.0;      // No compensation distortion.
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator gen(p, m, 0, 4, 5);
+
+    std::map<BankId, RowId> last_row;
+    std::map<BankId, unsigned> run;
+    std::vector<unsigned> runs;
+    for (int i = 0; i < 20000; ++i) {
+        const TraceOp op = gen.next();
+        if (op.kind == TraceOp::Kind::None)
+            continue;
+        const AddrDecode d = m.decode(op.addr);
+        const auto it = last_row.find(d.bank);
+        if (it != last_row.end() && it->second == d.row) {
+            ++run[d.bank];
+        } else {
+            if (it != last_row.end())
+                runs.push_back(run[d.bank] + 1);
+            run[d.bank] = 0;
+        }
+        last_row[d.bank] = d.row;
+    }
+    double mean = 0.0;
+    for (const unsigned r : runs)
+        mean += r;
+    mean /= static_cast<double>(runs.size());
+    EXPECT_NEAR(mean, 8.0, 1.5);
+}
+
+TEST(Generator, StreamingStoresFollowLoads)
+{
+    TraceProfile p = profile();
+    p.storeFraction = 1.0;
+    p.streamingStores = true;
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator gen(p, m, 0, 4, 3);
+    Addr last_load = 0;
+    unsigned pairs = 0;
+    for (int i = 0; i < 200; ++i) {
+        const TraceOp op = gen.next();
+        if (op.kind == TraceOp::Kind::Load)
+            last_load = op.addr;
+        if (op.kind == TraceOp::Kind::Store) {
+            EXPECT_TRUE(op.nonTemporal);
+            EXPECT_EQ(op.addr, last_load);
+            ++pairs;
+        }
+    }
+    EXPECT_GT(pairs, 50u);
+}
+
+TEST(Generator, WarmupFootprintInThreadRegionAndRowSequential)
+{
+    const AddressMapping m = mapping();
+    SyntheticTraceGenerator gen(profile(), m, 2, 4, 11);
+    std::vector<WarmLine> warm;
+    gen.warmupFootprint(4096, warm);
+    EXPECT_EQ(warm.size(), 4096u);
+    // Row-sequential layout: consecutive entries of the same bank walk
+    // consecutive columns.
+    const AddrDecode first = m.decode(warm[0].addr);
+    const AddrDecode second = m.decode(warm[1].addr);
+    (void)first;
+    (void)second;
+    // And none of the warm lines reappear in the near-term miss stream.
+    std::set<Addr> warm_set;
+    for (const WarmLine &line : warm)
+        warm_set.insert(line.addr);
+    for (int i = 0; i < 5000; ++i) {
+        const TraceOp op = gen.next();
+        if (op.kind != TraceOp::Kind::None) {
+            EXPECT_EQ(warm_set.count(op.addr & ~Addr{63}), 0u);
+        }
+    }
+}
+
+class GeneratorGeometry
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{};
+
+TEST_P(GeneratorGeometry, AddressesStayInBounds)
+{
+    const auto [channels, banks] = GetParam();
+    const AddressMapping m = mapping(channels, banks);
+    TraceProfile p = profile();
+    p.streamCount = 8;
+    SyntheticTraceGenerator gen(p, m, 1, 8, 77);
+    for (int i = 0; i < 3000; ++i) {
+        const TraceOp op = gen.next();
+        if (op.kind == TraceOp::Kind::None)
+            continue;
+        EXPECT_LT(op.addr, m.capacityBytes());
+        const AddrDecode d = m.decode(op.addr);
+        EXPECT_LT(d.channel, channels);
+        EXPECT_LT(d.bank, banks);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, GeneratorGeometry,
+                         ::testing::Values(std::pair{1u, 8u},
+                                           std::pair{2u, 8u},
+                                           std::pair{4u, 8u},
+                                           std::pair{1u, 4u},
+                                           std::pair{1u, 16u}));
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the log-bucketed latency histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Histogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+}
+
+TEST(Histogram, BasicStats)
+{
+    LatencyHistogram h;
+    for (const std::uint64_t v : {10, 20, 30, 40})
+        h.add(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 40u);
+    EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(Histogram, BucketsArePowersOfTwo)
+{
+    LatencyHistogram h;
+    h.add(1); // bucket 0: [1,2)
+    h.add(5); // bucket 2: [4,8)
+    h.add(6);
+    h.add(100); // bucket 6: [64,128)
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(6), 1u);
+}
+
+TEST(Histogram, QuantilesApproximateWithinBucketResolution)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 99; ++i)
+        h.add(10); // bucket [8,16)
+    h.add(1000);   // the tail
+    EXPECT_LE(h.quantile(0.5), 15u);
+    EXPECT_GE(h.quantile(0.5), 8u);
+    EXPECT_GE(h.quantile(1.0), 1000u);
+}
+
+TEST(Histogram, TailQuantileSeesOutlier)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 9; ++i)
+        h.add(8);
+    h.add(4096);
+    EXPECT_GE(h.quantile(0.99), 4096u);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    LatencyHistogram a, b;
+    a.add(4);
+    b.add(400);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 4u);
+    EXPECT_EQ(a.max(), 400u);
+    EXPECT_DOUBLE_EQ(a.mean(), 202.0);
+}
+
+TEST(Histogram, ZeroSampleGoesToFirstBucket)
+{
+    LatencyHistogram h;
+    h.add(0);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.min(), 0u);
+}
+
+} // namespace
+} // namespace stfm

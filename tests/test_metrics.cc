@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the fairness/throughput metrics of Section 6.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/metrics.hh"
+#include "stats/summary.hh"
+
+namespace stfm
+{
+namespace
+{
+
+ThreadResult
+result(std::uint64_t instructions, Cycles cycles, Cycles stall)
+{
+    ThreadResult r;
+    r.instructions = instructions;
+    r.cycles = cycles;
+    r.memStallCycles = stall;
+    return r;
+}
+
+TEST(Metrics, IdenticalRunsAreFair)
+{
+    SimResult shared;
+    shared.threads = {result(1000, 4000, 2000), result(1000, 8000, 6000)};
+    const std::vector<ThreadResult> alone = shared.threads;
+    const MetricsReport report = computeMetrics(shared, alone);
+    EXPECT_DOUBLE_EQ(report.unfairness, 1.0);
+    EXPECT_DOUBLE_EQ(report.weightedSpeedup, 2.0);
+    EXPECT_DOUBLE_EQ(report.hmeanSpeedup, 1.0);
+}
+
+TEST(Metrics, SlowdownIsMcpiRatio)
+{
+    SimResult shared;
+    shared.threads = {result(1000, 8000, 4000)};
+    const std::vector<ThreadResult> alone = {result(1000, 3000, 1000)};
+    const MetricsReport report = computeMetrics(shared, alone);
+    EXPECT_DOUBLE_EQ(report.slowdowns[0], 4.0); // MCPI 4.0 / 1.0.
+}
+
+TEST(Metrics, UnfairnessIsMaxOverMin)
+{
+    SimResult shared;
+    shared.threads = {result(1000, 4000, 2000),
+                      result(1000, 12000, 8000)};
+    const std::vector<ThreadResult> alone = {result(1000, 3000, 1000),
+                                             result(1000, 3000, 1000)};
+    const MetricsReport report = computeMetrics(shared, alone);
+    EXPECT_DOUBLE_EQ(report.slowdowns[0], 2.0);
+    EXPECT_DOUBLE_EQ(report.slowdowns[1], 8.0);
+    EXPECT_DOUBLE_EQ(report.unfairness, 4.0);
+}
+
+TEST(Metrics, WeightedSpeedupSumsRelativeIpcs)
+{
+    SimResult shared;
+    shared.threads = {result(1000, 2000, 0), result(1000, 4000, 0)};
+    const std::vector<ThreadResult> alone = {result(1000, 1000, 0),
+                                             result(1000, 1000, 0)};
+    const MetricsReport report = computeMetrics(shared, alone);
+    EXPECT_DOUBLE_EQ(report.weightedSpeedup, 0.5 + 0.25);
+    EXPECT_DOUBLE_EQ(report.sumOfIpcs, 0.5 + 0.25);
+    // Hmean of {0.5, 0.25} = 2 / (2 + 4) = 1/3.
+    EXPECT_NEAR(report.hmeanSpeedup, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, GuardsAgainstZeroAloneMcpi)
+{
+    SimResult shared;
+    shared.threads = {result(1000, 2000, 500)};
+    const std::vector<ThreadResult> alone = {result(1000, 1000, 0)};
+    const MetricsReport report = computeMetrics(shared, alone);
+    EXPECT_TRUE(std::isfinite(report.slowdowns[0]));
+    EXPECT_GT(report.slowdowns[0], 1.0);
+}
+
+TEST(Metrics, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geometricMean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Summary, GeoMeanAccumulator)
+{
+    GeoMean mean;
+    mean.add(2.0);
+    mean.add(8.0);
+    EXPECT_DOUBLE_EQ(mean.value(), 4.0);
+    EXPECT_EQ(mean.count(), 2u);
+}
+
+TEST(Summary, SweepSummaryAggregates)
+{
+    MetricsReport a;
+    a.unfairness = 2.0;
+    a.weightedSpeedup = 1.0;
+    a.hmeanSpeedup = 0.5;
+    a.sumOfIpcs = 2.0;
+    MetricsReport b = a;
+    b.unfairness = 8.0;
+    SweepSummary summary;
+    summary.add(a);
+    summary.add(b);
+    EXPECT_DOUBLE_EQ(summary.unfairness.value(), 4.0);
+    EXPECT_DOUBLE_EQ(summary.weightedSpeedup.value(), 1.0);
+}
+
+TEST(Metrics, ThreadResultDerivedQuantities)
+{
+    ThreadResult r = result(2000, 4000, 1000);
+    r.l2Misses = 40;
+    r.rowHits = 30;
+    r.rowConflicts = 10;
+    EXPECT_DOUBLE_EQ(r.ipc(), 0.5);
+    EXPECT_DOUBLE_EQ(r.mcpi(), 0.5);
+    EXPECT_DOUBLE_EQ(r.mpki(), 20.0);
+    EXPECT_DOUBLE_EQ(r.rowHitRate(), 0.75);
+}
+
+} // namespace
+} // namespace stfm

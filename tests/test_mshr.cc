@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/mshr.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Mshr, AllocateAndComplete)
+{
+    MshrFile mshrs(4);
+    EXPECT_EQ(mshrs.allocate(0x1000, 7, false), MshrFile::Result::Allocated);
+    EXPECT_TRUE(mshrs.has(0x1000));
+    EXPECT_EQ(mshrs.inUse(), 1u);
+
+    std::vector<std::uint64_t> waiters;
+    bool dirty = true;
+    ASSERT_TRUE(mshrs.complete(0x1000, waiters, dirty));
+    EXPECT_EQ(waiters, (std::vector<std::uint64_t>{7}));
+    EXPECT_FALSE(dirty);
+    EXPECT_EQ(mshrs.inUse(), 0u);
+    EXPECT_FALSE(mshrs.has(0x1000));
+}
+
+TEST(Mshr, MergeCoalescesWaiters)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x2000, 1, false);
+    EXPECT_EQ(mshrs.allocate(0x2000, 2, false), MshrFile::Result::Merged);
+    EXPECT_EQ(mshrs.inUse(), 1u);
+    std::vector<std::uint64_t> waiters;
+    bool dirty = false;
+    mshrs.complete(0x2000, waiters, dirty);
+    EXPECT_EQ(waiters.size(), 2u);
+}
+
+TEST(Mshr, DirtyFillStickyAcrossMerges)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x3000, MshrFile::kNoWaiter, /*dirty_fill=*/true);
+    mshrs.allocate(0x3000, 5, /*dirty_fill=*/false);
+    std::vector<std::uint64_t> waiters;
+    bool dirty = false;
+    mshrs.complete(0x3000, waiters, dirty);
+    EXPECT_TRUE(dirty);
+    EXPECT_EQ(waiters, (std::vector<std::uint64_t>{5}));
+}
+
+TEST(Mshr, FullWhenAllEntriesUsed)
+{
+    MshrFile mshrs(2);
+    mshrs.allocate(0x0, 0, false);
+    mshrs.allocate(0x40, 1, false);
+    EXPECT_TRUE(mshrs.full());
+    EXPECT_EQ(mshrs.allocate(0x80, 2, false), MshrFile::Result::Full);
+    // Merging into an existing entry still works when full.
+    EXPECT_EQ(mshrs.allocate(0x40, 3, false), MshrFile::Result::Merged);
+}
+
+TEST(Mshr, SpuriousCompletionRejected)
+{
+    MshrFile mshrs(2);
+    std::vector<std::uint64_t> waiters;
+    bool dirty = false;
+    EXPECT_FALSE(mshrs.complete(0xdead, waiters, dirty));
+}
+
+TEST(Mshr, AllocationsCounted)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x0, 0, false);
+    mshrs.allocate(0x0, 1, false); // Merge: not a new allocation.
+    mshrs.allocate(0x40, 2, false);
+    EXPECT_EQ(mshrs.allocations(), 2u);
+}
+
+TEST(Mshr, NoWaiterEntriesWakeNobody)
+{
+    MshrFile mshrs(2);
+    mshrs.allocate(0x100, MshrFile::kNoWaiter, true);
+    std::vector<std::uint64_t> waiters{99};
+    bool dirty = false;
+    mshrs.complete(0x100, waiters, dirty);
+    EXPECT_TRUE(waiters.empty());
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the network-fair-queueing policy (FQ-VFTF).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/nfq.hh"
+
+namespace stfm
+{
+namespace
+{
+
+Request
+makeRequest(ThreadId thread, std::uint64_t seq, BankId bank,
+            DramCycles arrival = 0)
+{
+    Request req;
+    req.thread = thread;
+    req.seq = seq;
+    req.coords.bank = bank;
+    req.arrivalDram = arrival;
+    return req;
+}
+
+SchedContext
+context(DramCycles now = 0)
+{
+    static DramTiming timing;
+    SchedContext ctx;
+    ctx.numThreads = 4;
+    ctx.banksPerChannel = 8;
+    ctx.timing = &timing;
+    ctx.dramNow = now;
+    return ctx;
+}
+
+ColumnIssueEvent
+serviceEvent(const Request &req, DramCycles latency)
+{
+    ColumnIssueEvent ev;
+    ev.req = &req;
+    ev.bankLatency = latency;
+    return ev;
+}
+
+TEST(Nfq, DeadlineAdvancesOnService)
+{
+    NfqPolicy policy(4, 8, {}, 0);
+    const Request req = makeRequest(1, 0, 3);
+    EXPECT_DOUBLE_EQ(policy.virtualFinishTime(1, 3), 0.0);
+    policy.onColumnCommand(serviceEvent(req, 6), context());
+    // Equal shares: latency (6 + burst 4) * numThreads (4) = 40.
+    EXPECT_DOUBLE_EQ(policy.virtualFinishTime(1, 3), 40.0);
+}
+
+TEST(Nfq, EarliestDeadlineWinsAmongSameClass)
+{
+    NfqPolicy policy(4, 8, {}, 0);
+    const Request heavy = makeRequest(0, 5, 2);
+    const Request light = makeRequest(1, 9, 2);
+    // Thread 0 has consumed service; thread 1 has not.
+    policy.onColumnCommand(serviceEvent(heavy, 6), context());
+    const Candidate a{&heavy, DramCommand::Read};
+    const Candidate b{&light, DramCommand::Read};
+    EXPECT_TRUE(policy.higherPriority(b, a, context()));
+}
+
+TEST(Nfq, SharesScaleDeadlines)
+{
+    NfqPolicy policy(2, 8, {3.0, 1.0}, 0);
+    const Request big = makeRequest(0, 0, 0);
+    const Request small = makeRequest(1, 1, 0);
+    policy.onColumnCommand(serviceEvent(big, 6), context());
+    policy.onColumnCommand(serviceEvent(small, 6), context());
+    // Thread 0 (share 3/4) accrues latency*(4/3); thread 1 (share 1/4)
+    // accrues latency*4.
+    EXPECT_LT(policy.virtualFinishTime(0, 0),
+              policy.virtualFinishTime(1, 0));
+}
+
+TEST(Nfq, IdlenessProblemReproduced)
+{
+    // A thread that consumed bandwidth while others were idle is
+    // deprioritized when they return: deadlines do NOT sync to real
+    // time. This is the core pathology of Figure 3.
+    NfqPolicy policy(2, 8, {}, 0);
+    const Request busy = makeRequest(0, 0, 1);
+    for (int i = 0; i < 50; ++i)
+        policy.onColumnCommand(serviceEvent(busy, 6), context());
+    const Request returning = makeRequest(1, 100, 1);
+    const Candidate a{&busy, DramCommand::Read};
+    const Candidate b{&returning, DramCommand::Read};
+    // Despite being much younger, the returning thread wins.
+    EXPECT_TRUE(policy.higherPriority(b, a, context(100000)));
+}
+
+TEST(Nfq, ColumnFirstWithinThreshold)
+{
+    NfqPolicy policy(2, 8, {}, /*threshold=*/18);
+    const Request row_req = makeRequest(0, 0, 0, /*arrival=*/0);
+    const Request col_req = makeRequest(1, 5, 0, /*arrival=*/10);
+    const Candidate row{&row_req, DramCommand::Precharge};
+    const Candidate col{&col_req, DramCommand::Read};
+    // Row access has waited 10 <= 18: the column keeps its boost.
+    EXPECT_TRUE(policy.higherPriority(col, row, context(10)));
+}
+
+TEST(Nfq, PriorityInversionPreventionKicksIn)
+{
+    NfqPolicy policy(2, 8, {}, /*threshold=*/18);
+    const Request row_req = makeRequest(0, 0, 0, /*arrival=*/0);
+    const Request col_req = makeRequest(1, 5, 0, /*arrival=*/10);
+    // Thread 1 has consumed lots of service; thread 0 none.
+    policy.onColumnCommand(serviceEvent(col_req, 6), context());
+    const Candidate row{&row_req, DramCommand::Precharge};
+    const Candidate col{&col_req, DramCommand::Read};
+    // The row access has now waited 30 > 18: deadlines decide, and the
+    // starved thread's deadline (0) is earlier.
+    EXPECT_TRUE(policy.higherPriority(row, col, context(30)));
+}
+
+TEST(Nfq, AccessBalanceProblemReproduced)
+{
+    // A thread concentrating on one bank accrues deadlines there much
+    // faster than a balanced thread, losing that bank.
+    NfqPolicy policy(2, 8, {}, 0);
+    const Request focused = makeRequest(0, 0, 0);
+    for (int i = 0; i < 8; ++i)
+        policy.onColumnCommand(serviceEvent(focused, 6), context());
+    Request balanced = makeRequest(1, 1, 0);
+    for (BankId b = 0; b < 8; ++b) {
+        balanced.coords.bank = b;
+        policy.onColumnCommand(serviceEvent(balanced, 6), context());
+    }
+    // Same total service, but in bank 0 the focused thread is far
+    // behind in priority.
+    EXPECT_GT(policy.virtualFinishTime(0, 0),
+              policy.virtualFinishTime(1, 0));
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the per-thread per-bank occupancy tracker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/occupancy.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Occupancy, LifecycleCounts)
+{
+    ThreadBankOccupancy occ(2, 4);
+    occ.onArrive(0, 1, /*blocking=*/true);
+    EXPECT_EQ(occ.waiting(0, 1), 1u);
+    EXPECT_EQ(occ.waitingBlocking(0, 1), 1u);
+    EXPECT_EQ(occ.waitingTotal(0), 1u);
+    EXPECT_EQ(occ.bankWaitingParallelism(0), 1u);
+
+    occ.onColumnIssue(0, 1, /*blocking=*/true);
+    EXPECT_EQ(occ.waiting(0, 1), 0u);
+    EXPECT_EQ(occ.bankWaitingParallelism(0), 0u);
+    EXPECT_EQ(occ.inService(0, 1), 1u);
+    EXPECT_EQ(occ.bankAccessParallelism(0), 1u);
+
+    occ.onComplete(0, 1);
+    EXPECT_EQ(occ.inService(0, 1), 0u);
+    EXPECT_EQ(occ.bankAccessParallelism(0), 0u);
+}
+
+TEST(Occupancy, BankWaitingParallelismCountsBanksNotRequests)
+{
+    ThreadBankOccupancy occ(1, 4);
+    occ.onArrive(0, 2, true);
+    occ.onArrive(0, 2, true); // Second request, same bank.
+    EXPECT_EQ(occ.bankWaitingParallelism(0), 1u);
+    occ.onArrive(0, 3, true);
+    EXPECT_EQ(occ.bankWaitingParallelism(0), 2u);
+}
+
+TEST(Occupancy, NonBlockingExcludedFromParallelism)
+{
+    ThreadBankOccupancy occ(1, 4);
+    occ.onArrive(0, 0, /*blocking=*/false);
+    EXPECT_EQ(occ.waiting(0, 0), 1u);
+    EXPECT_EQ(occ.waitingBlocking(0, 0), 0u);
+    EXPECT_EQ(occ.bankWaitingParallelism(0), 0u);
+    // Still counted in the total (it occupies buffer space).
+    EXPECT_EQ(occ.waitingTotal(0), 1u);
+    occ.onColumnIssue(0, 0, false);
+    EXPECT_EQ(occ.inService(0, 0), 1u);
+}
+
+TEST(Occupancy, ThreadsAreIndependent)
+{
+    ThreadBankOccupancy occ(3, 2);
+    occ.onArrive(0, 0, true);
+    occ.onArrive(2, 1, true);
+    EXPECT_EQ(occ.waiting(0, 0), 1u);
+    EXPECT_EQ(occ.waiting(1, 0), 0u);
+    EXPECT_EQ(occ.waiting(2, 1), 1u);
+    EXPECT_EQ(occ.bankWaitingParallelism(1), 0u);
+}
+
+TEST(Occupancy, ServiceBanksTrackDistinctBanks)
+{
+    ThreadBankOccupancy occ(1, 4);
+    for (unsigned b = 0; b < 3; ++b) {
+        occ.onArrive(0, b, true);
+        occ.onColumnIssue(0, b, true);
+    }
+    EXPECT_EQ(occ.bankAccessParallelism(0), 3u);
+    occ.onComplete(0, 1);
+    EXPECT_EQ(occ.bankAccessParallelism(0), 2u);
+}
+
+} // namespace
+} // namespace stfm

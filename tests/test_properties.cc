@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Property-style sweeps over the workload-profile space: end-to-end
+ * invariants that must hold for any reasonable profile, not just the
+ * cataloged ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/generator.hh"
+
+namespace stfm
+{
+namespace
+{
+
+struct ProfilePoint
+{
+    double mpki;
+    double rowHit;
+    double duty;
+    unsigned streams;
+    double store;
+    double dep;
+};
+
+void
+PrintTo(const ProfilePoint &p, std::ostream *os)
+{
+    *os << "mpki" << p.mpki << "_rb" << p.rowHit << "_duty" << p.duty
+        << "_s" << p.streams << "_st" << p.store << "_dep" << p.dep;
+}
+
+TraceProfile
+toProfile(const ProfilePoint &p)
+{
+    TraceProfile profile;
+    profile.mpki = p.mpki;
+    profile.rowBufferHitRate = p.rowHit;
+    profile.burstDuty = p.duty;
+    profile.streamCount = p.streams;
+    profile.storeFraction = p.store;
+    profile.dependentFraction = p.dep;
+    return profile;
+}
+
+ThreadResult
+runAlone(const TraceProfile &profile, const SimConfig &config,
+         std::uint64_t seed)
+{
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(std::make_unique<SyntheticTraceGenerator>(
+        profile, mapping, 0, 1, seed));
+    CmpSystem system(config, std::move(traces));
+    return system.run().threads[0];
+}
+
+class ProfileSweep : public ::testing::TestWithParam<ProfilePoint>
+{};
+
+TEST_P(ProfileSweep, AloneRunInvariants)
+{
+    SimConfig config = SimConfig::baseline(4);
+    config.cores = 1;
+    config.instructionBudget = 12000;
+    config.warmupInstructions = 4000;
+
+    const ThreadResult r = runAlone(toProfile(GetParam()), config, 17);
+
+    // Completed the budget without wedging or violating DRAM timing
+    // (the channel panics on illegal command issue). The warmup
+    // snapshot lands within one commit group, so the measured window
+    // is the budget give or take the commit width.
+    EXPECT_GE(r.instructions + 4, 12000u);
+
+    // Measured MPKI tracks the target (statistical, short run: wide
+    // tolerance for sparse bursty profiles).
+    const double target = GetParam().mpki;
+    EXPECT_GT(r.mpki(), target * 0.45);
+    EXPECT_LT(r.mpki(), target * 1.6);
+
+    // Memory work exists and stalls are bounded by wall-clock.
+    EXPECT_GT(r.dramReads, 0u);
+    EXPECT_LE(r.memStallCycles, r.cycles);
+
+    // Latency statistics are coherent.
+    EXPECT_GT(r.readLatencyMean, 0.0);
+    EXPECT_LE(r.readLatencyP50, r.readLatencyP99);
+    EXPECT_LE(r.readLatencyP99, r.readLatencyMax);
+    // No request can be serviced faster than a row hit's bank latency.
+    const DramTiming timing;
+    EXPECT_GE(r.readLatencyMax,
+              static_cast<std::uint64_t>(timing.tCL));
+}
+
+TEST_P(ProfileSweep, HigherRowLocalityNeverHurtsAloneThroughput)
+{
+    SimConfig config = SimConfig::baseline(4);
+    config.cores = 1;
+    config.instructionBudget = 12000;
+    config.warmupInstructions = 4000;
+
+    TraceProfile low = toProfile(GetParam());
+    low.rowBufferHitRate = 0.05;
+    TraceProfile high = toProfile(GetParam());
+    high.rowBufferHitRate = 0.95;
+
+    const double mcpi_low = runAlone(low, config, 23).mcpi();
+    const double mcpi_high = runAlone(high, config, 23).mcpi();
+    // Row hits are strictly cheaper than conflicts; allow 10% noise.
+    EXPECT_LE(mcpi_high, mcpi_low * 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, ProfileSweep,
+    ::testing::Values(
+        ProfilePoint{80, 0.3, 1.0, 6, 0.25, 0.5},  // mcf-like
+        ProfilePoint{50, 0.95, 0.8, 8, 0.3, 0.0},  // streamer
+        ProfilePoint{15, 0.02, 0.5, 6, 0.4, 1.0},  // GemsFDTD-like
+        ProfilePoint{10, 0.45, 0.5, 2, 0.2, 1.0},  // bank-skewed victim
+        ProfilePoint{3, 0.65, 0.25, 4, 0.25, 1.0}, // bursty light
+        ProfilePoint{25, 0.55, 0.7, 4, 0.2, 0.7},  // mid everything
+        ProfilePoint{50, 0.9, 1.0, 8, 0.5, 0.0},   // write-heavy stream
+        ProfilePoint{8, 0.2, 0.3, 3, 0.25, 0.9})); // sparse pointer
+
+struct GeometryPoint
+{
+    unsigned channels;
+    unsigned banks;
+    std::uint64_t rowBytes;
+};
+
+void
+PrintTo(const GeometryPoint &g, std::ostream *os)
+{
+    *os << g.channels << "ch_" << g.banks << "b_" << g.rowBytes / 1024
+        << "KB";
+}
+
+class GeometrySweep : public ::testing::TestWithParam<GeometryPoint>
+{};
+
+TEST_P(GeometrySweep, SharedRunCompletesOnEveryGeometry)
+{
+    SimConfig config = SimConfig::baseline(2);
+    config.memory.channels = GetParam().channels;
+    config.memory.banksPerChannel = GetParam().banks;
+    config.memory.rowBytes = GetParam().rowBytes;
+    config.instructionBudget = 6000;
+    config.warmupInstructions = 2000;
+    config.scheduler.kind = PolicyKind::Stfm;
+
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    TraceProfile heavy;
+    heavy.mpki = 60;
+    heavy.rowBufferHitRate = 0.9;
+    TraceProfile light;
+    light.mpki = 5;
+    light.rowBufferHitRate = 0.3;
+    light.dependentFraction = 1.0;
+
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(std::make_unique<SyntheticTraceGenerator>(
+        heavy, mapping, 0, 2, 31));
+    traces.push_back(std::make_unique<SyntheticTraceGenerator>(
+        light, mapping, 1, 2, 32));
+    CmpSystem system(config, std::move(traces));
+    const SimResult result = system.run();
+    EXPECT_FALSE(result.hitCycleLimit);
+    for (const ThreadResult &t : result.threads) {
+        EXPECT_GE(t.instructions + 4, 6000u);
+        EXPECT_GT(t.dramReads, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, GeometrySweep,
+    ::testing::Values(GeometryPoint{1, 8, 16 * 1024},
+                      GeometryPoint{2, 8, 16 * 1024},
+                      GeometryPoint{4, 8, 16 * 1024},
+                      GeometryPoint{1, 4, 16 * 1024},
+                      GeometryPoint{1, 16, 16 * 1024},
+                      GeometryPoint{1, 8, 8 * 1024},
+                      GeometryPoint{1, 8, 32 * 1024},
+                      GeometryPoint{2, 16, 8 * 1024}));
+
+} // namespace
+} // namespace stfm

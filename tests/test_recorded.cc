@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for trace recording and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hh"
+#include "trace/recorded.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Recorded, FormatAndParseRoundTrip)
+{
+    TraceOp op;
+    op.aluBefore = 17;
+    op.kind = TraceOp::Kind::Store;
+    op.dependsOnPrev = true;
+    op.nonTemporal = true;
+    op.addr = 0xdeadbeef40;
+
+    TraceOp parsed;
+    ASSERT_TRUE(
+        RecordedTrace::parseLine(TraceRecorder::formatOp(op), parsed));
+    EXPECT_EQ(parsed.aluBefore, op.aluBefore);
+    EXPECT_EQ(static_cast<int>(parsed.kind), static_cast<int>(op.kind));
+    EXPECT_EQ(parsed.dependsOnPrev, op.dependsOnPrev);
+    EXPECT_EQ(parsed.nonTemporal, op.nonTemporal);
+    EXPECT_EQ(parsed.addr, op.addr);
+}
+
+TEST(Recorded, CommentsAndBlanksSkipped)
+{
+    TraceOp op;
+    EXPECT_FALSE(RecordedTrace::parseLine("", op));
+    EXPECT_FALSE(RecordedTrace::parseLine("# comment", op));
+    EXPECT_FALSE(RecordedTrace::parseLine("   ", op));
+    EXPECT_TRUE(RecordedTrace::parseLine("5 L 0 0 1000", op));
+    EXPECT_EQ(op.addr, 0x1000u);
+}
+
+TEST(Recorded, RecorderTeesGeneratorFaithfully)
+{
+    const AddressMapping m(1, 8, 16 * 1024, 64, 16 * 1024, true);
+    TraceProfile profile;
+    profile.mpki = 30;
+    profile.storeFraction = 0.3;
+    profile.hitAccessesPer1k = 10;
+
+    std::ostringstream out;
+    SyntheticTraceGenerator gen(profile, m, 0, 2, 9);
+    TraceRecorder recorder(gen, out);
+    std::vector<TraceOp> original;
+    for (int i = 0; i < 300; ++i)
+        original.push_back(recorder.next());
+    EXPECT_EQ(recorder.recorded(), 300u);
+
+    std::istringstream in(out.str());
+    RecordedTrace replay(in);
+    ASSERT_EQ(replay.size(), 300u);
+    for (const TraceOp &expect : original) {
+        const TraceOp got = replay.next();
+        EXPECT_EQ(got.addr, expect.addr);
+        EXPECT_EQ(static_cast<int>(got.kind),
+                  static_cast<int>(expect.kind));
+        EXPECT_EQ(got.aluBefore, expect.aluBefore);
+        EXPECT_EQ(got.dependsOnPrev, expect.dependsOnPrev);
+    }
+}
+
+TEST(Recorded, ReplayLoops)
+{
+    std::vector<TraceOp> ops(3);
+    ops[0].addr = 1;
+    ops[1].addr = 2;
+    ops[2].addr = 3;
+    RecordedTrace replay(ops);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(replay.next().addr, 1u);
+        EXPECT_EQ(replay.next().addr, 2u);
+        EXPECT_EQ(replay.next().addr, 3u);
+    }
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for DRAM auto-refresh (tREFI/tRFC) at the channel and
+ * controller levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_mapping.hh"
+#include "mem/controller.hh"
+#include "sched/fr_fcfs.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Refresh, ChannelRefreshBlocksActivates)
+{
+    DramChannel ch(4, DramTiming{});
+    const DramTiming &t = ch.timing();
+    EXPECT_TRUE(ch.allBanksClosed());
+    const DramCycles done = ch.refreshAll(100);
+    EXPECT_EQ(done, 100 + t.tRFC);
+    for (BankId b = 0; b < 4; ++b) {
+        EXPECT_FALSE(ch.canIssue(DramCommand::Activate, b, 1, done - 1));
+        EXPECT_TRUE(ch.canIssue(DramCommand::Activate, b, 1, done));
+    }
+    EXPECT_EQ(ch.stats().refreshes, 1u);
+}
+
+TEST(Refresh, OpenBankBlocksRefreshPrecondition)
+{
+    DramChannel ch(4, DramTiming{});
+    ch.issue(DramCommand::Activate, 2, 7, 0);
+    EXPECT_FALSE(ch.allBanksClosed());
+}
+
+TEST(Refresh, ControllerRefreshesPeriodicallyAndStillServes)
+{
+    DramTiming timing;
+    ControllerParams params;
+    params.refreshEnabled = true;
+    FrFcfsPolicy policy;
+    ThreadBankOccupancy occupancy(1, 8);
+    MemoryController controller(0, 8, timing, params, policy, occupancy,
+                                1);
+    unsigned completed = 0;
+    controller.setReadCallback([&](const Request &) { ++completed; });
+    AddressMapping mapping(1, 8, 16 * 1024, 64, 16 * 1024, true);
+
+    SchedContext ctx;
+    ctx.numThreads = 1;
+    ctx.banksPerChannel = 8;
+    ctx.timing = &timing;
+    ctx.occupancy = &occupancy;
+
+    // Run past two refresh intervals with a steady trickle of reads.
+    unsigned enqueued = 0;
+    for (DramCycles now = 1; now <= 2 * timing.tREFI + 200; ++now) {
+        ctx.dramNow = now;
+        ctx.cpuNow = now * 10;
+        if (now % 50 == 0 && controller.canAcceptRead()) {
+            AddrDecode coords;
+            coords.bank = static_cast<BankId>(enqueued % 8);
+            coords.row = static_cast<RowId>(enqueued * 3);
+            controller.enqueueRead(mapping.compose(coords), coords, 0,
+                                   true, ctx.cpuNow, now);
+            ++enqueued;
+        }
+        controller.tick(ctx);
+    }
+    EXPECT_GE(controller.channel().stats().refreshes, 2u);
+    // All reads still complete despite the refresh windows.
+    EXPECT_EQ(completed, enqueued);
+}
+
+TEST(Refresh, DisabledByDefault)
+{
+    DramTiming timing;
+    ControllerParams params; // refreshEnabled defaults to false.
+    FrFcfsPolicy policy;
+    ThreadBankOccupancy occupancy(1, 8);
+    MemoryController controller(0, 8, timing, params, policy, occupancy,
+                                1);
+    SchedContext ctx;
+    ctx.numThreads = 1;
+    ctx.banksPerChannel = 8;
+    ctx.timing = &timing;
+    ctx.occupancy = &occupancy;
+    for (DramCycles now = 1; now <= timing.tREFI + 100; ++now) {
+        ctx.dramNow = now;
+        controller.tick(ctx);
+    }
+    EXPECT_EQ(controller.channel().stats().refreshes, 0u);
+}
+
+} // namespace
+} // namespace stfm

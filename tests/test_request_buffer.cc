@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the request buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/request_buffer.hh"
+
+namespace stfm
+{
+namespace
+{
+
+Request
+makeRequest(BankId bank, bool is_write, ThreadId thread,
+            std::uint64_t seq, Addr addr = 0)
+{
+    Request req;
+    req.coords.bank = bank;
+    req.isWrite = is_write;
+    req.thread = thread;
+    req.seq = seq;
+    req.addr = addr;
+    return req;
+}
+
+TEST(RequestBuffer, CapacityAccounting)
+{
+    RequestBuffer buffer(4, 2, 1);
+    EXPECT_TRUE(buffer.canAcceptRead());
+    buffer.add(makeRequest(0, false, 0, 0));
+    buffer.add(makeRequest(1, false, 0, 1));
+    EXPECT_FALSE(buffer.canAcceptRead());
+    EXPECT_TRUE(buffer.canAcceptWrite());
+    buffer.add(makeRequest(2, true, 0, 2));
+    EXPECT_FALSE(buffer.canAcceptWrite());
+    EXPECT_EQ(buffer.readCount(), 2u);
+    EXPECT_EQ(buffer.writeCount(), 1u);
+}
+
+TEST(RequestBuffer, PerThreadReadCounts)
+{
+    RequestBuffer buffer(4, 8, 4, 4);
+    buffer.add(makeRequest(0, false, 1, 0));
+    buffer.add(makeRequest(1, false, 1, 1));
+    buffer.add(makeRequest(2, false, 2, 2));
+    EXPECT_EQ(buffer.readCount(1), 2u);
+    EXPECT_EQ(buffer.readCount(2), 1u);
+    EXPECT_EQ(buffer.readCount(0), 0u);
+}
+
+TEST(RequestBuffer, ExtractRemovesAndReturnsOwnership)
+{
+    RequestBuffer buffer(2, 4, 4);
+    Request *a = buffer.add(makeRequest(0, false, 0, 0));
+    buffer.add(makeRequest(0, false, 1, 1));
+    auto owned = buffer.extract(a);
+    EXPECT_EQ(owned->seq, 0u);
+    EXPECT_EQ(buffer.readCount(), 1u);
+    EXPECT_EQ(buffer.queue(0).size(), 1u);
+}
+
+TEST(RequestBuffer, QueuesPreserveArrivalOrder)
+{
+    RequestBuffer buffer(2, 8, 4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        buffer.add(makeRequest(1, false, 0, i));
+    const auto &queue = buffer.queue(1);
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        EXPECT_EQ(queue[i]->seq, i);
+}
+
+TEST(RequestBuffer, FindWriteMatchesAddress)
+{
+    RequestBuffer buffer(2, 4, 4);
+    buffer.add(makeRequest(0, true, 0, 0, 0x1000));
+    buffer.add(makeRequest(1, true, 0, 1, 0x2000));
+    ASSERT_NE(buffer.findWrite(0x2000), nullptr);
+    EXPECT_EQ(buffer.findWrite(0x2000)->coords.bank, 1u);
+    EXPECT_EQ(buffer.findWrite(0x3000), nullptr);
+    // Reads with the same address do not match.
+    buffer.add(makeRequest(0, false, 0, 2, 0x4000));
+    EXPECT_EQ(buffer.findWrite(0x4000), nullptr);
+}
+
+TEST(RequestBuffer, BusiestAndOldestWriteBank)
+{
+    RequestBuffer buffer(4, 8, 8);
+    buffer.add(makeRequest(2, true, 0, 5));
+    buffer.add(makeRequest(1, true, 0, 6));
+    buffer.add(makeRequest(1, true, 0, 7));
+    EXPECT_EQ(buffer.busiestWriteBank(), 1u);
+    EXPECT_EQ(buffer.oldestWriteBank(), 2u); // seq 5 lives in bank 2.
+    EXPECT_EQ(buffer.writeCount(1), 2u);
+    EXPECT_EQ(buffer.writeCount(2), 1u);
+}
+
+TEST(RequestBuffer, EmptyChecks)
+{
+    RequestBuffer buffer(2, 4, 4);
+    EXPECT_TRUE(buffer.empty());
+    Request *r = buffer.add(makeRequest(0, false, 0, 0));
+    EXPECT_FALSE(buffer.empty());
+    buffer.extract(r);
+    EXPECT_TRUE(buffer.empty());
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    unsigned equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3u);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMeanRoughlyMatchesP)
+{
+    Rng rng(5);
+    unsigned heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdges)
+{
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches)
+{
+    Rng rng(9);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.15);
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsZero)
+{
+    Rng rng(10);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 0u);
+}
+
+TEST(Rng, CombineSeedsIsDeterministicAndAsymmetric)
+{
+    EXPECT_EQ(combineSeeds(1, 2), combineSeeds(1, 2));
+    EXPECT_NE(combineSeeds(1, 2), combineSeeds(2, 1));
+}
+
+TEST(Rng, SplitmixAdvancesState)
+{
+    std::uint64_t state = 0;
+    const std::uint64_t a = splitmix64(state);
+    const std::uint64_t b = splitmix64(state);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace stfm

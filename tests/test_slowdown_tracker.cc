@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for STFM's slowdown-estimation state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/slowdown_tracker.hh"
+
+namespace stfm
+{
+namespace
+{
+
+SlowdownTrackerParams
+params(unsigned threads = 2, bool quantize = false)
+{
+    SlowdownTrackerParams p;
+    p.numThreads = threads;
+    p.totalBanks = 8;
+    p.quantize = quantize;
+    return p;
+}
+
+TEST(SlowdownTracker, NoInterferenceMeansSlowdownOne)
+{
+    SlowdownTracker tracker(params());
+    std::vector<Cycles> stall{1000, 500};
+    tracker.updateSlowdowns(stall, 10000);
+    EXPECT_DOUBLE_EQ(tracker.slowdown(0), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.slowdown(1), 1.0);
+}
+
+TEST(SlowdownTracker, SlowdownIsSharedOverAlone)
+{
+    SlowdownTracker tracker(params());
+    std::vector<Cycles> stall{1000, 1000};
+    tracker.addStallInterference(0, 500.0); // Talone = 500.
+    tracker.updateSlowdowns(stall, 10000);
+    EXPECT_DOUBLE_EQ(tracker.rawSlowdown(0), 2.0);
+    EXPECT_DOUBLE_EQ(tracker.rawSlowdown(1), 1.0);
+}
+
+TEST(SlowdownTracker, SaturatesWhenInterferenceSwallowsStall)
+{
+    SlowdownTracker tracker(params());
+    std::vector<Cycles> stall{1000, 1000};
+    tracker.addStallInterference(0, 2000.0); // Talone would be negative.
+    tracker.updateSlowdowns(stall, 10000);
+    EXPECT_DOUBLE_EQ(tracker.rawSlowdown(0), 32.0); // Register cap.
+}
+
+TEST(SlowdownTracker, BankInterferenceUsesGammaScaling)
+{
+    SlowdownTracker tracker(params());
+    // gamma = 0.5: latency / (0.5 * BWP).
+    tracker.addBankInterference(0, 100.0, 4);
+    EXPECT_DOUBLE_EQ(tracker.interferenceCycles(0), 50.0);
+    tracker.addBankInterference(1, 100.0, 0); // BWP clamped to 1.
+    EXPECT_DOUBLE_EQ(tracker.interferenceCycles(1), 200.0);
+}
+
+TEST(SlowdownTracker, OwnServiceChargesLostRowHits)
+{
+    SlowdownTracker tracker(params());
+    const DramTiming timing;
+    // First access to a bank: no history, no charge.
+    EXPECT_DOUBLE_EQ(tracker.noteOwnService(0, 3, 7,
+                                            RowBufferState::Conflict, 1,
+                                            timing, 10),
+                     0.0);
+    // Same row again but serviced as a conflict: alone it would have
+    // hit. ExtraLatency = tRP + tRCD = 12 DRAM cycles = 120 CPU cycles.
+    const double charged = tracker.noteOwnService(
+        0, 3, 7, RowBufferState::Conflict, 1, timing, 10);
+    EXPECT_DOUBLE_EQ(charged, 120.0);
+    EXPECT_DOUBLE_EQ(tracker.interferenceCycles(0), 120.0);
+}
+
+TEST(SlowdownTracker, OwnServiceNegativeWhenSharingHelped)
+{
+    SlowdownTracker tracker(params());
+    const DramTiming timing;
+    tracker.noteOwnService(0, 2, 5, RowBufferState::Conflict, 1, timing,
+                           10);
+    // Different row, serviced as a HIT (another thread opened it):
+    // alone it would have been a conflict -> negative ExtraLatency.
+    const double charged = tracker.noteOwnService(
+        0, 2, 9, RowBufferState::Hit, 1, timing, 10);
+    EXPECT_DOUBLE_EQ(charged, -120.0);
+}
+
+TEST(SlowdownTracker, OwnServiceAmortizedByBankParallelism)
+{
+    SlowdownTracker tracker(params());
+    const DramTiming timing;
+    tracker.noteOwnService(0, 1, 4, RowBufferState::Hit, 1, timing, 10);
+    const double charged = tracker.noteOwnService(
+        0, 1, 4, RowBufferState::Conflict, 4, timing, 10);
+    EXPECT_DOUBLE_EQ(charged, 30.0); // 120 / BAP(4).
+}
+
+TEST(SlowdownTracker, WeightsScaleSlowdowns)
+{
+    SlowdownTrackerParams p = params();
+    p.weights = {10.0, 1.0};
+    SlowdownTracker tracker(p);
+    std::vector<Cycles> stall{1000, 1000};
+    tracker.addStallInterference(0, 100.0); // raw S = 1.111
+    tracker.addStallInterference(1, 100.0);
+    tracker.updateSlowdowns(stall, 10000);
+    // S' = 1 + (S-1)*W: thread 0 ~ 2.11, thread 1 ~ 1.11.
+    EXPECT_NEAR(tracker.slowdown(0), 2.11, 0.01);
+    EXPECT_NEAR(tracker.slowdown(1), 1.11, 0.01);
+}
+
+TEST(SlowdownTracker, IntervalResetClearsState)
+{
+    SlowdownTrackerParams p = params();
+    p.intervalLength = 1000;
+    SlowdownTracker tracker(p);
+    std::vector<Cycles> stall{500, 0};
+    tracker.addStallInterference(0, 250.0);
+    tracker.updateSlowdowns(stall, 100);
+    EXPECT_DOUBLE_EQ(tracker.rawSlowdown(0), 2.0);
+
+    // Past the interval: registers reset; Tshared restarts from the
+    // latched cumulative value.
+    stall[0] = 600;
+    tracker.updateSlowdowns(stall, 1200);
+    EXPECT_DOUBLE_EQ(tracker.rawSlowdown(0), 1.0);
+    EXPECT_DOUBLE_EQ(tracker.interferenceCycles(0), 0.0);
+
+    // New stall within the new interval counts from the reset point.
+    tracker.addStallInterference(0, 100.0);
+    stall[0] = 800; // 200 new stall cycles.
+    tracker.updateSlowdowns(stall, 1300);
+    EXPECT_DOUBLE_EQ(tracker.rawSlowdown(0), 2.0);
+}
+
+TEST(SlowdownTracker, QuantizedModeUsesRegisterSteps)
+{
+    SlowdownTracker tracker(params(2, /*quantize=*/true));
+    std::vector<Cycles> stall{1000, 1000};
+    tracker.addStallInterference(0, 300.0); // raw 1.4286
+    tracker.updateSlowdowns(stall, 10000);
+    EXPECT_DOUBLE_EQ(tracker.slowdown(0), 1.375); // Nearest 1/8 step.
+}
+
+TEST(SlowdownTracker, LastRowTracking)
+{
+    SlowdownTracker tracker(params());
+    const DramTiming timing;
+    EXPECT_EQ(tracker.lastRow(0, 5), kInvalidRow);
+    tracker.noteOwnService(0, 5, 77, RowBufferState::Closed, 1, timing,
+                           10);
+    EXPECT_EQ(tracker.lastRow(0, 5), 77u);
+    EXPECT_EQ(tracker.lastRow(1, 5), kInvalidRow); // Per-thread.
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * End-to-end integration tests: full CMP system runs with synthetic
+ * workloads, checking the headline fairness invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/catalog.hh"
+
+namespace stfm
+{
+namespace
+{
+
+SimConfig
+smallConfig(unsigned cores, PolicyKind kind)
+{
+    SimConfig config = SimConfig::baseline(cores);
+    config.instructionBudget = 8000;
+    config.warmupInstructions = 3000;
+    config.scheduler.kind = kind;
+    return config;
+}
+
+SimResult
+runWorkload(const SimConfig &config,
+            const std::vector<std::string> &names)
+{
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (unsigned t = 0; t < names.size(); ++t) {
+        traces.push_back(makeBenchmarkTrace(findBenchmark(names[t]),
+                                            mapping, t, config.cores));
+    }
+    CmpSystem system(config, std::move(traces));
+    return system.run();
+}
+
+TEST(System, SingleCoreRunCompletes)
+{
+    const SimConfig config = smallConfig(1, PolicyKind::FrFcfs);
+    const SimResult result = runWorkload(config, {"hmmer"});
+    EXPECT_FALSE(result.hitCycleLimit);
+    EXPECT_GE(result.threads[0].instructions, 8000u);
+    EXPECT_GT(result.threads[0].dramReads, 0u);
+}
+
+TEST(System, RunsAreDeterministic)
+{
+    const SimConfig config = smallConfig(2, PolicyKind::Stfm);
+    const SimResult a = runWorkload(config, {"mcf", "h264ref"});
+    const SimResult b = runWorkload(config, {"mcf", "h264ref"});
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+        EXPECT_EQ(a.threads[t].cycles, b.threads[t].cycles);
+        EXPECT_EQ(a.threads[t].memStallCycles,
+                  b.threads[t].memStallCycles);
+        EXPECT_EQ(a.threads[t].dramReads, b.threads[t].dramReads);
+    }
+}
+
+TEST(System, SharingSlowsEveryoneDown)
+{
+    // MCPI under sharing must be at least the alone MCPI for a
+    // memory-bound pair (interference cannot speed DRAM up).
+    const SimConfig alone_config = smallConfig(1, PolicyKind::FrFcfs);
+    const double alone_mcpi =
+        runWorkload(alone_config, {"mcf"}).threads[0].mcpi();
+
+    const SimConfig shared_config = smallConfig(2, PolicyKind::FrFcfs);
+    const SimResult shared = runWorkload(shared_config, {"mcf", "lbm"});
+    EXPECT_GT(shared.threads[0].mcpi(), alone_mcpi * 0.95);
+}
+
+TEST(System, EveryPolicyRunsTheSameWorkload)
+{
+    for (const PolicyKind kind :
+         {PolicyKind::FrFcfs, PolicyKind::Fcfs, PolicyKind::FrFcfsCap,
+          PolicyKind::Nfq, PolicyKind::Stfm}) {
+        const SimConfig config = smallConfig(2, kind);
+        const SimResult result = runWorkload(config, {"mcf", "omnetpp"});
+        EXPECT_FALSE(result.hitCycleLimit)
+            << "policy " << static_cast<int>(kind);
+        for (const ThreadResult &t : result.threads)
+            EXPECT_GE(t.instructions, 8000u);
+    }
+}
+
+TEST(System, ChannelsScaleWithCores)
+{
+    EXPECT_EQ(SimConfig::channelsForCores(2), 1u);
+    EXPECT_EQ(SimConfig::channelsForCores(4), 1u);
+    EXPECT_EQ(SimConfig::channelsForCores(8), 2u);
+    EXPECT_EQ(SimConfig::channelsForCores(16), 4u);
+    EXPECT_EQ(SimConfig::baseline(8).memory.channels, 2u);
+}
+
+TEST(System, MultiChannelRunCompletes)
+{
+    SimConfig config = smallConfig(4, PolicyKind::Stfm);
+    config.memory.channels = 2;
+    const SimResult result =
+        runWorkload(config, {"mcf", "libquantum", "hmmer", "h264ref"});
+    EXPECT_FALSE(result.hitCycleLimit);
+    for (const ThreadResult &t : result.threads)
+        EXPECT_GT(t.dramReads, 0u);
+}
+
+TEST(System, CycleLimitReportedHonestly)
+{
+    SimConfig config = smallConfig(1, PolicyKind::FrFcfs);
+    config.maxCycles = 1000; // Far too small for the budget.
+    const SimResult result = runWorkload(config, {"mcf"});
+    EXPECT_TRUE(result.hitCycleLimit);
+}
+
+TEST(System, StfmFairerThanFrFcfsOnSkewedPair)
+{
+    // The headline claim, end to end: pairing a streamer with a victim,
+    // STFM's max/min slowdown ratio must beat FR-FCFS's.
+    SimConfig fr = smallConfig(2, PolicyKind::FrFcfs);
+    fr.instructionBudget = 20000;
+    SimConfig st = smallConfig(2, PolicyKind::Stfm);
+    st.instructionBudget = 20000;
+    const std::vector<std::string> names = {"libquantum", "omnetpp"};
+
+    SimConfig alone_config = smallConfig(1, PolicyKind::FrFcfs);
+    alone_config.instructionBudget = 20000;
+    const double alone0 =
+        runWorkload(alone_config, {names[0]}).threads[0].mcpi();
+    const double alone1 =
+        runWorkload(alone_config, {names[1]}).threads[0].mcpi();
+
+    auto unfairness = [&](const SimResult &r) {
+        const double s0 = r.threads[0].mcpi() / alone0;
+        const double s1 = r.threads[1].mcpi() / alone1;
+        return std::max(s0, s1) / std::min(s0, s1);
+    };
+    const double unfair_fr = unfairness(runWorkload(fr, names));
+    const double unfair_st = unfairness(runWorkload(st, names));
+    EXPECT_LT(unfair_st, unfair_fr);
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tests for the text-table printer and number formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/table.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"a", "1.00"});
+    table.addRow({"longer-name", "2.50"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Every line is at least as wide as the widest cell pair.
+    std::istringstream lines(out);
+    std::string line;
+    std::getline(lines, line);
+    const std::size_t header_width = line.size();
+    EXPECT_GE(header_width, std::string("longer-name  value").size());
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    TextTable table({"a", "b", "c"});
+    table.addRow({"only-one"});
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Fmt, Precision)
+{
+    EXPECT_EQ(fmt(1.2345), "1.23");
+    EXPECT_EQ(fmt(1.2345, 3), "1.234");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt(99.999, 1), "100.0");
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the workload definitions and sampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/workloads.hh"
+#include "trace/catalog.hh"
+
+namespace stfm
+{
+namespace
+{
+
+TEST(Workloads, CaseStudiesMatchThePaper)
+{
+    EXPECT_EQ(workloads::caseIntensive(),
+              (Workload{"mcf", "libquantum", "GemsFDTD", "astar"}));
+    EXPECT_EQ(workloads::caseMixed(),
+              (Workload{"mcf", "leslie3d", "h264ref", "bzip2"}));
+    EXPECT_EQ(workloads::caseNonIntensive(),
+              (Workload{"libquantum", "omnetpp", "hmmer", "h264ref"}));
+    EXPECT_EQ(workloads::fig1FourCore().size(), 4u);
+    EXPECT_EQ(workloads::fig1EightCore().size(), 8u);
+    EXPECT_EQ(workloads::eightCoreCase().size(), 8u);
+    EXPECT_EQ(workloads::desktop().size(), 4u);
+}
+
+TEST(Workloads, SixteenCoreDefinitions)
+{
+    const auto list = workloads::sixteenCore();
+    ASSERT_EQ(list.size(), 3u);
+    for (const Workload &w : list)
+        EXPECT_EQ(w.size(), 16u);
+    // high16 starts with the most intensive benchmark.
+    EXPECT_EQ(list[0][0], "mcf");
+    // low16 contains no top-10-intensity benchmark.
+    for (const auto &name : list[2])
+        EXPECT_FALSE(isIntensive(findBenchmark(name))) << name;
+}
+
+TEST(Workloads, EightCoreSamplesAreValid)
+{
+    const auto samples = workloads::eightCoreSamples();
+    EXPECT_EQ(samples.size(), 10u);
+    for (const Workload &w : samples) {
+        EXPECT_EQ(w.size(), 8u);
+        for (const auto &name : w)
+            EXPECT_NO_FATAL_FAILURE(findBenchmark(name));
+    }
+}
+
+TEST(Workloads, SamplingIsDeterministic)
+{
+    const auto a = sampleWorkloads(4, 8, 123);
+    const auto b = sampleWorkloads(4, 8, 123);
+    EXPECT_EQ(a, b);
+    const auto c = sampleWorkloads(4, 8, 456);
+    EXPECT_NE(a, c);
+}
+
+TEST(Workloads, SamplingIsCategoryBalanced)
+{
+    for (const Workload &w : sampleWorkloads(4, 16, 7)) {
+        std::set<int> categories;
+        for (const auto &name : w)
+            categories.insert(findBenchmark(name).category);
+        EXPECT_EQ(categories.size(), 4u) << workloadLabel(w);
+    }
+}
+
+TEST(Workloads, SamplingSupportsAnyCoreCount)
+{
+    EXPECT_EQ(sampleWorkloads(2, 3, 1).front().size(), 2u);
+    EXPECT_EQ(sampleWorkloads(16, 1, 1).front().size(), 16u);
+}
+
+TEST(Workloads, LabelJoinsWithPlus)
+{
+    EXPECT_EQ(workloadLabel({"a", "b", "c"}), "a+b+c");
+    EXPECT_EQ(workloadLabel({"solo"}), "solo");
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the write-drain state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/request_buffer.hh"
+#include "mem/write_buffer.hh"
+
+namespace stfm
+{
+namespace
+{
+
+Request
+writeTo(BankId bank, std::uint64_t seq)
+{
+    Request req;
+    req.coords.bank = bank;
+    req.isWrite = true;
+    req.thread = 0;
+    req.seq = seq;
+    return req;
+}
+
+Request
+readTo(BankId bank, std::uint64_t seq)
+{
+    Request req;
+    req.coords.bank = bank;
+    req.isWrite = false;
+    req.thread = 0;
+    req.seq = seq;
+    return req;
+}
+
+TEST(WriteDrain, IdleWhileBelowThresholds)
+{
+    RequestBuffer buffer(8, 32, 32);
+    WriteDrainControl drain(28, 32);
+    buffer.add(readTo(0, 0));
+    buffer.add(writeTo(1, 1));
+    drain.update(buffer);
+    EXPECT_FALSE(drain.draining());
+    EXPECT_FALSE(drain.emergency());
+}
+
+TEST(WriteDrain, BankBatchTriggersEagerEpisode)
+{
+    RequestBuffer buffer(8, 32, 32);
+    WriteDrainControl drain(28, 32); // batch = capacity/4 = 8.
+    buffer.add(readTo(0, 0));        // Reads pending -> not free BW.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        buffer.add(writeTo(3, i + 1));
+    drain.update(buffer);
+    EXPECT_TRUE(drain.draining());
+    EXPECT_EQ(drain.drainBank(), 3u);
+}
+
+TEST(WriteDrain, HighWatermarkDrainsOldestBank)
+{
+    RequestBuffer buffer(8, 64, 32);
+    WriteDrainControl drain(6, 32);
+    buffer.add(readTo(0, 0));
+    // Spread writes so no bank reaches the batch size (8).
+    buffer.add(writeTo(5, 1)); // Oldest write lives in bank 5.
+    for (std::uint64_t i = 0; i < 5; ++i)
+        buffer.add(writeTo(static_cast<BankId>(i), 2 + i));
+    drain.update(buffer);
+    EXPECT_TRUE(drain.draining());
+    EXPECT_EQ(drain.drainBank(), 5u);
+}
+
+TEST(WriteDrain, EpisodeEndsWhenBankClean)
+{
+    RequestBuffer buffer(8, 32, 32);
+    WriteDrainControl drain(6, 32);
+    buffer.add(readTo(0, 0));
+    Request *w1 = buffer.add(writeTo(2, 1));
+    for (std::uint64_t i = 0; i < 5; ++i)
+        buffer.add(writeTo(static_cast<BankId>(i), 2 + i));
+    drain.update(buffer);
+    ASSERT_TRUE(drain.draining());
+    const BankId bank = drain.drainBank();
+    ASSERT_EQ(bank, 2u);
+    // Remove bank 2's writes; total falls below the watermark.
+    buffer.extract(w1);
+    for (const auto &req : std::vector<Request *>{}) // no-op
+        (void)req;
+    // Bank 2 still has one write from the spread loop (i == 2).
+    const auto &queue = buffer.queue(2);
+    std::vector<Request *> remaining;
+    for (const auto &r : queue)
+        if (r->isWrite)
+            remaining.push_back(r.get());
+    for (Request *r : remaining)
+        buffer.extract(r);
+    drain.update(buffer);
+    EXPECT_FALSE(drain.draining());
+}
+
+TEST(WriteDrain, FreeBandwidthStartsEpisode)
+{
+    RequestBuffer buffer(8, 32, 32);
+    WriteDrainControl drain(28, 32);
+    buffer.add(writeTo(4, 1)); // One write, no reads at all.
+    drain.update(buffer);
+    EXPECT_TRUE(drain.draining());
+    EXPECT_EQ(drain.drainBank(), 4u);
+}
+
+TEST(WriteDrain, EmergencyNearCapacity)
+{
+    RequestBuffer buffer(8, 32, 32);
+    WriteDrainControl drain(28, 32);
+    for (std::uint64_t i = 0; i < 31; ++i)
+        buffer.add(writeTo(static_cast<BankId>(i % 8), i));
+    drain.update(buffer);
+    EXPECT_TRUE(drain.emergency());
+}
+
+} // namespace
+} // namespace stfm
