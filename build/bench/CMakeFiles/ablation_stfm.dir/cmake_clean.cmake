@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stfm.dir/ablation_stfm.cc.o"
+  "CMakeFiles/ablation_stfm.dir/ablation_stfm.cc.o.d"
+  "ablation_stfm"
+  "ablation_stfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_idleness.dir/fig03_idleness.cc.o"
+  "CMakeFiles/fig03_idleness.dir/fig03_idleness.cc.o.d"
+  "fig03_idleness"
+  "fig03_idleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_idleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_two_core.dir/fig05_two_core.cc.o"
+  "CMakeFiles/fig05_two_core.dir/fig05_two_core.cc.o.d"
+  "fig05_two_core"
+  "fig05_two_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_two_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_case_intensive.dir/fig06_case_intensive.cc.o"
+  "CMakeFiles/fig06_case_intensive.dir/fig06_case_intensive.cc.o.d"
+  "fig06_case_intensive"
+  "fig06_case_intensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_case_intensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

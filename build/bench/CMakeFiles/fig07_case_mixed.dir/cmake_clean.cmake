@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_case_mixed.dir/fig07_case_mixed.cc.o"
+  "CMakeFiles/fig07_case_mixed.dir/fig07_case_mixed.cc.o.d"
+  "fig07_case_mixed"
+  "fig07_case_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_case_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

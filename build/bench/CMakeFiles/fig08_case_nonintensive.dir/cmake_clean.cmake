@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_case_nonintensive.dir/fig08_case_nonintensive.cc.o"
+  "CMakeFiles/fig08_case_nonintensive.dir/fig08_case_nonintensive.cc.o.d"
+  "fig08_case_nonintensive"
+  "fig08_case_nonintensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_case_nonintensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

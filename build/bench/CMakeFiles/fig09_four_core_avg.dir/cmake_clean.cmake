@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_four_core_avg.dir/fig09_four_core_avg.cc.o"
+  "CMakeFiles/fig09_four_core_avg.dir/fig09_four_core_avg.cc.o.d"
+  "fig09_four_core_avg"
+  "fig09_four_core_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_four_core_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_four_core_avg.
+# This may be replaced when dependencies are built.

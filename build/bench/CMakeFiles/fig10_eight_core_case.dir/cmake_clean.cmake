@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_eight_core_case.dir/fig10_eight_core_case.cc.o"
+  "CMakeFiles/fig10_eight_core_case.dir/fig10_eight_core_case.cc.o.d"
+  "fig10_eight_core_case"
+  "fig10_eight_core_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_eight_core_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

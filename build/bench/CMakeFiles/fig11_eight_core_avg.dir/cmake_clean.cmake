@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_eight_core_avg.dir/fig11_eight_core_avg.cc.o"
+  "CMakeFiles/fig11_eight_core_avg.dir/fig11_eight_core_avg.cc.o.d"
+  "fig11_eight_core_avg"
+  "fig11_eight_core_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_eight_core_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sixteen_core.dir/fig12_sixteen_core.cc.o"
+  "CMakeFiles/fig12_sixteen_core.dir/fig12_sixteen_core.cc.o.d"
+  "fig12_sixteen_core"
+  "fig12_sixteen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sixteen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_desktop.dir/fig13_desktop.cc.o"
+  "CMakeFiles/fig13_desktop.dir/fig13_desktop.cc.o.d"
+  "fig13_desktop"
+  "fig13_desktop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_desktop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_thread_weights.dir/fig14_thread_weights.cc.o"
+  "CMakeFiles/fig14_thread_weights.dir/fig14_thread_weights.cc.o.d"
+  "fig14_thread_weights"
+  "fig14_thread_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_thread_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_alpha_sweep.dir/fig15_alpha_sweep.cc.o"
+  "CMakeFiles/fig15_alpha_sweep.dir/fig15_alpha_sweep.cc.o.d"
+  "fig15_alpha_sweep"
+  "fig15_alpha_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_alpha_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

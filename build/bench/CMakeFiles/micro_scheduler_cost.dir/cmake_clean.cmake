@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scheduler_cost.dir/micro_scheduler_cost.cc.o"
+  "CMakeFiles/micro_scheduler_cost.dir/micro_scheduler_cost.cc.o.d"
+  "micro_scheduler_cost"
+  "micro_scheduler_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduler_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

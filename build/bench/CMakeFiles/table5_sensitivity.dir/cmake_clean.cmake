@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_sensitivity.dir/table5_sensitivity.cc.o"
+  "CMakeFiles/table5_sensitivity.dir/table5_sensitivity.cc.o.d"
+  "table5_sensitivity"
+  "table5_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

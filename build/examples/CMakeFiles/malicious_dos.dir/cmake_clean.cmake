@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_dos.dir/malicious_dos.cpp.o"
+  "CMakeFiles/malicious_dos.dir/malicious_dos.cpp.o.d"
+  "malicious_dos"
+  "malicious_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

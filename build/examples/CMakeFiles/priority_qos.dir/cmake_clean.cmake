@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_qos.dir/priority_qos.cpp.o"
+  "CMakeFiles/priority_qos.dir/priority_qos.cpp.o.d"
+  "priority_qos"
+  "priority_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

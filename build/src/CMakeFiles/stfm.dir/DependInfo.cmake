@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/stfm.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/stfm.dir/common/rng.cc.o.d"
+  "/root/repo/src/core/slowdown_tracker.cc" "src/CMakeFiles/stfm.dir/core/slowdown_tracker.cc.o" "gcc" "src/CMakeFiles/stfm.dir/core/slowdown_tracker.cc.o.d"
+  "/root/repo/src/core/stfm.cc" "src/CMakeFiles/stfm.dir/core/stfm.cc.o" "gcc" "src/CMakeFiles/stfm.dir/core/stfm.cc.o.d"
+  "/root/repo/src/cpu/cache.cc" "src/CMakeFiles/stfm.dir/cpu/cache.cc.o" "gcc" "src/CMakeFiles/stfm.dir/cpu/cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/stfm.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/stfm.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/mshr.cc" "src/CMakeFiles/stfm.dir/cpu/mshr.cc.o" "gcc" "src/CMakeFiles/stfm.dir/cpu/mshr.cc.o.d"
+  "/root/repo/src/dram/address_mapping.cc" "src/CMakeFiles/stfm.dir/dram/address_mapping.cc.o" "gcc" "src/CMakeFiles/stfm.dir/dram/address_mapping.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/stfm.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/stfm.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/stfm.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/stfm.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/command.cc" "src/CMakeFiles/stfm.dir/dram/command.cc.o" "gcc" "src/CMakeFiles/stfm.dir/dram/command.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/stfm.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/stfm.dir/dram/timing.cc.o.d"
+  "/root/repo/src/harness/case_study.cc" "src/CMakeFiles/stfm.dir/harness/case_study.cc.o" "gcc" "src/CMakeFiles/stfm.dir/harness/case_study.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/stfm.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/stfm.dir/harness/runner.cc.o.d"
+  "/root/repo/src/harness/sweep.cc" "src/CMakeFiles/stfm.dir/harness/sweep.cc.o" "gcc" "src/CMakeFiles/stfm.dir/harness/sweep.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/stfm.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/stfm.dir/harness/table.cc.o.d"
+  "/root/repo/src/harness/workloads.cc" "src/CMakeFiles/stfm.dir/harness/workloads.cc.o" "gcc" "src/CMakeFiles/stfm.dir/harness/workloads.cc.o.d"
+  "/root/repo/src/mem/controller.cc" "src/CMakeFiles/stfm.dir/mem/controller.cc.o" "gcc" "src/CMakeFiles/stfm.dir/mem/controller.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/stfm.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/stfm.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/request_buffer.cc" "src/CMakeFiles/stfm.dir/mem/request_buffer.cc.o" "gcc" "src/CMakeFiles/stfm.dir/mem/request_buffer.cc.o.d"
+  "/root/repo/src/mem/write_buffer.cc" "src/CMakeFiles/stfm.dir/mem/write_buffer.cc.o" "gcc" "src/CMakeFiles/stfm.dir/mem/write_buffer.cc.o.d"
+  "/root/repo/src/sched/fr_fcfs.cc" "src/CMakeFiles/stfm.dir/sched/fr_fcfs.cc.o" "gcc" "src/CMakeFiles/stfm.dir/sched/fr_fcfs.cc.o.d"
+  "/root/repo/src/sched/fr_fcfs_cap.cc" "src/CMakeFiles/stfm.dir/sched/fr_fcfs_cap.cc.o" "gcc" "src/CMakeFiles/stfm.dir/sched/fr_fcfs_cap.cc.o.d"
+  "/root/repo/src/sched/nfq.cc" "src/CMakeFiles/stfm.dir/sched/nfq.cc.o" "gcc" "src/CMakeFiles/stfm.dir/sched/nfq.cc.o.d"
+  "/root/repo/src/sched/policy.cc" "src/CMakeFiles/stfm.dir/sched/policy.cc.o" "gcc" "src/CMakeFiles/stfm.dir/sched/policy.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/stfm.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/stfm.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/stfm.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/stfm.dir/sim/system.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/stfm.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/stfm.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/metrics.cc" "src/CMakeFiles/stfm.dir/stats/metrics.cc.o" "gcc" "src/CMakeFiles/stfm.dir/stats/metrics.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/CMakeFiles/stfm.dir/stats/summary.cc.o" "gcc" "src/CMakeFiles/stfm.dir/stats/summary.cc.o.d"
+  "/root/repo/src/trace/catalog.cc" "src/CMakeFiles/stfm.dir/trace/catalog.cc.o" "gcc" "src/CMakeFiles/stfm.dir/trace/catalog.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/CMakeFiles/stfm.dir/trace/generator.cc.o" "gcc" "src/CMakeFiles/stfm.dir/trace/generator.cc.o.d"
+  "/root/repo/src/trace/recorded.cc" "src/CMakeFiles/stfm.dir/trace/recorded.cc.o" "gcc" "src/CMakeFiles/stfm.dir/trace/recorded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

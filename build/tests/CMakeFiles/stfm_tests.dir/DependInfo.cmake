@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_mapping.cc" "tests/CMakeFiles/stfm_tests.dir/test_address_mapping.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_address_mapping.cc.o.d"
+  "/root/repo/tests/test_bank.cc" "tests/CMakeFiles/stfm_tests.dir/test_bank.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_bank.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/stfm_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_catalog.cc" "tests/CMakeFiles/stfm_tests.dir/test_catalog.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_catalog.cc.o.d"
+  "/root/repo/tests/test_channel.cc" "tests/CMakeFiles/stfm_tests.dir/test_channel.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_channel.cc.o.d"
+  "/root/repo/tests/test_controller.cc" "tests/CMakeFiles/stfm_tests.dir/test_controller.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_controller.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/stfm_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_fixed_point.cc" "tests/CMakeFiles/stfm_tests.dir/test_fixed_point.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_fixed_point.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/stfm_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/stfm_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_memory_system.cc" "tests/CMakeFiles/stfm_tests.dir/test_memory_system.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_memory_system.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/stfm_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/stfm_tests.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_nfq.cc" "tests/CMakeFiles/stfm_tests.dir/test_nfq.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_nfq.cc.o.d"
+  "/root/repo/tests/test_occupancy.cc" "tests/CMakeFiles/stfm_tests.dir/test_occupancy.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_occupancy.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/stfm_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/stfm_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_recorded.cc" "tests/CMakeFiles/stfm_tests.dir/test_recorded.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_recorded.cc.o.d"
+  "/root/repo/tests/test_refresh.cc" "tests/CMakeFiles/stfm_tests.dir/test_refresh.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_refresh.cc.o.d"
+  "/root/repo/tests/test_request_buffer.cc" "tests/CMakeFiles/stfm_tests.dir/test_request_buffer.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_request_buffer.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/stfm_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/stfm_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_slowdown_tracker.cc" "tests/CMakeFiles/stfm_tests.dir/test_slowdown_tracker.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_slowdown_tracker.cc.o.d"
+  "/root/repo/tests/test_soak.cc" "tests/CMakeFiles/stfm_tests.dir/test_soak.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_soak.cc.o.d"
+  "/root/repo/tests/test_stfm.cc" "tests/CMakeFiles/stfm_tests.dir/test_stfm.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_stfm.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/stfm_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/stfm_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/stfm_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/stfm_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/stfm_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stfm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
