@@ -15,9 +15,12 @@
 #include "harness/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace stfm;
+    // --check runs the whole sweep under the integrity layer (shadow
+    // protocol checker + watchdogs); same as STFM_CHECK=1.
+    ExperimentRunner::applyBenchFlags(argc, argv);
     const bool full = std::getenv("STFM_FULL_SWEEP") != nullptr;
     const unsigned count = full ? 256 : 32;
     runSweep("Figure 9: 4-core category-balanced workload sweep",

@@ -15,9 +15,10 @@
 #include "harness/workloads.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace stfm;
+    ExperimentRunner::applyBenchFlags(argc, argv); // --check
     std::vector<Workload> list = workloads::eightCoreSamples();
     const bool full = std::getenv("STFM_FULL_SWEEP") != nullptr;
     const unsigned extra = full ? 22 : 6;

@@ -14,9 +14,10 @@
 #include "harness/workloads.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace stfm;
+    ExperimentRunner::applyBenchFlags(argc, argv); // --check
     runSweep("Figure 12: 16-core workloads (high16, high8+low8, low16)",
              workloads::sixteenCore(), 3, 30000);
     return 0;

@@ -1,0 +1,144 @@
+#include "check/auditor.hh"
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+RequestAuditor::RequestAuditor(ChannelId channel,
+                               DramCycles starvation_bound,
+                               bool throw_on_violation)
+    : channel_(channel), starvationBound_(starvation_bound),
+      throwOnViolation_(throw_on_violation)
+{}
+
+void
+RequestAuditor::flag(const char *constraint, const Record &record,
+                     std::uint64_t id, DramCycles now,
+                     const std::string &detail)
+{
+    if (throwOnViolation_) {
+        throw CheckFailure(constraint, now, channel_, record.bank, id,
+                           record.thread, detail);
+    }
+    Violation v;
+    v.constraint = constraint;
+    v.cycle = now;
+    v.channel = channel_;
+    v.bank = record.bank;
+    v.requestId = id;
+    v.thread = record.thread;
+    v.detail = detail;
+    violations_.push_back(std::move(v));
+}
+
+void
+RequestAuditor::onEnqueue(std::uint64_t id, ThreadId thread, BankId bank,
+                          bool is_write, DramCycles now)
+{
+    Record record;
+    record.thread = thread;
+    record.bank = bank;
+    record.isWrite = is_write;
+    record.enqueuedAt = now;
+    const auto [it, inserted] = outstanding_.emplace(id, record);
+    if (!inserted) {
+        flag("duplicate-id", record, id, now,
+             "request id enqueued twice (id reuse before completion)");
+        it->second = record; // Resync in record mode.
+        return;
+    }
+    ++accepted_;
+}
+
+void
+RequestAuditor::onForward(std::uint64_t id, ThreadId thread, BankId bank,
+                          DramCycles now)
+{
+    onEnqueue(id, thread, bank, /*is_write=*/false, now);
+    onIssue(id, now);
+}
+
+void
+RequestAuditor::onIssue(std::uint64_t id, DramCycles now)
+{
+    const auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) {
+        flag("issue-unknown", Record{}, id, now,
+             "column command issued for a request never enqueued");
+        return;
+    }
+    if (it->second.issued) {
+        flag("double-issue", it->second, id, now,
+             "column command issued twice for one request");
+        return;
+    }
+    it->second.issued = true;
+}
+
+void
+RequestAuditor::onComplete(std::uint64_t id, DramCycles now)
+{
+    const auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) {
+        flag("duplicate-completion", Record{}, id, now,
+             "completion for an unknown or already-completed request");
+        return;
+    }
+    if (!it->second.issued) {
+        flag("complete-unissued", it->second, id, now,
+             "request completed without its column command issuing");
+    }
+    outstanding_.erase(it);
+    ++completed_;
+}
+
+void
+RequestAuditor::checkProgress(DramCycles now)
+{
+    for (const auto &[id, record] : outstanding_) {
+        if (record.issued)
+            continue; // In service; bounded by DRAM timing.
+        if (now - record.enqueuedAt > starvationBound_) {
+            flag("starvation", record, id, now,
+                 formatMessage(
+                     "%s queued for %llu DRAM cycles (bound %llu)",
+                     record.isWrite ? "write" : "read",
+                     static_cast<unsigned long long>(
+                         now - record.enqueuedAt),
+                     static_cast<unsigned long long>(starvationBound_)));
+            return; // One report per scan is enough context.
+        }
+    }
+}
+
+void
+RequestAuditor::checkDrained(DramCycles now)
+{
+    if (outstanding_.empty())
+        return;
+    // Report the oldest leaked request; record-only mode logs them all.
+    const std::pair<const std::uint64_t, Record> *oldest = nullptr;
+    for (const auto &entry : outstanding_) {
+        if (!oldest || entry.second.enqueuedAt < oldest->second.enqueuedAt)
+            oldest = &entry;
+    }
+    if (throwOnViolation_) {
+        flag("leak", oldest->second, oldest->first, now,
+             formatMessage("%zu request(s) never completed; oldest "
+                           "enqueued at cycle %llu",
+                           outstanding_.size(),
+                           static_cast<unsigned long long>(
+                               oldest->second.enqueuedAt)));
+        return;
+    }
+    for (const auto &[id, record] : outstanding_) {
+        flag("leak", record, id, now,
+             formatMessage("request enqueued at cycle %llu never "
+                           "completed",
+                           static_cast<unsigned long long>(
+                               record.enqueuedAt)));
+    }
+}
+
+} // namespace stfm

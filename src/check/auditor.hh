@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Forward-progress watchdogs: request lifetime auditor + starvation
+ * monitor.
+ *
+ * The auditor shadows every request's lifecycle through one
+ * controller — enqueue, (column) issue, data return — keyed by the
+ * controller-assigned globally unique request id. It flags:
+ *
+ *   - duplicate ids at enqueue, double issues, and completions for
+ *     requests it never saw (conservation violations);
+ *   - leaked requests at drain (accepted but never completed);
+ *   - starvation: any queued request aging past a configurable DRAM-
+ *     cycle bound, which turns scheduler-policy livelock (the failure
+ *     mode fairness bugs actually produce — unbounded latencies) into
+ *     a diagnosable CheckFailure with full context instead of a hung
+ *     or silently wrong run.
+ *
+ * Observation-only: the auditor never influences scheduling.
+ */
+
+#ifndef STFM_CHECK_AUDITOR_HH
+#define STFM_CHECK_AUDITOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "check/integrity.hh"
+#include "common/types.hh"
+
+namespace stfm
+{
+
+class RequestAuditor
+{
+  public:
+    /**
+     * @param channel            Channel id (diagnostics only).
+     * @param starvation_bound   Max DRAM cycles a request may stay
+     *                           queued before issue.
+     * @param throw_on_violation Throw CheckFailure (default) or record.
+     */
+    RequestAuditor(ChannelId channel, DramCycles starvation_bound,
+                   bool throw_on_violation = true);
+
+    /** A request entered the controller's buffers. */
+    void onEnqueue(std::uint64_t id, ThreadId thread, BankId bank,
+                   bool is_write, DramCycles now);
+    /**
+     * A read was satisfied by write-to-read forwarding: it bypasses
+     * DRAM entirely and completes on a later tick.
+     */
+    void onForward(std::uint64_t id, ThreadId thread, BankId bank,
+                   DramCycles now);
+    /** The request's column command issued (it entered service). */
+    void onIssue(std::uint64_t id, DramCycles now);
+    /** The request's data burst finished (it left the controller). */
+    void onComplete(std::uint64_t id, DramCycles now);
+
+    /** Starvation scan: flag queued requests older than the bound. */
+    void checkProgress(DramCycles now);
+    /**
+     * Drain check: every accepted request must have completed. Call
+     * once the controller reports idle.
+     */
+    void checkDrained(DramCycles now);
+
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+    /** Requests currently tracked (accepted, not yet completed). */
+    std::size_t outstanding() const { return outstanding_.size(); }
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t completed() const { return completed_; }
+
+  private:
+    struct Record
+    {
+        ThreadId thread = kInvalidThread;
+        BankId bank = 0;
+        bool isWrite = false;
+        bool issued = false;
+        DramCycles enqueuedAt = 0;
+    };
+
+    void flag(const char *constraint, const Record &record,
+              std::uint64_t id, DramCycles now,
+              const std::string &detail);
+
+    ChannelId channel_;
+    DramCycles starvationBound_;
+    bool throwOnViolation_;
+
+    std::unordered_map<std::uint64_t, Record> outstanding_;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t completed_ = 0;
+
+    std::vector<Violation> violations_;
+};
+
+} // namespace stfm
+
+#endif // STFM_CHECK_AUDITOR_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared types of the simulation integrity layer.
+ *
+ * The integrity layer runs *alongside* the simulation and is strictly
+ * observation-only: enabling it must not change a single scheduling
+ * decision or statistic (tests/test_integrity.cc enforces this with a
+ * bit-identical determinism regression). It consists of
+ *
+ *   - a shadow DRAM protocol checker (check/protocol_checker.hh) that
+ *     re-derives every DDR2 timing constraint from the issued command
+ *     stream alone and flags commands the device model wrongly let
+ *     through, and
+ *   - forward-progress watchdogs (check/auditor.hh): a per-request
+ *     lifetime auditor (enqueue -> issue -> data return, flagging
+ *     leaked or duplicated requests at drain) and a starvation monitor
+ *     bounding how long any queued request may age.
+ *
+ * Violations surface as structured CheckFailure exceptions
+ * (common/logging.hh) so the harness can isolate a failing run, or are
+ * recorded for inspection when throwOnViolation is off (negative
+ * tests).
+ */
+
+#ifndef STFM_CHECK_INTEGRITY_HH
+#define STFM_CHECK_INTEGRITY_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/** Per-run toggles and bounds for the integrity layer. */
+struct IntegrityConfig
+{
+    /** Run the shadow DDR2 protocol checker on every issued command. */
+    bool protocolCheck = false;
+    /** Run the request lifetime auditor and starvation monitor. */
+    bool watchdog = false;
+    /**
+     * Maximum DRAM cycles a queued request may wait before the
+     * starvation monitor flags scheduler livelock. Generous by design:
+     * writes are legitimately deprioritized for long stretches, so the
+     * bound only exists to turn "never" into a diagnosable failure.
+     */
+    DramCycles starvationBound = 500000;
+    /** DRAM cycles between starvation-monitor scans. */
+    DramCycles progressCheckStride = 256;
+    /**
+     * Throw CheckFailure on a violation (default) instead of only
+     * recording it. Record-only mode is for the negative tests that
+     * deliberately inject malformed command sequences.
+     */
+    bool throwOnViolation = true;
+
+    bool enabled() const { return protocolCheck || watchdog; }
+
+    /** Everything on, default bounds. */
+    static IntegrityConfig
+    full()
+    {
+        IntegrityConfig config;
+        config.protocolCheck = true;
+        config.watchdog = true;
+        return config;
+    }
+
+    /**
+     * Honor the STFM_CHECK environment variable: any value other than
+     * empty/"0" enables the full integrity layer on top of @p base.
+     * Benches map their `--check` flag onto this.
+     */
+    static IntegrityConfig
+    fromEnv(IntegrityConfig base)
+    {
+        if (const char *env = std::getenv("STFM_CHECK")) {
+            if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+                base.protocolCheck = true;
+                base.watchdog = true;
+            }
+        }
+        return base;
+    }
+};
+
+/** One recorded integrity violation (record-only mode). */
+struct Violation
+{
+    std::string constraint; ///< e.g. "tRCD", "tFAW", "leak".
+    DramCycles cycle = 0;
+    ChannelId channel = 0;
+    BankId bank = 0;
+    std::uint64_t requestId = static_cast<std::uint64_t>(-1);
+    ThreadId thread = kInvalidThread;
+    std::string detail;
+};
+
+} // namespace stfm
+
+#endif // STFM_CHECK_INTEGRITY_HH

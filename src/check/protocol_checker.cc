@@ -1,0 +1,241 @@
+#include "check/protocol_checker.hh"
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+ProtocolChecker::ProtocolChecker(ChannelId channel, unsigned num_banks,
+                                 const DramTiming &timing,
+                                 bool throw_on_violation)
+    : channel_(channel), timing_(timing),
+      throwOnViolation_(throw_on_violation), banks_(num_banks)
+{
+    STFM_ASSERT(num_banks > 0, "protocol checker needs at least one bank");
+}
+
+void
+ProtocolChecker::noteRequest(std::uint64_t id, ThreadId thread)
+{
+    pendingRequestId_ = id;
+    pendingThread_ = thread;
+}
+
+void
+ProtocolChecker::flag(const char *constraint, BankId bank, DramCycles now,
+                      const std::string &detail)
+{
+    if (throwOnViolation_) {
+        throw CheckFailure(constraint, now, channel_, bank,
+                           pendingRequestId_, pendingThread_, detail);
+    }
+    Violation v;
+    v.constraint = constraint;
+    v.cycle = now;
+    v.channel = channel_;
+    v.bank = bank;
+    v.requestId = pendingRequestId_;
+    v.thread = pendingThread_;
+    v.detail = detail;
+    violations_.push_back(std::move(v));
+}
+
+void
+ProtocolChecker::checkActivate(BankShadow &bank, BankId b, RowId row,
+                               DramCycles now)
+{
+    if (now < refreshUntil_) {
+        flag("tRFC", b, now,
+             formatMessage("ACT while rank refreshes until cycle %llu",
+                           static_cast<unsigned long long>(
+                               refreshUntil_)));
+    }
+    if (bank.openRow != kInvalidRow) {
+        flag("bank-state", b, now,
+             formatMessage("ACT to a bank with row %u already open",
+                           bank.openRow));
+    }
+    if (bank.actAt != kNoTime && now < bank.actAt + timing_.tRC) {
+        flag("tRC", b, now,
+             formatMessage("ACT %llu cycles after previous ACT (tRC=%llu)",
+                           static_cast<unsigned long long>(now - bank.actAt),
+                           static_cast<unsigned long long>(timing_.tRC)));
+    }
+    if (bank.preAt != kNoTime && now < bank.preAt + timing_.tRP) {
+        flag("tRP", b, now,
+             formatMessage("ACT %llu cycles after PRE (tRP=%llu)",
+                           static_cast<unsigned long long>(now - bank.preAt),
+                           static_cast<unsigned long long>(timing_.tRP)));
+    }
+    if (!actTimes_.empty() &&
+        now < actTimes_.back() + timing_.tRRD) {
+        flag("tRRD", b, now,
+             formatMessage("ACT %llu cycles after previous channel ACT "
+                           "(tRRD=%llu)",
+                           static_cast<unsigned long long>(
+                               now - actTimes_.back()),
+                           static_cast<unsigned long long>(timing_.tRRD)));
+    }
+    if (actTimes_.size() >= 4 &&
+        now < actTimes_[actTimes_.size() - 4] + timing_.tFAW) {
+        flag("tFAW", b, now,
+             formatMessage("fifth ACT %llu cycles after the fourth-last "
+                           "(tFAW=%llu)",
+                           static_cast<unsigned long long>(
+                               now - actTimes_[actTimes_.size() - 4]),
+                           static_cast<unsigned long long>(timing_.tFAW)));
+    }
+
+    bank.openRow = row;
+    bank.actAt = now;
+    actTimes_.push_back(now);
+    if (actTimes_.size() > 4)
+        actTimes_.erase(actTimes_.begin());
+}
+
+void
+ProtocolChecker::checkPrecharge(BankShadow &bank, BankId b,
+                                DramCycles now)
+{
+    if (bank.openRow == kInvalidRow)
+        flag("bank-state", b, now, "PRE to an already-precharged bank");
+    if (bank.actAt != kNoTime && now < bank.actAt + timing_.tRAS) {
+        flag("tRAS", b, now,
+             formatMessage("PRE %llu cycles after ACT (tRAS=%llu)",
+                           static_cast<unsigned long long>(now - bank.actAt),
+                           static_cast<unsigned long long>(timing_.tRAS)));
+    }
+    // Read to precharge: the burst plus tRTP must elapse.
+    if (bank.readAt != kNoTime &&
+        now < bank.readAt + timing_.burst + timing_.tRTP) {
+        flag("tRTP", b, now,
+             formatMessage("PRE %llu cycles after READ (burst+tRTP=%llu)",
+                           static_cast<unsigned long long>(now - bank.readAt),
+                           static_cast<unsigned long long>(timing_.burst +
+                                                           timing_.tRTP)));
+    }
+    // Write recovery: data must be restored into the array first.
+    if (bank.writeAt != kNoTime &&
+        now < bank.writeAt + timing_.tWL + timing_.burst + timing_.tWR) {
+        flag("tWR", b, now,
+             formatMessage("PRE %llu cycles after WRITE "
+                           "(tWL+burst+tWR=%llu)",
+                           static_cast<unsigned long long>(
+                               now - bank.writeAt),
+                           static_cast<unsigned long long>(
+                               timing_.tWL + timing_.burst + timing_.tWR)));
+    }
+
+    bank.openRow = kInvalidRow;
+    bank.preAt = now;
+}
+
+void
+ProtocolChecker::checkColumn(BankShadow &bank, BankId b, RowId row,
+                             DramCycles now, bool is_write)
+{
+    const char *name = is_write ? "WRITE" : "READ";
+    if (bank.openRow == kInvalidRow) {
+        flag("bank-state", b, now,
+             formatMessage("%s to a precharged bank", name));
+    } else if (bank.openRow != row) {
+        flag("bank-state", b, now,
+             formatMessage("%s to row %u while row %u is open", name, row,
+                           bank.openRow));
+    }
+    if (bank.actAt != kNoTime && now < bank.actAt + timing_.tRCD) {
+        flag("tRCD", b, now,
+             formatMessage("%s %llu cycles after ACT (tRCD=%llu)", name,
+                           static_cast<unsigned long long>(now - bank.actAt),
+                           static_cast<unsigned long long>(timing_.tRCD)));
+    }
+    if (bank.colAt != kNoTime && now < bank.colAt + timing_.tCCD) {
+        flag("tCCD", b, now,
+             formatMessage("%s %llu cycles after previous column command "
+                           "(tCCD=%llu)",
+                           name,
+                           static_cast<unsigned long long>(now - bank.colAt),
+                           static_cast<unsigned long long>(timing_.tCCD)));
+    }
+    if (!is_write && writeDataEndAt_ != kNoTime &&
+        now < writeDataEndAt_ + timing_.tWTR) {
+        flag("tWTR", b, now,
+             formatMessage("READ %llu cycles before the write-to-read "
+                           "turnaround expires (tWTR=%llu)",
+                           static_cast<unsigned long long>(
+                               writeDataEndAt_ + timing_.tWTR - now),
+                           static_cast<unsigned long long>(timing_.tWTR)));
+    }
+    // Data-bus contention: this command's burst must not overlap the
+    // previously scheduled burst.
+    const DramCycles data_start =
+        now + (is_write ? timing_.tWL : timing_.tCL);
+    if (data_start < busFreeAt_) {
+        flag("data-bus", b, now,
+             formatMessage("%s data burst starts at %llu but the bus is "
+                           "busy until %llu",
+                           name,
+                           static_cast<unsigned long long>(data_start),
+                           static_cast<unsigned long long>(busFreeAt_)));
+    }
+
+    bank.colAt = now;
+    busFreeAt_ = data_start + timing_.burst;
+    if (is_write) {
+        bank.writeAt = now;
+        writeDataEndAt_ = data_start + timing_.burst;
+    } else {
+        bank.readAt = now;
+    }
+}
+
+void
+ProtocolChecker::onCommand(DramCommand cmd, BankId bank, RowId row,
+                           DramCycles now)
+{
+    ++commandsChecked_;
+    if (bank >= banks_.size()) {
+        flag("bank-range", bank, now,
+             formatMessage("command to bank %u of %zu", bank,
+                           banks_.size()));
+        pendingRequestId_ = CheckFailure::kNoRequest;
+        pendingThread_ = kInvalidThread;
+        return;
+    }
+    BankShadow &shadow = banks_[bank];
+    switch (cmd) {
+      case DramCommand::Activate:
+        checkActivate(shadow, bank, row, now);
+        break;
+      case DramCommand::Precharge:
+        checkPrecharge(shadow, bank, now);
+        break;
+      case DramCommand::Read:
+        checkColumn(shadow, bank, row, now, /*is_write=*/false);
+        break;
+      case DramCommand::Write:
+        checkColumn(shadow, bank, row, now, /*is_write=*/true);
+        break;
+    }
+    pendingRequestId_ = CheckFailure::kNoRequest;
+    pendingThread_ = kInvalidThread;
+}
+
+void
+ProtocolChecker::onRefresh(DramCycles now)
+{
+    ++commandsChecked_;
+    for (BankId b = 0; b < banks_.size(); ++b) {
+        if (banks_[b].openRow != kInvalidRow) {
+            flag("refresh", b, now,
+                 formatMessage("refresh with row %u open",
+                               banks_[b].openRow));
+            banks_[b].openRow = kInvalidRow; // Resync in record mode.
+        }
+    }
+    refreshUntil_ = now + timing_.tRFC;
+    pendingRequestId_ = CheckFailure::kNoRequest;
+    pendingThread_ = kInvalidThread;
+}
+
+} // namespace stfm

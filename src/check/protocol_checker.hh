@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shadow DDR2 protocol checker.
+ *
+ * An independent, from-the-spec re-implementation of the Table 2
+ * timing rules: it reconstructs per-bank and per-channel state from
+ * the issued command stream alone (command timestamps, not the device
+ * model's precomputed earliest-issue times) and flags any command the
+ * Channel/Bank readiness logic wrongly admitted. Because the two
+ * implementations share no code or state representation, a bookkeeping
+ * bug in one is caught by the other.
+ *
+ * Constraints validated per command:
+ *
+ *   ACTIVATE   bank closed; tRC (ACT->ACT same bank); tRP (PRE->ACT);
+ *              tRRD (ACT->ACT any bank); tFAW (four-activate window);
+ *              tRFC (no ACT while the rank refreshes)
+ *   PRECHARGE  bank open; tRAS (ACT->PRE); tRTP after the read burst;
+ *              write recovery tWR after the write burst
+ *   READ       row open and matching; tRCD; tCCD (same bank);
+ *              tWTR from the end of the last write burst (channel-
+ *              wide); data-bus contention (burst may not overlap)
+ *   WRITE      row open and matching; tRCD; tCCD; data-bus contention
+ *   REFRESH    all banks precharged
+ *
+ * The checker attaches to a DramChannel as its DramCommandObserver and
+ * is strictly observation-only.
+ */
+
+#ifndef STFM_CHECK_PROTOCOL_CHECKER_HH
+#define STFM_CHECK_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "check/integrity.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace stfm
+{
+
+class ProtocolChecker : public DramCommandObserver
+{
+  public:
+    /**
+     * @param channel            Channel id (diagnostics only).
+     * @param num_banks          Banks in the shadowed channel.
+     * @param timing             The constraint set to validate against.
+     * @param throw_on_violation Throw CheckFailure (default) or record.
+     */
+    ProtocolChecker(ChannelId channel, unsigned num_banks,
+                    const DramTiming &timing,
+                    bool throw_on_violation = true);
+
+    /**
+     * Attach request context for the next observed command so that a
+     * violation names the offending request/thread. Cleared after one
+     * command; maintenance commands (refresh precharges) carry none.
+     */
+    void noteRequest(std::uint64_t id, ThreadId thread);
+
+    // DramCommandObserver interface -----------------------------------
+    void onCommand(DramCommand cmd, BankId bank, RowId row,
+                   DramCycles now) override;
+    void onRefresh(DramCycles now) override;
+
+    /** Violations recorded so far (record-only mode). */
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+    /** Total commands (including refreshes) validated. */
+    std::uint64_t commandsChecked() const { return commandsChecked_; }
+
+  private:
+    /** Sentinel: no such command has been observed yet. */
+    static constexpr DramCycles kNoTime =
+        static_cast<DramCycles>(-1);
+
+    struct BankShadow
+    {
+        RowId openRow = kInvalidRow;
+        DramCycles actAt = kNoTime;   ///< Last ACTIVATE issue time.
+        DramCycles preAt = kNoTime;   ///< Last PRECHARGE issue time.
+        DramCycles readAt = kNoTime;  ///< Last READ issue time.
+        DramCycles writeAt = kNoTime; ///< Last WRITE issue time.
+        DramCycles colAt = kNoTime;   ///< Last column command (tCCD).
+    };
+
+    void checkActivate(BankShadow &bank, BankId b, RowId row,
+                       DramCycles now);
+    void checkPrecharge(BankShadow &bank, BankId b, DramCycles now);
+    void checkColumn(BankShadow &bank, BankId b, RowId row,
+                     DramCycles now, bool is_write);
+    void flag(const char *constraint, BankId bank, DramCycles now,
+              const std::string &detail);
+
+    ChannelId channel_;
+    DramTiming timing_;
+    bool throwOnViolation_;
+
+    std::vector<BankShadow> banks_;
+    /** Issue times of the most recent activates (tRRD/tFAW window). */
+    std::vector<DramCycles> actTimes_;
+    /** First cycle the shadow data bus is free. */
+    DramCycles busFreeAt_ = 0;
+    /** End of the most recent write data burst (tWTR origin). */
+    DramCycles writeDataEndAt_ = kNoTime;
+    /** Rank unusable until this cycle (refresh in progress). */
+    DramCycles refreshUntil_ = 0;
+
+    std::uint64_t pendingRequestId_ = CheckFailure::kNoRequest;
+    ThreadId pendingThread_ = kInvalidThread;
+
+    std::vector<Violation> violations_;
+    std::uint64_t commandsChecked_ = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_CHECK_PROTOCOL_CHECKER_HH

@@ -1,44 +1,146 @@
 /**
  * @file
- * Minimal fatal/panic helpers in the gem5 spirit.
+ * Fatal/panic helpers plus the structured recoverable-error path used
+ * by the integrity layer (src/check/).
  *
- * panic() flags simulator bugs (invariant violations) and aborts;
- * fatal() flags user/configuration errors and exits cleanly.
+ * Three severities, three behaviors:
+ *   - panic() flags simulator bugs (invariant violations) and aborts;
+ *   - fatal() flags user/configuration errors and exits cleanly;
+ *   - SimError / CheckFailure are *recoverable* diagnostics: library
+ *     code throws them so a harness can isolate one bad run, record
+ *     the failure, and keep sweeping instead of dying (see
+ *     harness/runner.cc).
+ *
+ * All entry points accept printf-style formatted messages so call
+ * sites can attach cycle/channel/bank/request context.
  */
 
 #ifndef STFM_COMMON_LOGGING_HH
 #define STFM_COMMON_LOGGING_HH
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
 
 namespace stfm
 {
 
-[[noreturn]] inline void
-panicImpl(const char *file, int line, const char *msg)
+/** vsnprintf into a std::string (for exception messages). */
+inline std::string
+vformatMessage(const char *fmt, std::va_list args)
 {
-    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed <= 0)
+        return std::string(fmt);
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    return out;
+}
+
+/** printf-style formatting into a std::string. */
+__attribute__((format(printf, 1, 2))) inline std::string
+formatMessage(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string out = vformatMessage(fmt, args);
+    va_end(args);
+    return out;
+}
+
+[[noreturn]] __attribute__((format(printf, 3, 4))) inline void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
     std::abort();
 }
 
-[[noreturn]] inline void
-fatalImpl(const char *file, int line, const char *msg)
+[[noreturn]] __attribute__((format(printf, 3, 4))) inline void
+fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
     std::exit(1);
 }
 
+/**
+ * Recoverable simulation error (bad configuration, unusable workload,
+ * cycle-limit overrun). Harness code catches these per run.
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what) : std::runtime_error(what) {}
+};
+
+/**
+ * A runtime integrity-check violation with full diagnostic context:
+ * which constraint failed, at which DRAM cycle, on which channel/bank,
+ * and for which request/thread (sentinels when not attributable, e.g.
+ * maintenance commands).
+ */
+class CheckFailure : public SimError
+{
+  public:
+    /** Sentinel request id meaning "no request context". */
+    static constexpr std::uint64_t kNoRequest =
+        static_cast<std::uint64_t>(-1);
+
+    CheckFailure(std::string constraint_name, DramCycles at_cycle,
+                 ChannelId on_channel, BankId on_bank,
+                 std::uint64_t request_id, ThreadId thread_id,
+                 const std::string &detail)
+        : SimError(formatMessage(
+              "check failure [%s] cycle=%llu channel=%u bank=%u "
+              "request=%lld thread=%d: %s",
+              constraint_name.c_str(),
+              static_cast<unsigned long long>(at_cycle), on_channel,
+              on_bank,
+              request_id == kNoRequest
+                  ? -1LL
+                  : static_cast<long long>(request_id),
+              thread_id == kInvalidThread ? -1
+                                          : static_cast<int>(thread_id),
+              detail.c_str())),
+          constraint(std::move(constraint_name)), cycle(at_cycle),
+          channel(on_channel), bank(on_bank), requestId(request_id),
+          thread(thread_id)
+    {}
+
+    std::string constraint; ///< Constraint or invariant that failed.
+    DramCycles cycle;       ///< DRAM cycle of the violation.
+    ChannelId channel;      ///< Channel the violation occurred on.
+    BankId bank;            ///< Bank involved (0 if channel-wide).
+    std::uint64_t requestId; ///< Offending request, or kNoRequest.
+    ThreadId thread;         ///< Owning thread, or kInvalidThread.
+};
+
 } // namespace stfm
 
-#define STFM_PANIC(msg) ::stfm::panicImpl(__FILE__, __LINE__, (msg))
-#define STFM_FATAL(msg) ::stfm::fatalImpl(__FILE__, __LINE__, (msg))
+#define STFM_PANIC(...) ::stfm::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define STFM_FATAL(...) ::stfm::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 
 /** Simulator-bug assertion: active in all build types. */
-#define STFM_ASSERT(cond, msg)                                             \
+#define STFM_ASSERT(cond, ...)                                             \
     do {                                                                   \
         if (!(cond))                                                       \
-            STFM_PANIC(msg);                                               \
+            STFM_PANIC(__VA_ARGS__);                                       \
     } while (0)
 
 #endif // STFM_COMMON_LOGGING_HH

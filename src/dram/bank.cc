@@ -34,7 +34,8 @@ Bank::canIssue(DramCommand cmd, RowId row, DramCycles now) const
 void
 Bank::blockUntil(DramCycles until)
 {
-    STFM_ASSERT(openRow_ == kInvalidRow, "refreshing an open bank");
+    STFM_ASSERT(openRow_ == kInvalidRow,
+                "refreshing a bank with row %u open", openRow_);
     actAllowedAt_ = std::max(actAllowedAt_, until);
 }
 
@@ -42,7 +43,10 @@ void
 Bank::issue(DramCommand cmd, RowId row, DramCycles now,
             const DramTiming &timing)
 {
-    STFM_ASSERT(canIssue(cmd, row, now), "illegal DRAM command issue");
+    STFM_ASSERT(canIssue(cmd, row, now),
+                "illegal %s issue to row %u at cycle %llu (open row %u)",
+                toString(cmd), row,
+                static_cast<unsigned long long>(now), openRow_);
     switch (cmd) {
       case DramCommand::Activate:
         openRow_ = row;

@@ -34,7 +34,11 @@ DramChannel::allBanksClosed() const
 DramCycles
 DramChannel::refreshAll(DramCycles now)
 {
-    STFM_ASSERT(allBanksClosed(), "refresh requires precharged banks");
+    STFM_ASSERT(allBanksClosed(),
+                "refresh requires precharged banks (cycle %llu)",
+                static_cast<unsigned long long>(now));
+    if (observer_)
+        observer_->onRefresh(now);
     const DramCycles done = now + timing_.tRFC;
     for (Bank &bank : banks_)
         bank.blockUntil(done);
@@ -73,7 +77,13 @@ DramChannel::canIssue(DramCommand cmd, BankId b, RowId row,
 DramCycles
 DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
 {
-    STFM_ASSERT(canIssue(cmd, b, row, now), "channel: illegal issue");
+    STFM_ASSERT(canIssue(cmd, b, row, now),
+                "channel: illegal %s issue to bank %u row %u at cycle "
+                "%llu",
+                toString(cmd), b, row,
+                static_cast<unsigned long long>(now));
+    if (observer_)
+        observer_->onCommand(cmd, b, row, now);
     banks_[b].issue(cmd, row, now, timing_);
 
     switch (cmd) {

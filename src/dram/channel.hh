@@ -27,6 +27,23 @@
 namespace stfm
 {
 
+/**
+ * Observer of a channel's issued command stream. The integrity layer's
+ * shadow protocol checker attaches here so that *every* command the
+ * device model admits — scheduler-driven and maintenance alike — is
+ * independently validated. Observers must not mutate channel state.
+ */
+class DramCommandObserver
+{
+  public:
+    virtual ~DramCommandObserver() = default;
+    /** A command was issued to (bank, row) at DRAM cycle @p now. */
+    virtual void onCommand(DramCommand cmd, BankId bank, RowId row,
+                           DramCycles now) = 0;
+    /** An all-bank auto-refresh was issued at DRAM cycle @p now. */
+    virtual void onRefresh(DramCycles now) = 0;
+};
+
 /** Statistics exported by a channel. */
 struct ChannelStats
 {
@@ -84,6 +101,12 @@ class DramChannel
     const DramTiming &timing() const { return timing_; }
     const ChannelStats &stats() const { return stats_; }
 
+    /** Attach an observer of the issued command stream (may be null). */
+    void setObserver(DramCommandObserver *observer)
+    {
+        observer_ = observer;
+    }
+
   private:
     DramTiming timing_;
     std::vector<Bank> banks_;
@@ -97,6 +120,8 @@ class DramChannel
     std::array<DramCycles, 4> actWindow_{};
     unsigned actWindowIdx_ = 0;
     std::uint64_t actCount_ = 0;
+
+    DramCommandObserver *observer_ = nullptr;
 
     ChannelStats stats_;
 };

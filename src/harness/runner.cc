@@ -11,6 +11,8 @@ namespace stfm
 ExperimentRunner::ExperimentRunner(SimConfig base) : base_(std::move(base))
 {
     base_.instructionBudget = budgetFromEnv(base_.instructionBudget);
+    base_.memory.controller.integrity =
+        IntegrityConfig::fromEnv(base_.memory.controller.integrity);
 }
 
 std::uint64_t
@@ -22,6 +24,21 @@ ExperimentRunner::budgetFromEnv(std::uint64_t fallback)
             return static_cast<std::uint64_t>(parsed);
     }
     return fallback;
+}
+
+void
+ExperimentRunner::applyBenchFlags(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--check")
+            setenv("STFM_CHECK", "1", 1);
+    }
+}
+
+void
+ExperimentRunner::setMaxAttempts(unsigned attempts)
+{
+    maxAttempts_ = attempts > 0 ? attempts : 1;
 }
 
 SimConfig
@@ -68,13 +85,17 @@ ExperimentRunner::aloneResult(const std::string &benchmark)
 
     CmpSystem system(config, std::move(traces));
     const SimResult result = system.run();
-    STFM_ASSERT(!result.hitCycleLimit, "alone run hit the cycle limit");
+    if (result.hitCycleLimit) {
+        throw SimError(formatMessage(
+            "alone run of '%s' hit the cycle limit", benchmark.c_str()));
+    }
     return aloneCache_.emplace(key, result.threads[0]).first->second;
 }
 
 RunOutcome
-ExperimentRunner::run(const Workload &workload,
-                      const SchedulerConfig &scheduler)
+ExperimentRunner::attemptRun(const Workload &workload,
+                             const SchedulerConfig &scheduler,
+                             std::uint64_t seed_salt)
 {
     const SimConfig config = configFor(workload, scheduler);
 
@@ -86,7 +107,8 @@ ExperimentRunner::run(const Workload &workload,
     std::vector<std::unique_ptr<TraceSource>> traces;
     for (unsigned t = 0; t < workload.size(); ++t) {
         traces.push_back(makeBenchmarkTrace(findBenchmark(workload[t]),
-                                            mapping, t, config.cores));
+                                            mapping, t, config.cores,
+                                            seed_salt));
     }
 
     CmpSystem system(config, std::move(traces));
@@ -100,6 +122,32 @@ ExperimentRunner::run(const Workload &workload,
     for (const auto &name : workload)
         alone.push_back(aloneResult(name));
     outcome.metrics = computeMetrics(outcome.shared, alone);
+    return outcome;
+}
+
+RunOutcome
+ExperimentRunner::run(const Workload &workload,
+                      const SchedulerConfig &scheduler)
+{
+    RunOutcome outcome;
+    for (unsigned attempt = 1; attempt <= maxAttempts_; ++attempt) {
+        try {
+            // Salt 0 on the first attempt reproduces the canonical
+            // trace streams; retries reseed them.
+            outcome = attemptRun(workload, scheduler, attempt - 1);
+            outcome.attempts = attempt;
+            return outcome;
+        } catch (const SimError &e) {
+            outcome.failed = true;
+            outcome.error = e.what();
+        } catch (const std::exception &e) {
+            outcome.failed = true;
+            outcome.error = e.what();
+        }
+        outcome.attempts = attempt;
+    }
+    // All attempts failed; name the policy for report rows anyway.
+    outcome.policyName = toString(scheduler.kind);
     return outcome;
 }
 

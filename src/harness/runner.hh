@@ -3,6 +3,12 @@
  * Experiment runner: builds CMP systems from workload definitions, runs
  * them under a scheduling policy, and computes the Section 6.2 metrics
  * against memoized alone-run (FR-FCFS) baselines.
+ *
+ * Runs are fault-isolated: a workload that throws SimError/CheckFailure
+ * (bad configuration, integrity violation, cycle-limit overrun) yields
+ * a RunOutcome with `failed` set instead of killing the whole sweep,
+ * and can optionally be retried with a reseeded trace RNG for
+ * transient-configuration cases.
  */
 
 #ifndef STFM_HARNESS_RUNNER_HH
@@ -27,6 +33,12 @@ struct RunOutcome
     std::string policyName;
     SimResult shared;
     MetricsReport metrics;
+    /** The run (and any retries) failed; `metrics` is not valid. */
+    bool failed = false;
+    /** Failure description (what() of the last error) when failed. */
+    std::string error;
+    /** Attempts consumed (1 = first try succeeded / no retry). */
+    unsigned attempts = 1;
 };
 
 class ExperimentRunner
@@ -38,19 +50,27 @@ class ExperimentRunner
      *
      * The per-thread instruction budget honors the STFM_INSTRUCTIONS
      * environment variable if set (sweeps can be scaled up for tighter
-     * convergence at the cost of runtime).
+     * convergence at the cost of runtime). The integrity layer honors
+     * STFM_CHECK (any non-"0" value enables shadow protocol checking
+     * and the forward-progress watchdogs for every run).
      */
     explicit ExperimentRunner(SimConfig base);
 
     /**
      * Run @p workload (one benchmark name per core) under
      * @p scheduler. Alone baselines are computed (and cached) with
-     * FR-FCFS on the same memory configuration.
+     * FR-FCFS on the same memory configuration. Never throws for
+     * run-level failures: inspect RunOutcome::failed.
      */
     RunOutcome run(const Workload &workload,
                    const SchedulerConfig &scheduler);
 
-    /** Alone-run result of one benchmark on the base memory system. */
+    /**
+     * Alone-run result of one benchmark on the base memory system.
+     * @throws SimError if the benchmark is unknown or its alone run
+     *         cannot complete (callers inside run() convert this into
+     *         a failed outcome).
+     */
     const ThreadResult &aloneResult(const std::string &benchmark);
 
     /** Run every scheduler in @p schedulers on @p workload. */
@@ -60,18 +80,39 @@ class ExperimentRunner
 
     const SimConfig &base() const { return base_; }
 
+    /**
+     * Total attempts per run (>= 1). Attempts past the first rerun the
+     * workload with a reseeded trace RNG, recovering runs whose
+     * failure is specific to one synthetic stream (e.g. a starvation
+     * bound grazed by one unlucky arrival pattern).
+     */
+    void setMaxAttempts(unsigned attempts);
+    unsigned maxAttempts() const { return maxAttempts_; }
+
     /** The five evaluation policies in the paper's presentation order. */
     static std::vector<SchedulerConfig> paperSchedulers();
 
     /** Instruction budget override from STFM_INSTRUCTIONS, if set. */
     static std::uint64_t budgetFromEnv(std::uint64_t fallback);
 
+    /**
+     * Apply the common bench command-line flags: `--check` enables the
+     * full integrity layer (equivalent to STFM_CHECK=1) for every run
+     * the bench performs. Unknown arguments are ignored.
+     */
+    static void applyBenchFlags(int argc, char **argv);
+
   private:
     SimConfig configFor(const Workload &workload,
                         const SchedulerConfig &scheduler) const;
     std::string aloneKey(const std::string &benchmark) const;
+    /** One attempt; throws SimError/CheckFailure on failure. */
+    RunOutcome attemptRun(const Workload &workload,
+                          const SchedulerConfig &scheduler,
+                          std::uint64_t seed_salt);
 
     SimConfig base_;
+    unsigned maxAttempts_ = 1;
     std::map<std::string, ThreadResult> aloneCache_;
 };
 

@@ -1,7 +1,6 @@
 #include "harness/sweep.hh"
 
-#include <iostream>
-
+#include "common/logging.hh"
 #include "harness/table.hh"
 
 namespace stfm
@@ -10,9 +9,11 @@ namespace stfm
 std::vector<SweepResult>
 runSweep(const std::string &title,
          const std::vector<Workload> &workload_list,
-         std::size_t label_rows, std::uint64_t default_budget)
+         std::size_t label_rows, std::uint64_t default_budget,
+         std::ostream &os)
 {
-    STFM_ASSERT(!workload_list.empty(), "sweep needs workloads");
+    STFM_ASSERT(!workload_list.empty(), "sweep '%s' needs workloads",
+                title.c_str());
     SimConfig base = SimConfig::baseline(
         static_cast<unsigned>(workload_list.front().size()));
     base.instructionBudget =
@@ -20,19 +21,32 @@ runSweep(const std::string &title,
     ExperimentRunner runner(base);
 
     const auto schedulers = ExperimentRunner::paperSchedulers();
+    const std::vector<std::string> scheduler_labels{
+        "FR-FCFS", "FCFS", "FRFCFS+Cap", "NFQ", "STFM"};
     std::vector<SweepResult> results(schedulers.size());
 
-    std::cout << title << " (" << workload_list.size()
-              << " workloads)\n\n";
+    os << title << " (" << workload_list.size() << " workloads)\n\n";
 
     TextTable unfairness_table({"workload", "FR-FCFS", "FCFS",
                                 "FRFCFS+Cap", "NFQ", "STFM"});
+    TextTable failure_table({"workload", "scheduler", "error"});
+    unsigned total_failures = 0;
     for (std::size_t w = 0; w < workload_list.size(); ++w) {
         const Workload &workload = workload_list[w];
         std::vector<std::string> row{workloadLabel(workload)};
         for (std::size_t s = 0; s < schedulers.size(); ++s) {
             const RunOutcome outcome = runner.run(workload,
                                                   schedulers[s]);
+            if (outcome.failed) {
+                // Isolate the failure: report it, keep sweeping.
+                ++results[s].failures;
+                ++total_failures;
+                failure_table.addRow({workloadLabel(workload),
+                                      scheduler_labels[s],
+                                      outcome.error});
+                row.push_back("FAIL");
+                continue;
+            }
             results[s].policyName = outcome.policyName;
             results[s].summary.add(outcome.metrics);
             row.push_back(fmt(outcome.metrics.unfairness));
@@ -40,19 +54,33 @@ runSweep(const std::string &title,
         if (w < label_rows)
             unfairness_table.addRow(std::move(row));
     }
-    unfairness_table.print(std::cout);
+    unfairness_table.print(os);
 
-    std::cout << "\nGMEAN over all " << workload_list.size()
-              << " workloads:\n";
+    if (total_failures > 0) {
+        os << "\nFailed runs (excluded from the GMEAN aggregates):\n";
+        failure_table.print(os);
+    }
+
+    os << "\nGMEAN over all " << workload_list.size()
+       << " workloads:\n";
     TextTable summary({"scheduler", "unfairness", "weighted-speedup",
-                       "sum-of-IPCs", "hmean-speedup"});
-    for (const SweepResult &r : results) {
+                       "sum-of-IPCs", "hmean-speedup", "failed"});
+    for (std::size_t s = 0; s < results.size(); ++s) {
+        SweepResult &r = results[s];
+        if (r.policyName.empty())
+            r.policyName = scheduler_labels[s];
+        if (r.summary.unfairness.count() == 0) {
+            summary.addRow({r.policyName, "n/a", "n/a", "n/a", "n/a",
+                            std::to_string(r.failures)});
+            continue;
+        }
         summary.addRow({r.policyName, fmt(r.summary.unfairness.value()),
                         fmt(r.summary.weightedSpeedup.value()),
                         fmt(r.summary.sumOfIpcs.value()),
-                        fmt(r.summary.hmeanSpeedup.value(), 3)});
+                        fmt(r.summary.hmeanSpeedup.value(), 3),
+                        std::to_string(r.failures)});
     }
-    summary.print(std::cout);
+    summary.print(os);
     return results;
 }
 

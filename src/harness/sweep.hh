@@ -3,12 +3,18 @@
  * Shared driver for the averaged sweeps (Figures 9, 11 and 12): run a
  * set of workloads under all five schedulers and print each workload's
  * unfairness plus the GMEAN unfairness and throughput metrics.
+ *
+ * Sweeps degrade gracefully: a workload whose run fails (SimError or
+ * an integrity CheckFailure) is reported as FAIL in the table — with
+ * the error listed below it — and excluded from the aggregates, while
+ * every remaining workload still runs.
  */
 
 #ifndef STFM_HARNESS_SWEEP_HH
 #define STFM_HARNESS_SWEEP_HH
 
 #include <cstdint>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -23,6 +29,8 @@ struct SweepResult
 {
     std::string policyName;
     SweepSummary summary;
+    /** Workload runs that failed under this scheduler. */
+    unsigned failures = 0;
 };
 
 /**
@@ -34,12 +42,14 @@ struct SweepResult
  *                        workloads" panels of Figures 9 and 11).
  * @param default_budget  Per-thread instruction budget (honors
  *                        STFM_INSTRUCTIONS).
+ * @param os              Report sink (default std::cout).
  * @return one aggregate per scheduler, in paperSchedulers() order.
  */
 std::vector<SweepResult>
 runSweep(const std::string &title,
          const std::vector<Workload> &workload_list,
-         std::size_t label_rows, std::uint64_t default_budget);
+         std::size_t label_rows, std::uint64_t default_budget,
+         std::ostream &os = std::cout);
 
 } // namespace stfm
 

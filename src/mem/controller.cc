@@ -21,14 +21,37 @@ MemoryController::MemoryController(ChannelId channel_id, unsigned num_banks,
       drain_(std::min(params.writeDrainHigh, params.writeBufferEntries),
              params.writeBufferEntries),
       threadStats_(num_threads), readLatency_(num_threads)
-{}
+{
+    const IntegrityConfig &integrity = params.integrity;
+    if (integrity.protocolCheck) {
+        checker_ = std::make_unique<ProtocolChecker>(
+            channel_id, num_banks, timing, integrity.throwOnViolation);
+        channel_.setObserver(checker_.get());
+    }
+    if (integrity.watchdog) {
+        auditor_ = std::make_unique<RequestAuditor>(
+            channel_id, integrity.starvationBound,
+            integrity.throwOnViolation);
+    }
+}
+
+void
+MemoryController::auditDrained(DramCycles now)
+{
+    if (auditor_)
+        auditor_->checkDrained(now);
+}
 
 void
 MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
                               ThreadId thread, bool blocking,
                               Cycles cpu_now, DramCycles dram_now)
 {
-    STFM_ASSERT(canAcceptRead(), "enqueueRead on a full request buffer");
+    STFM_ASSERT(canAcceptRead(),
+                "enqueueRead on a full request buffer (%u/%u entries, "
+                "thread %u, cycle %llu)",
+                buffer_.readCount(), buffer_.readCapacity(), thread,
+                static_cast<unsigned long long>(dram_now));
 
     // Write-to-read forwarding: the freshest copy of the line is in the
     // write buffer; no DRAM access is needed.
@@ -42,6 +65,8 @@ MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
         req->arrivalCpu = cpu_now;
         req->arrivalDram = dram_now;
         req->finishAt = dram_now + 1;
+        if (auditor_)
+            auditor_->onForward(req->id, thread, coords.bank, dram_now);
         forwarded_.push_back(std::move(req));
         return;
     }
@@ -57,6 +82,8 @@ MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
     req.arrivalDram = dram_now;
     req.seq = nextSeq_++;
     req.arrivalState = channel_.rowState(coords.bank, coords.row);
+    if (auditor_)
+        auditor_->onEnqueue(req.id, thread, coords.bank, false, dram_now);
     buffer_.add(req);
     occupancy_.onArrive(thread,
                         channelId_ * channel_.numBanks() + coords.bank,
@@ -71,7 +98,11 @@ MemoryController::enqueueWrite(Addr addr, const AddrDecode &coords,
     // Coalesce with an already-queued write to the same line.
     if (buffer_.findWrite(addr) != nullptr)
         return;
-    STFM_ASSERT(canAcceptWrite(), "enqueueWrite on a full write buffer");
+    STFM_ASSERT(canAcceptWrite(),
+                "enqueueWrite on a full write buffer (%u/%u entries, "
+                "thread %u, cycle %llu)",
+                buffer_.writeCount(), buffer_.writeCapacity(), thread,
+                static_cast<unsigned long long>(dram_now));
     Request req;
     req.id = nextId_++;
     req.addr = addr;
@@ -82,6 +113,8 @@ MemoryController::enqueueWrite(Addr addr, const AddrDecode &coords,
     req.arrivalDram = dram_now;
     req.seq = nextSeq_++;
     req.arrivalState = channel_.rowState(coords.bank, coords.row);
+    if (auditor_)
+        auditor_->onEnqueue(req.id, thread, coords.bank, true, dram_now);
     buffer_.add(req);
 }
 
@@ -173,6 +206,9 @@ MemoryController::issueCommand(const Candidate &winner,
     Request *req = const_cast<Request *>(winner.req);
     const BankId bank = req->coords.bank;
 
+    if (checker_)
+        checker_->noteRequest(req->id, req->thread);
+
     if (winner.cmd == DramCommand::Precharge ||
         winner.cmd == DramCommand::Activate) {
         channel_.issue(winner.cmd, bank, req->coords.row, ctx.dramNow);
@@ -216,6 +252,8 @@ MemoryController::issueCommand(const Candidate &winner,
 
     const DramCycles finish =
         channel_.issue(winner.cmd, bank, req->coords.row, ctx.dramNow);
+    if (auditor_)
+        auditor_->onIssue(req->id, ctx.dramNow);
     req->columnIssued = true;
     req->finishAt = finish;
     req->serviceState = service_state;
@@ -263,6 +301,8 @@ MemoryController::deliverCompletions(const SchedContext &ctx)
             std::unique_ptr<Request> req = std::move(inFlight_[i]);
             inFlight_[i] = std::move(inFlight_.back());
             inFlight_.pop_back();
+            if (auditor_)
+                auditor_->onComplete(req->id, ctx.dramNow);
             if (!req->isWrite) {
                 occupancy_.onComplete(req->thread,
                                       channelId_ * channel_.numBanks() +
@@ -284,6 +324,8 @@ MemoryController::deliverCompletions(const SchedContext &ctx)
             std::unique_ptr<Request> req = std::move(forwarded_[i]);
             forwarded_[i] = std::move(forwarded_.back());
             forwarded_.pop_back();
+            if (auditor_)
+                auditor_->onComplete(req->id, ctx.dramNow);
             if (readCallback_)
                 readCallback_(*req);
         } else {
@@ -329,6 +371,11 @@ void
 MemoryController::tick(const SchedContext &ctx)
 {
     deliverCompletions(ctx);
+
+    if (auditor_ && params_.integrity.progressCheckStride > 0 &&
+        ctx.dramNow % params_.integrity.progressCheckStride == 0) {
+        auditor_->checkProgress(ctx.dramNow);
+    }
 
     if (handleRefresh(ctx))
         return;

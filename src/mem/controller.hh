@@ -23,6 +23,9 @@
 #include <memory>
 #include <vector>
 
+#include "check/auditor.hh"
+#include "check/integrity.hh"
+#include "check/protocol_checker.hh"
 #include "common/types.hh"
 #include "dram/channel.hh"
 #include "mem/occupancy.hh"
@@ -55,6 +58,11 @@ struct ControllerParams
      * knob; on in the baseline.
      */
     bool rowProtection = true;
+    /**
+     * Integrity-layer toggles: shadow protocol checking and
+     * forward-progress watchdogs (observation-only; off by default).
+     */
+    IntegrityConfig integrity;
 };
 
 /** Per-thread service statistics a controller accumulates. */
@@ -126,7 +134,26 @@ class MemoryController
     }
 
     /** True when no request is queued or in flight. */
-    bool idle() const { return buffer_.empty() && inFlight_.empty(); }
+    bool idle() const
+    {
+        return buffer_.empty() && inFlight_.empty() &&
+               forwarded_.empty();
+    }
+
+    /** Shadow protocol checker, or null when disabled. */
+    const ProtocolChecker *protocolChecker() const
+    {
+        return checker_.get();
+    }
+    /** Request lifetime auditor, or null when disabled. */
+    const RequestAuditor *auditor() const { return auditor_.get(); }
+
+    /**
+     * Verify request conservation once the controller has drained:
+     * every accepted request must have completed exactly once. No-op
+     * when the watchdog is disabled.
+     */
+    void auditDrained(DramCycles now);
 
   private:
     Candidate pickBankCandidate(BankId bank, bool allow_writes,
@@ -156,6 +183,10 @@ class MemoryController
     /** Refresh state machine (active when params_.refreshEnabled). */
     DramCycles nextRefreshAt_ = 0;
     bool refreshPending_ = false;
+
+    /** Integrity layer (null when the corresponding toggle is off). */
+    std::unique_ptr<ProtocolChecker> checker_;
+    std::unique_ptr<RequestAuditor> auditor_;
 
     /** @return true if this cycle was consumed by refresh work. */
     bool handleRefresh(const SchedContext &ctx);

@@ -18,7 +18,9 @@ MemorySystem::MemorySystem(const MemoryConfig &config,
                                        config.banksPerChannel))
 {
     STFM_ASSERT(num_threads <= 32,
-                "thread bitmasks limit the system to 32 threads");
+                "thread bitmasks limit the system to 32 threads "
+                "(requested %u)",
+                num_threads);
     for (ChannelId c = 0; c < config.channels; ++c) {
         controllers_.push_back(std::make_unique<MemoryController>(
             c, config.banksPerChannel, config.timing, config.controller,
@@ -127,6 +129,13 @@ MemorySystem::readLatency(ThreadId thread) const
     for (const auto &controller : controllers_)
         merged.merge(controller->readLatency(thread));
     return merged;
+}
+
+void
+MemorySystem::auditDrained()
+{
+    for (auto &controller : controllers_)
+        controller->auditDrained(dramNow_);
 }
 
 bool

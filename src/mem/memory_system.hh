@@ -91,6 +91,18 @@ class MemorySystem : public MemoryPort
     /** True when no channel holds queued or in-flight requests. */
     bool idle() const;
 
+    /** Per-channel controller access (integrity inspection, tests). */
+    const MemoryController &controller(ChannelId channel) const
+    {
+        return *controllers_[channel];
+    }
+
+    /**
+     * Run the lifetime auditors' drain check on every controller
+     * (no-op when the watchdog is disabled). Call once idle().
+     */
+    void auditDrained();
+
     const MemoryConfig &config() const { return config_; }
 
   private:

@@ -57,7 +57,10 @@ class ThreadBankOccupancy
     void
     onColumnIssue(ThreadId t, unsigned bank, bool blocking)
     {
-        STFM_ASSERT(waiting_[idx(t, bank)] > 0, "occupancy underflow");
+        STFM_ASSERT(waiting_[idx(t, bank)] > 0,
+                    "occupancy underflow: column issue for thread %u bank %u "
+                    "with no waiting read",
+                    t, bank);
         --waiting_[idx(t, bank)];
         if (blocking && --waitingBlocking_[idx(t, bank)] == 0)
             --waitingBanksBlocking_[t];
@@ -70,7 +73,10 @@ class ThreadBankOccupancy
     void
     onComplete(ThreadId t, unsigned bank)
     {
-        STFM_ASSERT(inService_[idx(t, bank)] > 0, "occupancy underflow");
+        STFM_ASSERT(inService_[idx(t, bank)] > 0,
+                    "occupancy underflow: completion for thread %u bank %u "
+                    "with no read in service",
+                    t, bank);
         if (--inService_[idx(t, bank)] == 0)
             --serviceBanks_[t];
     }

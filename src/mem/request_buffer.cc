@@ -19,11 +19,15 @@ Request *
 RequestBuffer::add(const Request &req)
 {
     if (req.isWrite) {
-        STFM_ASSERT(canAcceptWrite(), "write buffer overflow");
+        STFM_ASSERT(canAcceptWrite(),
+                    "write buffer overflow: %u/%u entries used",
+                    writeCount_, writeCapacity_);
         ++writeCount_;
         ++bankWrites_[req.coords.bank];
     } else {
-        STFM_ASSERT(canAcceptRead(), "request buffer overflow");
+        STFM_ASSERT(canAcceptRead(),
+                    "request buffer overflow: %u/%u entries used",
+                    readCount_, readCapacity_);
         ++readCount_;
         ++threadReads_[req.thread];
     }

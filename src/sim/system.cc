@@ -13,7 +13,8 @@ CmpSystem::CmpSystem(const SimConfig &config,
       warm_(config.cores)
 {
     STFM_ASSERT(traces_.size() == config.cores,
-                "one trace per core required");
+                "one trace per core required (%zu traces, %u cores)",
+                traces_.size(), config.cores);
     std::vector<WarmLine> footprint;
     for (unsigned t = 0; t < config_.cores; ++t) {
         cores_.push_back(std::make_unique<Core>(t, config_.cpu,
@@ -112,6 +113,27 @@ CmpSystem::run()
         }
     }
     result.totalCycles = cpuNow_;
+
+    // Integrity epilogue: with watchdogs enabled, drain the memory
+    // system (cores stop injecting; queued work completes) so the
+    // lifetime auditors can verify request conservation end to end.
+    // This runs after every result field is computed, keeping checked
+    // and unchecked runs bit-identical.
+    const IntegrityConfig &integrity = config_.memory.controller.integrity;
+    if (integrity.watchdog && !result.hitCycleLimit) {
+        const Cycles drain_limit = cpuNow_ + 4'000'000;
+        while (!memory_.idle() && cpuNow_ < drain_limit) {
+            ++cpuNow_;
+            memory_.tick(cpuNow_);
+        }
+        if (!memory_.idle()) {
+            throw CheckFailure(
+                "drain-stall", cpuNow_ / config_.memory.cpuPerDram, 0, 0,
+                CheckFailure::kNoRequest, kInvalidThread,
+                "memory system failed to drain after the run");
+        }
+        memory_.auditDrained();
+    }
     return result;
 }
 

@@ -110,7 +110,10 @@ findBenchmark(const std::string &name)
         if (profile.name == name)
             return profile;
     }
-    STFM_FATAL("unknown benchmark name");
+    // Recoverable: a harness sweep catches this, records the failed
+    // workload, and keeps going (see harness/runner.cc).
+    throw SimError(
+        formatMessage("unknown benchmark '%s'", name.c_str()));
 }
 
 bool
@@ -134,11 +137,15 @@ benchmarkSeed(const std::string &name)
 std::unique_ptr<TraceSource>
 makeBenchmarkTrace(const BenchmarkProfile &profile,
                    const AddressMapping &mapping, ThreadId thread,
-                   unsigned num_threads)
+                   unsigned num_threads, std::uint64_t seed_salt)
 {
+    // Salt 0 preserves the historical per-benchmark seed so memoized
+    // alone-run baselines stay valid; retries pass a nonzero salt to
+    // reseed the trace stream.
+    const std::uint64_t base = benchmarkSeed(profile.name);
     return std::make_unique<SyntheticTraceGenerator>(
         profile.trace, mapping, thread, num_threads,
-        benchmarkSeed(profile.name));
+        seed_salt == 0 ? base : combineSeeds(base, seed_salt));
 }
 
 } // namespace stfm

@@ -47,7 +47,11 @@ const std::vector<BenchmarkProfile> &benchmarkCatalog();
 /** The Table 4 desktop applications. */
 const std::vector<BenchmarkProfile> &desktopCatalog();
 
-/** Look up a benchmark by name in both catalogs; fatal if unknown. */
+/**
+ * Look up a benchmark by name in both catalogs.
+ * @throws SimError if the name is unknown (recoverable, so sweeps can
+ *         skip a misconfigured workload instead of dying).
+ */
 const BenchmarkProfile &findBenchmark(const std::string &name);
 
 /** True if the benchmark is memory-intensive (category 2 or 3). */
@@ -59,11 +63,14 @@ std::uint64_t benchmarkSeed(const std::string &name);
 /**
  * Build the synthetic trace of @p profile for core @p thread in a
  * system with @p num_threads cores and the given mapping.
+ *
+ * @param seed_salt 0 reproduces the canonical per-benchmark stream;
+ *                  nonzero values reseed it (harness retry path).
  */
 std::unique_ptr<TraceSource>
 makeBenchmarkTrace(const BenchmarkProfile &profile,
                    const AddressMapping &mapping, ThreadId thread,
-                   unsigned num_threads);
+                   unsigned num_threads, std::uint64_t seed_salt = 0);
 
 } // namespace stfm
 

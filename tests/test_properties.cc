@@ -3,10 +3,16 @@
  * Property-style sweeps over the workload-profile space: end-to-end
  * invariants that must hold for any reasonable profile, not just the
  * cataloged ones.
+ *
+ * Every run here executes under the full integrity layer in throw
+ * mode, so the shadow protocol checker and request auditor vet the
+ * entire profile/geometry space (including refresh-enabled runs), not
+ * just the soak test's single configuration.
  */
 
 #include <gtest/gtest.h>
 
+#include "check/integrity.hh"
 #include "sim/system.hh"
 #include "trace/generator.hh"
 
@@ -70,6 +76,7 @@ TEST_P(ProfileSweep, AloneRunInvariants)
     config.cores = 1;
     config.instructionBudget = 12000;
     config.warmupInstructions = 4000;
+    config.memory.controller.integrity = IntegrityConfig::full();
 
     const ThreadResult r = runAlone(toProfile(GetParam()), config, 17);
 
@@ -105,6 +112,7 @@ TEST_P(ProfileSweep, HigherRowLocalityNeverHurtsAloneThroughput)
     config.cores = 1;
     config.instructionBudget = 12000;
     config.warmupInstructions = 4000;
+    config.memory.controller.integrity = IntegrityConfig::full();
 
     TraceProfile low = toProfile(GetParam());
     low.rowBufferHitRate = 0.05;
@@ -155,6 +163,7 @@ TEST_P(GeometrySweep, SharedRunCompletesOnEveryGeometry)
     config.instructionBudget = 6000;
     config.warmupInstructions = 2000;
     config.scheduler.kind = PolicyKind::Stfm;
+    config.memory.controller.integrity = IntegrityConfig::full();
 
     AddressMapping mapping(config.memory.channels,
                            config.memory.banksPerChannel,
@@ -181,6 +190,46 @@ TEST_P(GeometrySweep, SharedRunCompletesOnEveryGeometry)
         EXPECT_GE(t.instructions + 4, 6000u);
         EXPECT_GT(t.dramReads, 0u);
     }
+}
+
+TEST_P(GeometrySweep, RefreshEnabledRunStaysProtocolClean)
+{
+    // Same end-to-end run with auto-refresh on: the shadow checker now
+    // also vets the maintenance commands (REFRESH spacing, tRFC
+    // blackouts, banks-precharged-before-refresh) on every geometry.
+    SimConfig config = SimConfig::baseline(2);
+    config.memory.channels = GetParam().channels;
+    config.memory.banksPerChannel = GetParam().banks;
+    config.memory.rowBytes = GetParam().rowBytes;
+    config.instructionBudget = 6000;
+    config.warmupInstructions = 2000;
+    config.scheduler.kind = PolicyKind::Stfm;
+    config.memory.controller.refreshEnabled = true;
+    config.memory.controller.integrity = IntegrityConfig::full();
+
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    TraceProfile heavy;
+    heavy.mpki = 60;
+    heavy.rowBufferHitRate = 0.9;
+    TraceProfile light;
+    light.mpki = 5;
+    light.rowBufferHitRate = 0.3;
+    light.dependentFraction = 1.0;
+
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    traces.push_back(std::make_unique<SyntheticTraceGenerator>(
+        heavy, mapping, 0, 2, 31));
+    traces.push_back(std::make_unique<SyntheticTraceGenerator>(
+        light, mapping, 1, 2, 32));
+    CmpSystem system(config, std::move(traces));
+    const SimResult result = system.run();
+    EXPECT_FALSE(result.hitCycleLimit);
+    for (const ThreadResult &t : result.threads)
+        EXPECT_GE(t.instructions + 4, 6000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Negative tests of the shadow DDR2 protocol checker: every timing
+ * constraint is violated deliberately, command by command, and the
+ * checker must name it. Because the checker is an independent
+ * re-implementation of the Table 2 rules, these tests also pin down
+ * the constraint arithmetic itself (e.g. write recovery measured from
+ * the end of the write data burst, not the write command).
+ *
+ * A cross-validation fuzz closes the loop: random command streams
+ * admitted by the *device model's* canIssue() must be accepted by the
+ * shadow checker with zero violations — the two implementations have
+ * to agree on what is legal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "check/protocol_checker.hh"
+#include "common/rng.hh"
+#include "dram/channel.hh"
+
+namespace stfm
+{
+namespace
+{
+
+/** Checker in record mode with the default DDR2-800 constraint set. */
+class ProtocolCheckerTest : public ::testing::Test
+{
+  protected:
+    ProtocolCheckerTest() : checker(0, kBanks, timing, false) {}
+
+    void act(BankId b, RowId row, DramCycles now)
+    {
+        checker.onCommand(DramCommand::Activate, b, row, now);
+    }
+    void pre(BankId b, DramCycles now)
+    {
+        checker.onCommand(DramCommand::Precharge, b, 0, now);
+    }
+    void rd(BankId b, RowId row, DramCycles now)
+    {
+        checker.onCommand(DramCommand::Read, b, row, now);
+    }
+    void wr(BankId b, RowId row, DramCycles now)
+    {
+        checker.onCommand(DramCommand::Write, b, row, now);
+    }
+
+    /** The recorded constraint names, in order. */
+    std::vector<std::string> constraints() const
+    {
+        std::vector<std::string> out;
+        for (const Violation &v : checker.violations())
+            out.push_back(v.constraint);
+        return out;
+    }
+
+    static constexpr unsigned kBanks = 8;
+    DramTiming timing;
+    ProtocolChecker checker;
+};
+
+TEST_F(ProtocolCheckerTest, AcceptsLegalSequence)
+{
+    act(0, 5, 0);
+    rd(0, 5, 6);    // tRCD = 6 exactly.
+    rd(0, 5, 10);   // Burst spacing keeps the data bus conflict-free.
+    pre(0, 18);     // tRAS = 18 and readAt + burst + tRTP = 17.
+    act(0, 9, 24);  // tRP and tRC both expire at 24.
+    wr(0, 9, 30);   // tRCD again.
+    pre(0, 45);     // Write recovery: 30 + tWL + burst + tWR = 45.
+    EXPECT_TRUE(checker.violations().empty())
+        << "first: " << checker.violations().front().constraint;
+    EXPECT_EQ(checker.commandsChecked(), 7u);
+}
+
+TEST_F(ProtocolCheckerTest, CatchesReadBeforeTrcd)
+{
+    act(0, 1, 0);
+    rd(0, 1, 3); // tRCD = 6.
+    ASSERT_EQ(constraints(), std::vector<std::string>{"tRCD"});
+    EXPECT_EQ(checker.violations()[0].bank, 0u);
+    EXPECT_EQ(checker.violations()[0].cycle, 3u);
+}
+
+TEST_F(ProtocolCheckerTest, CatchesActBeforeTrpAndTrc)
+{
+    act(0, 1, 0);
+    pre(0, 18);   // Legal.
+    act(0, 2, 23); // tRP expires at 24; tRC expires at 24.
+    const auto got = constraints();
+    EXPECT_NE(std::find(got.begin(), got.end(), "tRP"), got.end());
+    EXPECT_NE(std::find(got.begin(), got.end(), "tRC"), got.end());
+}
+
+TEST_F(ProtocolCheckerTest, CatchesCrossBankActBeforeTrrd)
+{
+    act(0, 1, 0);
+    act(1, 1, 2); // tRRD = 3.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"tRRD"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesFifthActInsideFourActivateWindow)
+{
+    act(0, 1, 0);
+    act(1, 1, 3);
+    act(2, 1, 6);
+    act(3, 1, 9);
+    act(4, 1, 12); // tFAW = 18 from the activate at cycle 0.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"tFAW"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesPrechargeBeforeTras)
+{
+    act(0, 1, 0);
+    pre(0, 10); // tRAS = 18.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"tRAS"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesPrechargeInsideWriteRecovery)
+{
+    act(0, 1, 0);
+    wr(0, 1, 6);
+    pre(0, 18); // Recovery runs until 6 + tWL + burst + tWR = 21.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"tWR"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesPrechargeInsideReadToPrecharge)
+{
+    act(0, 1, 0);
+    rd(0, 1, 14);
+    pre(0, 18); // tRTP window runs until 14 + burst + tRTP = 21.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"tRTP"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesReadInsideWriteToReadTurnaround)
+{
+    act(0, 1, 0);
+    wr(0, 1, 6); // Write data occupies the bus until cycle 15.
+    rd(0, 1, 12); // tWTR window runs until 15 + 3 = 18.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"tWTR"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesDataBusOverlap)
+{
+    act(0, 1, 0);
+    act(1, 2, 3);
+    rd(0, 1, 6); // Data on the bus cycles 12..16.
+    rd(1, 2, 9); // Data would start at 15, inside the first burst.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"data-bus"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesReadToPrechargedBank)
+{
+    rd(0, 3, 0);
+    EXPECT_EQ(constraints(), std::vector<std::string>{"bank-state"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesReadToWrongRow)
+{
+    act(0, 1, 0);
+    rd(0, 2, 6);
+    EXPECT_EQ(constraints(), std::vector<std::string>{"bank-state"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesActivateToOpenBank)
+{
+    act(0, 1, 0);
+    act(0, 1, 24); // tRC satisfied, but the bank was never precharged.
+    EXPECT_EQ(constraints(), std::vector<std::string>{"bank-state"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesPrechargeToPrechargedBank)
+{
+    pre(0, 0);
+    EXPECT_EQ(constraints(), std::vector<std::string>{"bank-state"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesActivateDuringRefresh)
+{
+    checker.onRefresh(0); // Rank busy until tRFC = 51.
+    act(0, 1, 30);
+    EXPECT_EQ(constraints(), std::vector<std::string>{"tRFC"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesRefreshWithOpenRow)
+{
+    act(0, 1, 0);
+    checker.onRefresh(24);
+    EXPECT_EQ(constraints(), std::vector<std::string>{"refresh"});
+}
+
+TEST_F(ProtocolCheckerTest, CatchesOutOfRangeBank)
+{
+    checker.onCommand(DramCommand::Read, kBanks, 0, 0);
+    EXPECT_EQ(constraints(), std::vector<std::string>{"bank-range"});
+}
+
+TEST(ProtocolCheckerThrow, ViolationCarriesFullContext)
+{
+    DramTiming timing;
+    ProtocolChecker checker(2, 8, timing, /*throw_on_violation=*/true);
+    checker.onCommand(DramCommand::Activate, 4, 7, 0);
+    checker.noteRequest(77, 3);
+    try {
+        checker.onCommand(DramCommand::Read, 4, 7, 2);
+        FAIL() << "tRCD violation not thrown";
+    } catch (const CheckFailure &e) {
+        EXPECT_EQ(e.constraint, "tRCD");
+        EXPECT_EQ(e.cycle, 2u);
+        EXPECT_EQ(e.channel, 2u);
+        EXPECT_EQ(e.bank, 4u);
+        EXPECT_EQ(e.requestId, 77u);
+        EXPECT_EQ(e.thread, 3u);
+        EXPECT_NE(std::string(e.what()).find("tRCD"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("request=77"),
+                  std::string::npos);
+    }
+}
+
+TEST(ProtocolCheckerThrow, CheckFailureIsARecoverableSimError)
+{
+    DramTiming timing;
+    ProtocolChecker checker(0, 8, timing, true);
+    // The harness catches SimError; CheckFailure must be one.
+    EXPECT_THROW(checker.onCommand(DramCommand::Read, 0, 0, 0), SimError);
+}
+
+/**
+ * Cross-validation fuzz: drive a real DramChannel only through
+ * commands its own canIssue() admits, with the shadow checker
+ * attached. Any disagreement (a violation on an admitted command)
+ * means one of the two independent timing models is wrong.
+ */
+TEST(ProtocolCheckerCrossValidation, AgreesWithDeviceModelOnRandomStreams)
+{
+    DramTiming timing;
+    constexpr unsigned kBanks = 8;
+    DramChannel channel(kBanks, timing);
+    ProtocolChecker checker(0, kBanks, timing,
+                            /*throw_on_violation=*/false);
+    channel.setObserver(&checker);
+
+    Rng rng(12345);
+    std::uint64_t issued = 0;
+    DramCycles last_refresh = 0;
+    for (DramCycles now = 1; now <= 60000; ++now) {
+        // Occasionally interleave an all-bank refresh, as the
+        // controller's maintenance logic would.
+        if (now - last_refresh >= timing.tREFI &&
+            channel.allBanksClosed()) {
+            channel.refreshAll(now);
+            last_refresh = now;
+            continue;
+        }
+        // Try a random command; issue it iff the device model deems
+        // it legal this cycle (at most one command per cycle).
+        const auto cmd = static_cast<DramCommand>(rng.nextBelow(4));
+        const auto bank = static_cast<BankId>(rng.nextBelow(kBanks));
+        const RowId row =
+            channel.bank(bank).openRow() != kInvalidRow &&
+                    rng.nextBool(0.7)
+                ? channel.bank(bank).openRow() // Mostly row hits.
+                : static_cast<RowId>(rng.nextBelow(32));
+        if (channel.canIssue(cmd, bank, row, now)) {
+            channel.issue(cmd, bank, row, now);
+            ++issued;
+        }
+    }
+
+    EXPECT_GT(issued, 5000u) << "fuzz failed to exercise the channel";
+    EXPECT_GT(checker.commandsChecked(), issued);
+    for (const Violation &v : checker.violations()) {
+        ADD_FAILURE() << "shadow checker disagrees with device model: "
+                      << v.constraint << " at cycle " << v.cycle
+                      << " bank " << unsigned(v.bank) << ": " << v.detail;
+    }
+}
+
+} // namespace
+} // namespace stfm

@@ -10,6 +10,11 @@
  *    panics on illegal issues, so merely surviving the run checks it);
  *  - forward progress: the controller never wedges while work remains.
  *
+ * The full integrity layer rides along in throw mode: the shadow
+ * protocol checker revalidates every DRAM command independently of the
+ * device model, and the request auditor cross-checks the conservation
+ * bookkeeping (any violation aborts the test via CheckFailure).
+ *
  * The per-policy runs are parameterized (TEST_P) so a failure names
  * the offending policy directly.
  */
@@ -40,6 +45,7 @@ TEST_P(PolicySoak, ConservationAndLegalityUnderRandomTraffic)
     DramTiming timing;
     ControllerParams params;
     params.refreshEnabled = true; // Soak the refresh machinery too.
+    params.integrity = IntegrityConfig::full();
     SchedulerConfig sched_config;
     sched_config.kind = GetParam();
     const auto policy =
@@ -115,6 +121,16 @@ TEST_P(PolicySoak, ConservationAndLegalityUnderRandomTraffic)
     EXPECT_LT(now, 4'000'000u) << "controller failed to make progress";
     // Refresh actually exercised during the soak.
     EXPECT_GT(controller.channel().stats().refreshes, 0u);
+
+    // The shadow checker saw (and revalidated) the whole command
+    // stream, and the auditor agrees nothing leaked.
+    ASSERT_NE(controller.protocolChecker(), nullptr);
+    EXPECT_GT(controller.protocolChecker()->commandsChecked(),
+              static_cast<std::uint64_t>(kReads));
+    ASSERT_NE(controller.auditor(), nullptr);
+    EXPECT_EQ(controller.auditor()->outstanding(), 0u);
+    EXPECT_GE(controller.auditor()->completed(), completed);
+    controller.auditDrained(now); // Throws on any leaked request.
 }
 
 INSTANTIATE_TEST_SUITE_P(
