@@ -1,6 +1,20 @@
 /**
  * @file
- * Engineering micro-benchmarks (google-benchmark): the per-DRAM-cycle
+ * Engineering benchmarks, two layers:
+ *
+ * Default mode — wall-clock throughput benchmark: run the Figure 9
+ * sweep (4-core category-balanced workloads under all five
+ * schedulers) twice, once on the cycle-by-cycle reference path and
+ * once with fast-forwarding enabled, verify the two produce
+ * bit-identical SimResults, and emit the timings (host seconds per
+ * figure run, simulated DRAM cycles per host second, speedup) as JSON
+ * so the perf trajectory is tracked across PRs. Output path:
+ * STFM_BENCH_OUT if set, else `BENCH_perf.json` in the working
+ * directory — run from the repo root to update the committed
+ * artifact. Scale knobs: STFM_INSTRUCTIONS (per-thread budget),
+ * STFM_BENCH_WORKLOADS (sweep width, default 32 = fig09's sample).
+ *
+ * `--micro` mode — google-benchmark micro suite: the per-DRAM-cycle
  * cost of each scheduling policy's priority comparison and of a full
  * controller tick at various request-buffer occupancies. Not a paper
  * figure — this quantifies that STFM's extra logic (Section 5) adds
@@ -9,10 +23,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "harness/runner.hh"
+#include "harness/workloads.hh"
 #include "mem/controller.hh"
 #include "mem/occupancy.hh"
 #include "sched/policy.hh"
@@ -91,6 +113,189 @@ void BM_FrFcfsCap(benchmark::State &s) { controllerTick(s, "cap"); }
 void BM_Nfq(benchmark::State &s) { controllerTick(s, "nfq"); }
 void BM_Stfm(benchmark::State &s) { controllerTick(s, "stfm"); }
 
+// ---------------------------------------------------------------------
+// Wall-clock throughput benchmark (default mode).
+
+/** One timed pass over the sweep. */
+struct SweepTiming
+{
+    double aloneSeconds = 0;  ///< Alone-baseline prewarm (shared work).
+    double sweepSeconds = 0;  ///< The 5-scheduler sweep proper.
+    std::uint64_t dramCycles = 0; ///< Simulated DRAM cycles in the sweep.
+    std::vector<RunOutcome> outcomes;
+};
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+SweepTiming
+timedSweep(const std::vector<Workload> &workload_list,
+           std::uint64_t budget, bool fast_forward)
+{
+    SimConfig base;
+    base.instructionBudget = budget;
+    base.fastForward = fast_forward;
+    ExperimentRunner runner(base);
+
+    std::vector<RunJob> jobs;
+    for (const Workload &w : workload_list)
+        for (const SchedulerConfig &s : ExperimentRunner::paperSchedulers())
+            jobs.push_back({w, s});
+
+    // Prewarm the alone-baseline cache outside the sweep timing so
+    // cycles-per-second relates wall time to exactly the runs whose
+    // cycles are counted; the prewarm is reported separately (it is
+    // part of a figure run's wall time).
+    std::set<std::string> benchmarks;
+    for (const Workload &w : workload_list)
+        benchmarks.insert(w.begin(), w.end());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const std::string &b : benchmarks)
+        runner.aloneResult(b);
+    const auto t1 = std::chrono::steady_clock::now();
+    SweepTiming timing;
+    timing.outcomes = runner.runMany(jobs);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    timing.aloneSeconds = seconds(t0, t1);
+    timing.sweepSeconds = seconds(t1, t2);
+    const Cycles per = base.memory.cpuPerDram;
+    for (const RunOutcome &o : timing.outcomes)
+        if (!o.failed)
+            timing.dramCycles += o.shared.totalCycles / per;
+    return timing;
+}
+
+bool
+sameResult(const SimResult &a, const SimResult &b)
+{
+    if (a.totalCycles != b.totalCycles ||
+        a.hitCycleLimit != b.hitCycleLimit ||
+        a.threads.size() != b.threads.size())
+        return false;
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+        const ThreadResult &x = a.threads[t];
+        const ThreadResult &y = b.threads[t];
+        if (x.instructions != y.instructions || x.cycles != y.cycles ||
+            x.memStallCycles != y.memStallCycles ||
+            x.l2Misses != y.l2Misses || x.dramReads != y.dramReads ||
+            x.dramWrites != y.dramWrites || x.rowHits != y.rowHits ||
+            x.rowClosed != y.rowClosed ||
+            x.rowConflicts != y.rowConflicts ||
+            x.readLatencyMean != y.readLatencyMean ||
+            x.readLatencyP50 != y.readLatencyP50 ||
+            x.readLatencyP99 != y.readLatencyP99 ||
+            x.readLatencyMax != y.readLatencyMax)
+            return false;
+    }
+    return true;
+}
+
+void
+emitJson(std::ostream &os, unsigned workload_count, std::uint64_t budget,
+         unsigned jobs, const SweepTiming &ref, const SweepTiming &opt,
+         bool bit_exact)
+{
+    const auto section = [&os](const char *name, const SweepTiming &t) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"%s\": {\n"
+            "    \"figure_host_seconds\": %.3f,\n"
+            "    \"sweep_host_seconds\": %.3f,\n"
+            "    \"alone_baseline_host_seconds\": %.3f,\n"
+            "    \"sweep_dram_cycles\": %llu,\n"
+            "    \"dram_cycles_per_host_second\": %.0f\n"
+            "  }",
+            name, t.aloneSeconds + t.sweepSeconds, t.sweepSeconds,
+            t.aloneSeconds,
+            static_cast<unsigned long long>(t.dramCycles),
+            t.dramCycles / t.sweepSeconds);
+        os << buf;
+    };
+    char head[512];
+    std::snprintf(head, sizeof(head),
+                  "{\n"
+                  "  \"benchmark\": \"fig09_four_core_avg sweep "
+                  "(4 cores x %u workloads x 5 schedulers)\",\n"
+                  "  \"instruction_budget\": %llu,\n"
+                  "  \"worker_threads\": %u,\n",
+                  workload_count,
+                  static_cast<unsigned long long>(budget), jobs);
+    os << head;
+    section("reference", ref);
+    os << ",\n";
+    section("optimized", opt);
+    char tail[256];
+    std::snprintf(tail, sizeof(tail),
+                  ",\n"
+                  "  \"speedup_wall_clock\": %.2f,\n"
+                  "  \"bit_exact\": %s\n"
+                  "}\n",
+                  (ref.aloneSeconds + ref.sweepSeconds) /
+                      (opt.aloneSeconds + opt.sweepSeconds),
+                  bit_exact ? "true" : "false");
+    os << tail;
+}
+
+int
+runThroughputBench()
+{
+    unsigned count = 32;
+    if (const char *env = std::getenv("STFM_BENCH_WORKLOADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            count = static_cast<unsigned>(v);
+    }
+    const std::uint64_t budget = ExperimentRunner::budgetFromEnv(50000);
+    const unsigned jobs = ExperimentRunner::defaultJobs();
+    const std::vector<Workload> workload_list =
+        sampleWorkloads(4, count, /*seed=*/0x5174f09);
+
+    std::printf("throughput benchmark: fig09 sweep, %u workloads x 5 "
+                "schedulers, budget %llu, %u worker thread(s)\n",
+                count, static_cast<unsigned long long>(budget), jobs);
+
+    std::printf("reference path (STFM_REFERENCE-equivalent)...\n");
+    const SweepTiming ref =
+        timedSweep(workload_list, budget, /*fast_forward=*/false);
+    std::printf("  %.3f s (%.3f s alone baselines + %.3f s sweep)\n",
+                ref.aloneSeconds + ref.sweepSeconds, ref.aloneSeconds,
+                ref.sweepSeconds);
+    std::printf("optimized path (fast-forwarding on)...\n");
+    const SweepTiming opt =
+        timedSweep(workload_list, budget, /*fast_forward=*/true);
+    std::printf("  %.3f s (%.3f s alone baselines + %.3f s sweep)\n",
+                opt.aloneSeconds + opt.sweepSeconds, opt.aloneSeconds,
+                opt.sweepSeconds);
+
+    bool bit_exact = ref.outcomes.size() == opt.outcomes.size();
+    for (std::size_t i = 0; bit_exact && i < ref.outcomes.size(); ++i) {
+        const RunOutcome &a = ref.outcomes[i];
+        const RunOutcome &b = opt.outcomes[i];
+        bit_exact = a.failed == b.failed &&
+                    (a.failed || sameResult(a.shared, b.shared));
+    }
+
+    const char *out = std::getenv("STFM_BENCH_OUT");
+    const std::string path = out ? out : "BENCH_perf.json";
+    std::ofstream file(path);
+    if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    emitJson(file, count, budget, jobs, ref, opt, bit_exact);
+    std::printf("speedup %.2fx, bit_exact %s -> %s\n",
+                (ref.aloneSeconds + ref.sweepSeconds) /
+                    (opt.aloneSeconds + opt.sweepSeconds),
+                bit_exact ? "true" : "false", path.c_str());
+    return bit_exact ? 0 : 1;
+}
+
 } // namespace
 
 BENCHMARK(BM_FrFcfs)->Arg(8)->Arg(32)->Arg(96);
@@ -99,4 +304,17 @@ BENCHMARK(BM_FrFcfsCap)->Arg(8)->Arg(32)->Arg(96);
 BENCHMARK(BM_Nfq)->Arg(8)->Arg(32)->Arg(96);
 BENCHMARK(BM_Stfm)->Arg(8)->Arg(32)->Arg(96);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--micro") {
+            // Hand the remaining args to google-benchmark.
+            int bench_argc = argc - 1;
+            benchmark::Initialize(&bench_argc, argv + 1);
+            benchmark::RunSpecifiedBenchmarks();
+            return 0;
+        }
+    }
+    return runThroughputBench();
+}

@@ -62,8 +62,16 @@ class StfmPolicy : public SchedulingPolicy
 
     void beginCycle(const SchedContext &ctx) override;
 
+    /** STFM integrates interference every DRAM cycle; the simulation
+     *  loop must invoke beginCycle even across quiescent stretches. */
+    bool perCycleAccounting() const override { return true; }
+
     bool higherPriority(const Candidate &a, const Candidate &b,
                         const SchedContext &ctx) const override;
+
+    /** The fairness-rule trip (and hot thread) is re-evaluated every
+     *  beginCycle, so the ordering can flip between any two cycles. */
+    bool timeVaryingPriority() const override { return true; }
 
     void onRowCommand(const RowIssueEvent &ev,
                       const SchedContext &ctx) override;

@@ -1,5 +1,8 @@
 #include "cpu/core.hh"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace stfm
@@ -9,9 +12,13 @@ Core::Core(ThreadId id, const CoreParams &params, TraceSource &trace,
            MemoryPort &memory)
     : id_(id), params_(params), trace_(trace), memory_(memory),
       l1_(params.l1), l2_(params.l2), mshr_(params.mshrs),
-      window_(params.windowSize)
+      window_(std::bit_ceil(std::uint64_t{params.windowSize}))
 {
     STFM_ASSERT(params.windowSize > 0, "window size must be positive");
+    // The store is a power of two (>= windowSize) purely so slot
+    // lookup is a mask; at most windowSize entries are live at once,
+    // so every live position still maps to a distinct slot.
+    windowMask_ = window_.size() - 1;
 }
 
 void
@@ -24,12 +31,88 @@ Core::prewarmCaches(const std::vector<WarmLine> &lines)
     }
 }
 
-void
+bool
 Core::tick(Cycles now)
 {
-    drainWritebacks();
+    const std::uint64_t head_before = head_;
+    const std::uint64_t tail_before = tail_;
+    const bool drained = drainWritebacks();
     commit(now);
     fetch(now);
+    return drained || head_ != head_before || tail_ != tail_before;
+}
+
+Cycles
+Core::nextEventCycle(Cycles now, bool &stalls) const
+{
+    stalls = false;
+
+    // Writeback drain would hand a write to the controller.
+    if (!pendingWritebacks_.empty() &&
+        memory_.canAcceptWrite(pendingWritebacks_.front())) {
+        return now + 1;
+    }
+
+    Cycles wake = kNever;
+
+    // Commit side. A blocked oldest instruction accrues stall per
+    // cycle exactly when it is an L2 miss (the Tshared rule); one
+    // waiting on its cache latency wakes by itself at readyAt.
+    if (head_ != tail_) {
+        const WindowEntry &e = window_[head_ & windowMask_];
+        if (!e.memWait && e.readyAt <= now + 1)
+            return now + 1; // Commit progresses next cycle.
+        stalls = e.l2Miss;
+        if (!e.memWait)
+            wake = e.readyAt;
+        // memWait: only onReadComplete can wake it (external).
+    } else {
+        // Drained window: stall is attributed while fetch is blocked
+        // on memory structures, mirroring commit().
+        stalls = fetchBlockedByMemory_;
+    }
+
+    // Fetch side: would the first fetch-loop iteration make progress?
+    if (windowFull())
+        return wake; // Slots free only via commit (covered by wake).
+    if (pendingWritebacks_.size() >= params_.maxPendingWritebacks)
+        return wake; // Frees only via the drain (external).
+    if (aluCredit_ > 0 || !memPending_)
+        return now + 1; // Would fetch an ALU op / refill the trace.
+
+    // A memory op is pending. Address dependence first.
+    if (pendingOp_.dependsOnPrev && lastMissPos_ != ~0ULL &&
+        lastMissPos_ >= head_) {
+        const WindowEntry &p = window_[lastMissPos_ & windowMask_];
+        if (p.memWait)
+            return wake; // Producer waits on DRAM (external).
+        if (p.readyAt > now + 1)
+            return std::min(wake, p.readyAt);
+        // Producer done by now + 1: issue is attempted.
+    }
+
+    // Mirror issueMemOp() without side effects. Any issue attempt that
+    // succeeds, hits a cache, or merges an MSHR is progress.
+    const Addr line = pendingOp_.addr & ~(params_.l1.lineBytes - 1);
+    const bool is_store = pendingOp_.kind == TraceOp::Kind::Store;
+    if (is_store && pendingOp_.nonTemporal)
+        return now + 1; // Writeback capacity was checked above.
+    if (is_store) {
+        if (l2_.probe(line) || mshr_.has(line))
+            return now + 1;
+        if (mshr_.full() || !memory_.canAcceptRead(line))
+            return wake; // Structural stall; frees only externally.
+        return now + 1;
+    }
+    // Load path.
+    if (l1_.probe(line) || l2_.probe(line) || mshr_.has(line))
+        return now + 1;
+    if (mshr_.full())
+        return wake; // Structural stall; frees only when data returns.
+    // A load locked out of a full request buffer retries every cycle
+    // *with* a policy side effect (noteEnqueueBlocked); it must not be
+    // skipped. A load that can issue is progress outright.
+    return now + 1;
 }
 
 void
@@ -43,7 +126,7 @@ Core::commit(Cycles now)
                 ++memStall_;
             return;
         }
-        const WindowEntry &e = window_[head_ % params_.windowSize];
+        const WindowEntry &e = window_[head_ & windowMask_];
         if (e.memWait || e.readyAt > now) {
             // In-order commit is blocked. Attribute the stall to memory
             // only when the oldest instruction is an L2 miss (the
@@ -202,6 +285,7 @@ Core::onReadComplete(Addr line_addr, Cycles now)
         // The fixed controller/interconnect overhead is charged on the
         // return path.
         e.readyAt = now + params_.dramOverhead;
+        missReadyAt_ = std::max(missReadyAt_, e.readyAt);
     }
 }
 
@@ -218,14 +302,204 @@ Core::handleFill(Addr line_addr, bool dirty, Cycles now)
     l1_.fill(line_addr, /*dirty=*/false);
 }
 
-void
+Cycles
+Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
+{
+    // Eligibility, all O(1): no outstanding miss (rules out memWait
+    // entries, completions targeting this core, and MSHR merges), no
+    // buffered writeback (rules out drain traffic), no memory-blocked
+    // fetch retry (that path has a per-cycle policy side effect,
+    // noteEnqueueBlocked), and every DRAM return-path latency already
+    // paid (rules out commit blocking on an l2Miss-flagged entry, the
+    // one blocked-head case that accrues memory stall). Entries merely
+    // waiting out a cache latency don't block entry: they are
+    // core-local, deterministic, and stall-free when blocking commit.
+    if (mshr_.inUse() != 0 || !pendingWritebacks_.empty() ||
+        fetchBlockedByMemory_ || now < missReadyAt_ ||
+        params_.fetchWidth > kMaxBurstFetch)
+        return now;
+
+    Cycles c = now;
+    // `committed_ + commitWidth < commit_cap` keeps every executed
+    // cycle strictly below the cap, so the caller's threshold scan can
+    // never fire early off run-ahead state; the crossing cycle itself
+    // runs through the normal tick() path.
+    while (c < end && committed_ + params_.commitWidth < commit_cap) {
+        // Steady-state ALU stretch: with symmetric widths, a window
+        // holding exactly F entries that all commit this cycle, and >= F
+        // banked ALU credits, the next n cycles each commit F entries
+        // and fetch F ALU slots — a closed-form state update. Only the
+        // F slots live at the end survive (everything in between is
+        // fetched and committed inside the batch), so the whole stretch
+        // reduces to bumping the counters and writing those F slots,
+        // exactly as a cycle-by-cycle run would leave them. ALU slots
+        // never touch the caches, the trace decode state, lastLoadPos_,
+        // or lastMissPos_, and the cap guard below keeps every executed
+        // cycle strictly under commit_cap, matching the per-cycle guard.
+        const unsigned F = params_.commitWidth;
+        if (params_.fetchWidth == F && tail_ - head_ == F &&
+            aluCredit_ >= F) {
+            bool all_ready = true;
+            for (unsigned n = 0; n < F; ++n) {
+                if (window_[(head_ + n) & windowMask_].readyAt > c) {
+                    all_ready = false;
+                    break;
+                }
+            }
+            if (all_ready) {
+                std::uint64_t n = std::min<std::uint64_t>(
+                    aluCredit_ / F, end - c);
+                // Per-cycle guard: committed_ + jF + F < cap for every
+                // executed cycle j in [0, n).
+                const std::uint64_t cap_room =
+                    (commit_cap - committed_ - 1) / F;
+                n = std::min(n, cap_room);
+                if (n > 0) {
+                    head_ += n * F;
+                    tail_ += n * F;
+                    committed_ += n * F;
+                    aluCredit_ -= static_cast<std::uint32_t>(n * F);
+                    c += n;
+                    // The F live entries were fetched at cycle c - 1.
+                    for (unsigned k = 0; k < F; ++k) {
+                        WindowEntry &e =
+                            window_[(tail_ - F + k) & windowMask_];
+                        e.readyAt = c;
+                        e.memWait = false;
+                        e.l2Miss = false;
+                    }
+                    continue;
+                }
+            }
+        }
+        const std::uint64_t head0 = head_;
+        const std::uint64_t tail0 = tail_;
+        const std::uint64_t committed0 = committed_;
+
+        // Commit replica. memWait entries are impossible (no misses),
+        // and a blocked entry is never an L2 miss, so — unlike
+        // commit() — no memory stall can accrue.
+        for (unsigned n = 0; n < params_.commitWidth; ++n) {
+            if (head_ == tail_ ||
+                window_[head_ & windowMask_].readyAt > c)
+                break;
+            ++head_;
+            ++committed_;
+        }
+
+        // Fetch replica. Mirrors fetch()/issueMemOp() slot for slot,
+        // except the memory operation probes the caches first and the
+        // whole cycle is rolled back if it would leave the core (the
+        // pre-abort slots are ALU-only, so the rollback just returns
+        // their anonymous credits; trace decode state stays put, which
+        // is exactly where a cycle-by-cycle rerun would land).
+        //
+        // Slot writes must be undone too: once the commit replica's
+        // head advance is rolled back, a new tail position can alias a
+        // still-live slot (pos and pos - windowSize share backing), so
+        // each written slot's prior contents are saved. The aborting
+        // memory op itself writes nothing before the abort decision,
+        // leaving only the ALU slots (at most fetchWidth per cycle).
+        bool aborted = false;
+        bool mem_op_fetched = false;
+        unsigned alu_taken = 0;
+        WindowEntry slot_undo[kMaxBurstFetch];
+        for (unsigned n = 0; n < params_.fetchWidth; ++n) {
+            if (windowFull())
+                break;
+            if (aluCredit_ == 0 && !memPending_) {
+                pendingOp_ = trace_.next();
+                aluCredit_ = pendingOp_.aluBefore;
+                memPending_ = pendingOp_.kind != TraceOp::Kind::None;
+            }
+            if (aluCredit_ > 0) {
+                WindowEntry &e = window_[tail_ & windowMask_];
+                slot_undo[alu_taken] = e;
+                e.readyAt = c + 1;
+                e.memWait = false;
+                e.l2Miss = false;
+                ++tail_;
+                --aluCredit_;
+                ++alu_taken;
+                continue;
+            }
+            if (mem_op_fetched)
+                break; // At most one memory operation per cycle.
+            if (pendingOp_.dependsOnPrev && lastMissPos_ != ~0ULL &&
+                lastMissPos_ >= head_ && !entryDone(lastMissPos_, c))
+                break; // Wait for the producer (no memory touch).
+
+            const Addr line =
+                pendingOp_.addr & ~(params_.l1.lineBytes - 1);
+            if (pendingOp_.kind == TraceOp::Kind::Store) {
+                if (pendingOp_.nonTemporal || !l2_.probe(line)) {
+                    aborted = true; // Write or store fill: leaves core.
+                    break;
+                }
+                l2_.access(line, /*is_store=*/true);
+                l1_.access(line, /*is_store=*/false); // Keep LRU warm.
+                WindowEntry &e = window_[tail_ & windowMask_];
+                e.readyAt = c + 1;
+                e.memWait = false;
+                e.l2Miss = false;
+            } else {
+                // Probe first (no counters, no slot writes); once the
+                // cycle is known to stay core-local, replay the exact
+                // access sequence of issueMemOp() so hit/miss counters
+                // match a cycle-by-cycle run. The aborted case bumps
+                // nothing here — the rerun through tick() bumps once.
+                Cycles ready;
+                if (l1_.probe(line)) {
+                    l1_.access(line, /*is_store=*/false);
+                    ready = c + params_.l1.latency;
+                } else if (l2_.probe(line)) {
+                    l1_.access(line, /*is_store=*/false); // Miss count.
+                    l2_.access(line, /*is_store=*/false);
+                    ready = c + params_.l1.latency + params_.l2.latency;
+                    l1_.fill(line, /*dirty=*/false);
+                } else {
+                    aborted = true; // L2 miss: needs DRAM.
+                    break;
+                }
+                WindowEntry &e = window_[tail_ & windowMask_];
+                e.readyAt = ready;
+                e.memWait = false;
+                e.l2Miss = false;
+                lastLoadPos_ = tail_;
+            }
+            ++tail_;
+            mem_op_fetched = true;
+            memPending_ = false;
+        }
+
+        if (aborted) {
+            while (alu_taken > 0) {
+                --alu_taken;
+                --tail_;
+                window_[tail_ & windowMask_] = slot_undo[alu_taken];
+                ++aluCredit_;
+            }
+            head_ = head0;
+            tail_ = tail0;
+            committed_ = committed0;
+            return c;
+        }
+        ++c;
+    }
+    return c;
+}
+
+bool
 Core::drainWritebacks()
 {
+    bool drained = false;
     while (!pendingWritebacks_.empty() &&
            memory_.canAcceptWrite(pendingWritebacks_.front())) {
         memory_.issueWrite(pendingWritebacks_.front(), id_);
         pendingWritebacks_.pop_front();
+        drained = true;
     }
+    return drained;
 }
 
 } // namespace stfm

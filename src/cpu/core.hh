@@ -60,11 +60,64 @@ class Core
      */
     void prewarmCaches(const std::vector<WarmLine> &lines);
 
-    /** Advance one CPU cycle: commit, then fetch/issue. */
-    void tick(Cycles now);
+    /**
+     * Advance one CPU cycle: commit, then fetch/issue.
+     * @return true if architectural progress was made (an instruction
+     * committed, fetched, or a writeback drained) — i.e. anything
+     * beyond stall accounting. Used by the simulation loop as a cheap
+     * "certainly active next cycle too" hint: on progress it assumes a
+     * wake at now + 1 instead of computing nextEventCycle(); the first
+     * progress-free tick then computes the exact wake. The assumption
+     * is always sound (an early wake is never wrong, only a late one).
+     */
+    bool tick(Cycles now);
 
     /** DRAM data for @p line_addr arrived (called by the system). */
     void onReadComplete(Addr line_addr, Cycles now);
+
+    /**
+     * Quiescence predictor for the fast-forward path: the earliest
+     * cycle >= @p now + 1 at which tick() would do anything beyond the
+     * fixed per-cycle bookkeeping (incrementing memStallCycles), given
+     * that no external event (a read completing, the memory system
+     * freeing capacity) occurs before it. Must be called on post-tick
+     * state (after tick(now)). Returns kNever when only an external
+     * event can make the core progress. Sets @p stalls to whether every
+     * skipped cycle increments the memory-stall counter (apply with
+     * skipStalledCycles). The prediction errs early, never late: a
+     * premature wake costs a spurious tick, a late one would diverge.
+     */
+    Cycles nextEventCycle(Cycles now, bool &stalls) const;
+
+    /** Account @p n skipped cycles of pure memory stall. */
+    void skipStalledCycles(Cycles n) { memStall_ += n; }
+
+    /**
+     * Burst execution ahead of the global clock. While a core has no
+     * outstanding L2 miss, no buffered writeback, and no window entry
+     * still paying a DRAM return-path latency, its cycle-by-cycle
+     * behavior is a closed function of its own state: it neither
+     * observes nor affects the memory system (cache hits stay
+     * core-local), no external event can target it (a completion needs
+     * an outstanding miss), and its memory-stall counter cannot
+     * advance (stall accrues only on L2-miss commits or memory-blocked
+     * fetch, both impossible here). This executes
+     * cycles [@p now, ...) in a tight loop, stopping *before* the first
+     * cycle that would touch the memory system (an L2 miss, a store
+     * fill, a non-temporal store), before any cycle that could push the
+     * committed-instruction count to @p commit_cap (so the caller's
+     * per-cycle snapshot/freeze scan still fires on the exact cycle),
+     * and at @p end. A cycle that turns out to touch memory is rolled
+     * back untouched and re-executed later through the normal tick()
+     * path at the correct global cycle.
+     *
+     * @return the first cycle NOT executed; == @p now when the core is
+     * ineligible or the very next cycle needs the memory system. After
+     * a return of X > now, the caller must not tick this core again
+     * until cycle X (it already ran), and may treat it as quiescent
+     * with no stall accrual in between.
+     */
+    Cycles runAhead(Cycles now, Cycles end, std::uint64_t commit_cap);
 
     ThreadId threadId() const { return id_; }
     std::uint64_t instructionsCommitted() const { return committed_; }
@@ -89,20 +142,24 @@ class Core
     bool windowFull() const { return tail_ - head_ >= params_.windowSize; }
     WindowEntry &at(std::uint64_t pos)
     {
-        return window_[pos % params_.windowSize];
+        return window_[pos & windowMask_];
     }
     bool entryDone(std::uint64_t pos, Cycles now) const
     {
-        const WindowEntry &e = window_[pos % params_.windowSize];
+        const WindowEntry &e = window_[pos & windowMask_];
         return !e.memWait && e.readyAt <= now;
     }
+
+    /** Fetch-width ceiling for runAhead's per-cycle slot-undo buffer;
+     *  wider cores just skip burst execution (correct, slower). */
+    static constexpr unsigned kMaxBurstFetch = 8;
 
     void commit(Cycles now);
     void fetch(Cycles now);
     /** @return false if the memory op must retry next cycle. */
     bool issueMemOp(Cycles now);
     void handleFill(Addr line_addr, bool dirty, Cycles now);
-    void drainWritebacks();
+    bool drainWritebacks();
 
     ThreadId id_;
     CoreParams params_;
@@ -114,6 +171,10 @@ class Core
     MshrFile mshr_;
 
     std::vector<WindowEntry> window_;
+    /** window_.size() - 1; the backing store is rounded up to a power
+     *  of two so position-to-slot mapping is a mask, not a divide.
+     *  Capacity checks still use params_.windowSize exactly. */
+    std::uint64_t windowMask_ = 0;
     std::uint64_t head_ = 0; ///< Position of the oldest instruction.
     std::uint64_t tail_ = 0; ///< Position one past the youngest.
 
@@ -136,6 +197,17 @@ class Core
      *  cycle; with an empty window this still counts as memory stall
      *  (the machine is drained waiting on outstanding misses). */
     bool fetchBlockedByMemory_ = false;
+
+    /** Monotone upper bound on the largest readyAt among live window
+     *  entries still flagged l2Miss — completed DRAM returns paying
+     *  their return-path overhead, the only non-memWait entries that
+     *  accrue memory stall when blocking commit. `now >= missReadyAt_`
+     *  makes that case impossible inside a runAhead() burst without a
+     *  window scan; entries merely waiting out a cache latency don't
+     *  gate entry (they are core-local, deterministic, and stall-free).
+     *  Staleness only delays burst entry, never admits a stalling
+     *  window. */
+    Cycles missReadyAt_ = 0;
 
     std::uint64_t committed_ = 0;
     Cycles memStall_ = 0;

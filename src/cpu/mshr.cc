@@ -5,36 +5,30 @@
 namespace stfm
 {
 
-MshrFile::MshrFile(unsigned entries) : entries_(entries)
+MshrFile::MshrFile(unsigned entries) : capacity_(entries)
 {
     STFM_ASSERT(entries > 0, "need at least one MSHR");
+    entries_.reserve(entries);
 }
 
 MshrFile::Result
 MshrFile::allocate(Addr line_addr, std::uint64_t window_pos,
                    bool dirty_fill)
 {
-    Entry *free_entry = nullptr;
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.lineAddr == line_addr) {
-            if (window_pos != kNoWaiter)
-                entry.waiters.push_back(window_pos);
-            entry.dirtyFill |= dirty_fill;
-            return Result::Merged;
-        }
-        if (!entry.valid && free_entry == nullptr)
-            free_entry = &entry;
+    const auto it = entries_.find(line_addr);
+    if (it != entries_.end()) {
+        if (window_pos != kNoWaiter)
+            it->second.waiters.push_back(window_pos);
+        it->second.dirtyFill |= dirty_fill;
+        return Result::Merged;
     }
-    if (free_entry == nullptr)
+    if (full())
         return Result::Full;
 
-    free_entry->valid = true;
-    free_entry->lineAddr = line_addr;
-    free_entry->dirtyFill = dirty_fill;
-    free_entry->waiters.clear();
+    Entry &entry = entries_[line_addr];
+    entry.dirtyFill = dirty_fill;
     if (window_pos != kNoWaiter)
-        free_entry->waiters.push_back(window_pos);
-    ++used_;
+        entry.waiters.push_back(window_pos);
     ++allocations_;
     return Result::Allocated;
 }
@@ -42,28 +36,20 @@ MshrFile::allocate(Addr line_addr, std::uint64_t window_pos,
 bool
 MshrFile::has(Addr line_addr) const
 {
-    for (const auto &entry : entries_) {
-        if (entry.valid && entry.lineAddr == line_addr)
-            return true;
-    }
-    return false;
+    return entries_.find(line_addr) != entries_.end();
 }
 
 bool
 MshrFile::complete(Addr line_addr, std::vector<std::uint64_t> &waiters,
                    bool &dirty)
 {
-    for (auto &entry : entries_) {
-        if (entry.valid && entry.lineAddr == line_addr) {
-            waiters = std::move(entry.waiters);
-            dirty = entry.dirtyFill;
-            entry.valid = false;
-            entry.waiters.clear();
-            --used_;
-            return true;
-        }
-    }
-    return false;
+    const auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        return false;
+    waiters = std::move(it->second.waiters);
+    dirty = it->second.dirtyFill;
+    entries_.erase(it);
+    return true;
 }
 
 } // namespace stfm

@@ -12,6 +12,7 @@
 #define STFM_CPU_MSHR_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -54,22 +55,26 @@ class MshrFile
     /** Is there already an outstanding miss for @p line_addr? */
     bool has(Addr line_addr) const;
 
-    bool full() const { return used_ == entries_.size(); }
-    unsigned inUse() const { return used_; }
+    bool full() const { return entries_.size() == capacity_; }
+    unsigned inUse() const
+    {
+        return static_cast<unsigned>(entries_.size());
+    }
     /** Number of distinct misses allocated (DRAM demand requests). */
     std::uint64_t allocations() const { return allocations_; }
 
   private:
     struct Entry
     {
-        Addr lineAddr = 0;
-        bool valid = false;
         bool dirtyFill = false;
         std::vector<std::uint64_t> waiters;
     };
 
-    std::vector<Entry> entries_;
-    unsigned used_ = 0;
+    /** Outstanding misses keyed by line address. MSHR identity is
+     *  architecturally invisible (only the line and its waiters
+     *  matter), so an associative map is an exact model. */
+    std::unordered_map<Addr, Entry> entries_;
+    std::size_t capacity_;
     std::uint64_t allocations_ = 0;
 };
 

@@ -46,32 +46,68 @@ DramChannel::refreshAll(DramCycles now)
     return done;
 }
 
+namespace
+{
+
+/** max(a - b, 0) on the unsigned cycle domain. */
+DramCycles
+cyclesBefore(DramCycles at, DramCycles lead)
+{
+    return at > lead ? at - lead : 0;
+}
+
+} // namespace
+
+DramCycles
+DramChannel::earliestIssue(DramCommand cmd, BankId b) const
+{
+    const Bank &bank = banks_[b];
+    switch (cmd) {
+      case DramCommand::Activate: {
+        DramCycles at = std::max(bank.actAllowedAt(), actAllowedAt_);
+        // tFAW: the fourth-oldest activate must be at least tFAW ago.
+        if (actCount_ >= actWindow_.size())
+            at = std::max(at, actWindow_[actWindowIdx_] + timing_.tFAW);
+        return at;
+      }
+      case DramCommand::Precharge:
+        return bank.preAllowedAt();
+      case DramCommand::Read: {
+        // The data burst starts tCL after the command; it may not
+        // overlap the bus, so the command may go tCL early at most.
+        DramCycles at = std::max(bank.readAllowedAt(), readAllowedAt_);
+        return std::max(at, cyclesBefore(dataBusFreeAt_, timing_.tCL));
+      }
+      case DramCommand::Write:
+        return std::max(bank.writeAllowedAt(),
+                        cyclesBefore(dataBusFreeAt_, timing_.tWL));
+    }
+    STFM_PANIC("unreachable");
+}
+
 bool
 DramChannel::canIssue(DramCommand cmd, BankId b, RowId row,
                       DramCycles now) const
 {
-    if (!banks_[b].canIssue(cmd, row, now))
-        return false;
-
+    // Row-buffer state admissibility; the timing side is delegated to
+    // earliestIssue() so the two can never disagree.
+    const RowId open = banks_[b].openRow();
     switch (cmd) {
-      case DramCommand::Activate: {
-        if (now < actAllowedAt_)
+      case DramCommand::Activate:
+        if (open != kInvalidRow)
             return false;
-        // tFAW: the fourth-oldest activate must be at least tFAW ago.
-        if (actCount_ < actWindow_.size())
-            return true;
-        return now >= actWindow_[actWindowIdx_] + timing_.tFAW;
-      }
+        break;
       case DramCommand::Precharge:
-        return true;
-      case DramCommand::Read:
-        if (now < readAllowedAt_)
+        if (open == kInvalidRow)
             return false;
-        return now + timing_.tCL >= dataBusFreeAt_;
+        break;
+      case DramCommand::Read:
       case DramCommand::Write:
-        return now + timing_.tWL >= dataBusFreeAt_;
+        if (open != row)
+            return false;
+        break;
     }
-    return false;
+    return now >= earliestIssue(cmd, b);
 }
 
 DramCycles

@@ -79,6 +79,18 @@ class DramChannel
                   DramCycles now) const;
 
     /**
+     * Earliest cycle at which @p cmd could issue to bank @p b, assuming
+     * the bank's row-buffer state already admits the command class.
+     * Exact, not a bound: canIssue(cmd, b, row, t) holds iff the state
+     * admits (cmd, row) and t >= earliestIssue(cmd, b). Valid until the
+     * next command issues on the channel (all constraints only move
+     * forward when commands issue), which is what lets the controller
+     * maintain per-bank readiness tables incrementally instead of
+     * re-evaluating the full DDR2 constraint set per query.
+     */
+    DramCycles earliestIssue(DramCommand cmd, BankId b) const;
+
+    /**
      * Issue @p cmd. For READ/WRITE returns the cycle at which the last
      * data beat leaves the bus; for ACT/PRE returns the cycle the bank
      * becomes usable for the following command class.

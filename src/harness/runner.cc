@@ -1,6 +1,9 @@
 #include "harness/runner.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <thread>
 
 #include "common/logging.hh"
 #include "trace/catalog.hh"
@@ -13,6 +16,12 @@ ExperimentRunner::ExperimentRunner(SimConfig base) : base_(std::move(base))
     base_.instructionBudget = budgetFromEnv(base_.instructionBudget);
     base_.memory.controller.integrity =
         IntegrityConfig::fromEnv(base_.memory.controller.integrity);
+    // STFM_REFERENCE=1 pins every run to the cycle-by-cycle reference
+    // path (no fast-forwarding) — the oracle for perf comparisons.
+    if (const char *env = std::getenv("STFM_REFERENCE")) {
+        if (std::string(env) != "0")
+            base_.fastForward = false;
+    }
 }
 
 std::uint64_t
@@ -32,6 +41,8 @@ ExperimentRunner::applyBenchFlags(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::string(argv[i]) == "--check")
             setenv("STFM_CHECK", "1", 1);
+        if (std::string(argv[i]) == "--reference")
+            setenv("STFM_REFERENCE", "1", 1);
     }
 }
 
@@ -64,6 +75,8 @@ const ThreadResult &
 ExperimentRunner::aloneResult(const std::string &benchmark)
 {
     const std::string key = aloneKey(benchmark);
+    // Held across the miss-path simulation: see aloneCache_'s comment.
+    std::lock_guard<std::mutex> guard(aloneMutex_);
     const auto it = aloneCache_.find(key);
     if (it != aloneCache_.end())
         return it->second;
@@ -155,10 +168,61 @@ std::vector<RunOutcome>
 ExperimentRunner::runAll(const Workload &workload,
                          const std::vector<SchedulerConfig> &schedulers)
 {
-    std::vector<RunOutcome> out;
-    out.reserve(schedulers.size());
+    std::vector<RunJob> jobs;
+    jobs.reserve(schedulers.size());
     for (const auto &scheduler : schedulers)
-        out.push_back(run(workload, scheduler));
+        jobs.push_back({workload, scheduler});
+    return runMany(jobs);
+}
+
+unsigned
+ExperimentRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("STFM_JOBS")) {
+        const long long parsed = std::atoll(env);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::vector<RunOutcome>
+ExperimentRunner::runMany(const std::vector<RunJob> &jobs,
+                          unsigned threads)
+{
+    std::vector<RunOutcome> out(jobs.size());
+    if (jobs.empty())
+        return out;
+    if (threads == 0)
+        threads = defaultJobs();
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, jobs.size()));
+
+    // Self-scheduling work queue: workers claim the next unclaimed job
+    // index and write its outcome into the matching output slot, so
+    // results always land in job order no matter which worker ran
+    // what, or in what order they finished. run() never throws for
+    // run-level failures, so a worker can only stop early on
+    // std::bad_alloc-class catastrophes — not worth a recovery path.
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < jobs.size();
+             i = next.fetch_add(1)) {
+            out[i] = run(jobs[i].workload, jobs[i].scheduler);
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+        return out;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
     return out;
 }
 

@@ -15,6 +15,7 @@
 #define STFM_HARNESS_RUNNER_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,13 @@
 
 namespace stfm
 {
+
+/** One (workload, scheduler) pairing queued for execution. */
+struct RunJob
+{
+    Workload workload;
+    SchedulerConfig scheduler;
+};
 
 /** One workload run under one policy, with its metrics. */
 struct RunOutcome
@@ -78,6 +86,29 @@ class ExperimentRunner
         const Workload &workload,
         const std::vector<SchedulerConfig> &schedulers);
 
+    /**
+     * Execute @p jobs across a pool of worker threads and return the
+     * outcomes in job order — results are written by job index, so the
+     * output is byte-for-byte independent of scheduling interleaving.
+     * Each job builds its own traces and CmpSystem (simulations share
+     * nothing mutable); the only cross-job state, the alone-baseline
+     * cache, is mutex-guarded. Failures stay contained in their
+     * RunOutcome exactly as with run().
+     *
+     * @param threads Worker count; 0 = defaultJobs(). Clamped to the
+     *                job count; 1 degenerates to a sequential loop on
+     *                the caller's thread.
+     */
+    std::vector<RunOutcome> runMany(const std::vector<RunJob> &jobs,
+                                    unsigned threads = 0);
+
+    /**
+     * Worker-pool width when the caller does not choose: the STFM_JOBS
+     * environment variable if set to a positive integer, otherwise the
+     * hardware concurrency (minimum 1).
+     */
+    static unsigned defaultJobs();
+
     const SimConfig &base() const { return base_; }
 
     /**
@@ -113,7 +144,17 @@ class ExperimentRunner
 
     SimConfig base_;
     unsigned maxAttempts_ = 1;
+    /**
+     * Memoized alone-run baselines, shared by concurrent runMany()
+     * workers. aloneMutex_ is held for the whole lookup-or-compute:
+     * this serializes baseline construction (each key is simulated
+     * exactly once, whichever worker gets there first) and makes the
+     * returned references safe to read afterwards — std::map node
+     * addresses are stable under later insertions, and a published
+     * entry is never mutated again.
+     */
     std::map<std::string, ThreadResult> aloneCache_;
+    std::mutex aloneMutex_;
 };
 
 } // namespace stfm

@@ -27,6 +27,17 @@ runSweep(const std::string &title,
 
     os << title << " (" << workload_list.size() << " workloads)\n\n";
 
+    // One job per (workload, scheduler) cell, executed across the
+    // worker pool (STFM_JOBS wide by default). runMany() returns the
+    // outcomes in job order, so the report below — and the aggregate
+    // accumulation order — is identical to the old sequential loop.
+    std::vector<RunJob> jobs;
+    jobs.reserve(workload_list.size() * schedulers.size());
+    for (const auto &workload : workload_list)
+        for (const auto &scheduler : schedulers)
+            jobs.push_back({workload, scheduler});
+    const std::vector<RunOutcome> outcomes = runner.runMany(jobs);
+
     TextTable unfairness_table({"workload", "FR-FCFS", "FCFS",
                                 "FRFCFS+Cap", "NFQ", "STFM"});
     TextTable failure_table({"workload", "scheduler", "error"});
@@ -35,8 +46,8 @@ runSweep(const std::string &title,
         const Workload &workload = workload_list[w];
         std::vector<std::string> row{workloadLabel(workload)};
         for (std::size_t s = 0; s < schedulers.size(); ++s) {
-            const RunOutcome outcome = runner.run(workload,
-                                                  schedulers[s]);
+            const RunOutcome &outcome =
+                outcomes[w * schedulers.size() + s];
             if (outcome.failed) {
                 // Isolate the failure: report it, keep sweeping.
                 ++results[s].failures;

@@ -20,8 +20,12 @@ MemoryController::MemoryController(ChannelId channel_id, unsigned num_banks,
               params.writeBufferEntries),
       drain_(std::min(params.writeDrainHigh, params.writeBufferEntries),
              params.writeBufferEntries),
-      threadStats_(num_threads), readLatency_(num_threads)
+      threadStats_(num_threads), readLatency_(num_threads),
+      bankReadyCache_(num_banks, 0)
 {
+    STFM_ASSERT(num_banks <= 64,
+                "bankReadyDirty_ is a 64-bit mask (%u banks requested)",
+                num_banks);
     const IntegrityConfig &integrity = params.integrity;
     if (integrity.protocolCheck) {
         checker_ = std::make_unique<ProtocolChecker>(
@@ -68,6 +72,7 @@ MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
         if (auditor_)
             auditor_->onForward(req->id, thread, coords.bank, dram_now);
         forwarded_.push_back(std::move(req));
+        quietUntil_ = 0; // The forward completes next tick.
         return;
     }
 
@@ -84,6 +89,8 @@ MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
     req.arrivalState = channel_.rowState(coords.bank, coords.row);
     if (auditor_)
         auditor_->onEnqueue(req.id, thread, coords.bank, false, dram_now);
+    bankReadyDirty_ |= std::uint64_t{1} << coords.bank;
+    quietUntil_ = 0;
     buffer_.add(req);
     occupancy_.onArrive(thread,
                         channelId_ * channel_.numBanks() + coords.bank,
@@ -115,6 +122,8 @@ MemoryController::enqueueWrite(Addr addr, const AddrDecode &coords,
     req.arrivalState = channel_.rowState(coords.bank, coords.row);
     if (auditor_)
         auditor_->onEnqueue(req.id, thread, coords.bank, true, dram_now);
+    bankReadyDirty_ |= std::uint64_t{1} << coords.bank;
+    quietUntil_ = 0;
     buffer_.add(req);
 }
 
@@ -122,7 +131,8 @@ Candidate
 MemoryController::pickBankCandidate(BankId bank, bool allow_writes,
                                     bool allow_reads,
                                     const SchedContext &ctx,
-                                    std::uint64_t &oldest_row_seq) const
+                                    std::uint64_t &oldest_row_seq,
+                                    DramCycles &next_try) const
 {
     oldest_row_seq = std::numeric_limits<std::uint64_t>::max();
     Candidate best;
@@ -153,8 +163,14 @@ MemoryController::pickBankCandidate(BankId bank, bool allow_writes,
             continue;
         if (isRowCommand(cmd))
             oldest_row_seq = std::min(oldest_row_seq, req->seq);
-        if (!channel_.canIssue(cmd, bank, req->coords.row, ctx.dramNow))
+        if (!channel_.canIssue(cmd, bank, req->coords.row, ctx.dramNow)) {
+            // canIssue and earliestIssue agree exactly, and the state
+            // part of canIssue holds by construction of cmd, so this
+            // command becomes issuable precisely at earliestIssue.
+            next_try =
+                std::min(next_try, channel_.earliestIssue(cmd, bank));
             continue;
+        }
         if (!best.valid() || policy_.higherPriority(cand, best, ctx))
             best = cand;
     }
@@ -163,7 +179,12 @@ MemoryController::pickBankCandidate(BankId bank, bool allow_writes,
         best_pending_column.valid() &&
         policy_.higherPriority(best_pending_column, best, ctx)) {
         // Hold the open row for the pending column access; any other
-        // ready command in this bank is an equivalent precharge.
+        // ready command in this bank is an equivalent precharge. An
+        // event-driven priority cannot lift the protection before the
+        // pending column itself becomes issuable (already folded into
+        // next_try above); a time-varying one could lift it any cycle.
+        if (policy_.timeVaryingPriority())
+            next_try = std::min(next_try, ctx.dramNow + 1);
         return {};
     }
     return best;
@@ -179,19 +200,19 @@ MemoryController::readyColumnThreadMask(DramCycles now) const
     // would have waited just the same running alone.
     std::uint32_t mask = 0;
     for (BankId b = 0; b < channel_.numBanks(); ++b) {
-        for (const auto &owned : buffer_.queue(b)) {
-            const Request *req = owned.get();
-            if (channel_.rowState(b, req->coords.row) !=
-                RowBufferState::Hit) {
-                continue;
-            }
-            if (req->isWrite || !req->blocking)
-                continue; // Delaying these produces no stall.
-            if (channel_.canIssue(DramCommand::Read, b, req->coords.row,
-                                  now)) {
-                mask |= 1u << req->thread;
-            }
-        }
+        // Only banks with a blocking read queued against their open row
+        // can contribute (delaying writes or non-blocking reads
+        // produces no stall); the per-row index holds the exact thread
+        // mask, so no queue scan is needed.
+        const RowId open = channel_.bank(b).openRow();
+        if (open == kInvalidRow)
+            continue;
+        const RequestBuffer::RowMix *mix = buffer_.rowMix(b, open);
+        if (!mix || mix->blockingReadMask == 0)
+            continue;
+        if (now < channel_.earliestIssue(DramCommand::Read, b))
+            continue;
+        mask |= mix->blockingReadMask;
     }
     return mask;
 }
@@ -205,6 +226,15 @@ MemoryController::issueCommand(const Candidate &winner,
     // the policy. Recover the mutable record to update its state.
     Request *req = const_cast<Request *>(winner.req);
     const BankId bank = req->coords.bank;
+    // A command issue moves the channel's shared timing state (data
+    // bus, tRRD/tFAW windows) as well as this bank's, but shared
+    // constraints only ever move *later* (see earliestIssue's
+    // contract), so the other banks' cached entries become lower
+    // bounds: at worst they trigger a scan that finds nothing, never a
+    // skipped issuable command. Only the issued bank — whose row state
+    // and local timing actually changed — must be re-derived.
+    bankReadyDirty_ |= std::uint64_t{1} << bank;
+    quietUntil_ = 0;
 
     if (checker_)
         checker_->noteRequest(req->id, req->thread);
@@ -257,6 +287,7 @@ MemoryController::issueCommand(const Candidate &winner,
     req->columnIssued = true;
     req->finishAt = finish;
     req->serviceState = service_state;
+    ++columnIssues_;
 
     ControllerThreadStats &stats = threadStats_[req->thread];
     if (req->isWrite) {
@@ -367,9 +398,103 @@ MemoryController::handleRefresh(const SchedContext &ctx)
     return true; // Waiting on bank timing; hold off normal work.
 }
 
+DramCycles
+MemoryController::bankReadyAt(BankId bank) const
+{
+    if (buffer_.queueSize(bank) == 0)
+        return kNeverDram;
+    const RowId open = channel_.bank(bank).openRow();
+    if (open == kInvalidRow) {
+        // Precharged bank: every queued request's next command is an
+        // ACTIVATE (to its own row; the issue time is row-independent).
+        return channel_.earliestIssue(DramCommand::Activate, bank);
+    }
+    const RequestBuffer::RowMix *mix = buffer_.rowMix(bank, open);
+    const unsigned hits = mix ? mix->total() : 0;
+    DramCycles at = kNeverDram;
+    if (mix && mix->reads > 0)
+        at = std::min(at, channel_.earliestIssue(DramCommand::Read, bank));
+    if (mix && mix->writes > 0)
+        at = std::min(at,
+                      channel_.earliestIssue(DramCommand::Write, bank));
+    if (buffer_.queueSize(bank) > hits) {
+        // Conflicting rows queued: they want the bank precharged.
+        at = std::min(at,
+                      channel_.earliestIssue(DramCommand::Precharge, bank));
+    }
+    return at;
+}
+
+DramCycles
+MemoryController::nextInterestingCycle(DramCycles now) const
+{
+    if (!buffer_.empty() && drain_.wouldTransition(buffer_)) {
+        // The write-drain state machine owes a transition against the
+        // current buffer contents (an episode starting, re-targeting,
+        // or the emergency flag flipping); the next tick's update()
+        // performs it and can change what is schedulable, so the next
+        // cycle is interesting. While this is false, skipped update()
+        // calls are provably no-ops until the buffer changes — and any
+        // enqueue or issue re-runs this predictor. With an empty buffer
+        // a pending transition is deferred identically by the reference
+        // path: a cycle-by-cycle run skips update() on empty ticks too.
+        return now + 1;
+    }
+    DramCycles wake = kNeverDram;
+    for (const auto &req : inFlight_)
+        wake = std::min(wake, req->finishAt);
+    for (const auto &req : forwarded_)
+        wake = std::min(wake, req->finishAt);
+    if (params_.refreshEnabled) {
+        // While refresh housekeeping is active every cycle matters
+        // (maintenance precharges bypass the request scheduler).
+        if (refreshPending_)
+            return now + 1;
+        wake = std::min(wake, nextRefreshAt_);
+    }
+    for (BankId b = 0; b < channel_.numBanks(); ++b)
+        wake = std::min(wake, bankReadyCached(b));
+    if (auditor_ && params_.integrity.progressCheckStride > 0 &&
+        !idle()) {
+        // Never skip past a watchdog progress check while requests are
+        // outstanding; the auditor must observe the same cycles it
+        // would in a cycle-by-cycle run.
+        const DramCycles stride = params_.integrity.progressCheckStride;
+        wake = std::min(wake, now + stride - now % stride);
+    }
+    // A command that is ready *now* but lost arbitration (or was held
+    // back by gating) keeps the next cycle interesting; never report a
+    // wake in the past.
+    return wake == kNeverDram ? wake : std::max(wake, now + 1);
+}
+
+DramCycles
+MemoryController::quietBound(DramCycles now, DramCycles issue_bound) const
+{
+    DramCycles q = issue_bound;
+    for (const auto &req : inFlight_)
+        q = std::min(q, req->finishAt);
+    for (const auto &req : forwarded_)
+        q = std::min(q, req->finishAt);
+    if (params_.refreshEnabled)
+        q = std::min(q, nextRefreshAt_);
+    if (auditor_ && params_.integrity.progressCheckStride > 0) {
+        const DramCycles stride = params_.integrity.progressCheckStride;
+        q = std::min(q, now + stride - now % stride);
+    }
+    return q;
+}
+
 void
 MemoryController::tick(const SchedContext &ctx)
 {
+    // Quiet window: a previous tick proved every cycle before
+    // quietUntil_ is a no-op, and no event has arrived since (events
+    // reset the window to 0).
+    if (ctx.dramNow < quietUntil_)
+        return;
+    quietUntil_ = 0; // Re-established below only by a no-op outcome.
+
     deliverCompletions(ctx);
 
     if (auditor_ && params_.integrity.progressCheckStride > 0 &&
@@ -377,11 +502,16 @@ MemoryController::tick(const SchedContext &ctx)
         auditor_->checkProgress(ctx.dramNow);
     }
 
-    if (handleRefresh(ctx))
+    if (handleRefresh(ctx)) {
+        // Refresh housekeeping may precharge banks or refresh the rank.
+        bankReadyDirty_ = ~std::uint64_t{0};
         return;
+    }
 
-    if (buffer_.empty())
+    if (buffer_.empty()) {
+        quietUntil_ = quietBound(ctx.dramNow, kNeverDram);
         return;
+    }
 
     // Reads are prioritized over writes (Table 2): writes are only
     // schedulable during a drain episode (see WriteDrainControl), which
@@ -391,7 +521,19 @@ MemoryController::tick(const SchedContext &ctx)
 
     Candidate best;
     std::uint64_t best_oldest_row_seq = 0;
+    DramCycles issue_bound = kNeverDram;
     for (BankId b = 0; b < channel_.numBanks(); ++b) {
+        // Skip banks where no queued request's next command is ready:
+        // the scan below could only come up empty. bankReadyAt() is
+        // exact per command class, so this prunes without changing
+        // which candidates exist (the per-bank extras — pending-column
+        // row protection and the oldest row seq — only matter when the
+        // bank produces a candidate).
+        const DramCycles ready = bankReadyCached(b);
+        if (ready > ctx.dramNow) {
+            issue_bound = std::min(issue_bound, ready);
+            continue;
+        }
         const bool draining_this_bank =
             drain_.emergency() ||
             (drain_.draining() && b == drain_.drainBank());
@@ -399,17 +541,22 @@ MemoryController::tick(const SchedContext &ctx)
         const bool allow_reads =
             !(draining_this_bank && buffer_.writeCount(b) > 0);
         std::uint64_t oldest_row_seq = 0;
+        DramCycles next_try = kNeverDram;
         const Candidate cand = pickBankCandidate(
-            b, allow_writes, allow_reads, ctx, oldest_row_seq);
-        if (!cand.valid())
+            b, allow_writes, allow_reads, ctx, oldest_row_seq, next_try);
+        if (!cand.valid()) {
+            issue_bound = std::min(issue_bound, next_try);
             continue;
+        }
         if (!best.valid() || policy_.higherPriority(cand, best, ctx)) {
             best = cand;
             best_oldest_row_seq = oldest_row_seq;
         }
     }
-    if (!best.valid())
+    if (!best.valid()) {
+        quietUntil_ = quietBound(ctx.dramNow, issue_bound);
         return;
+    }
 
     const bool bypassed = isColumnCommand(best.cmd) &&
                           best_oldest_row_seq < best.req->seq;

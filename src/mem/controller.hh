@@ -117,6 +117,22 @@ class MemoryController
      */
     void tick(const SchedContext &ctx);
 
+    /**
+     * Earliest DRAM cycle >= @p now + 1 at which tick() could perform
+     * observable work: a data burst completing, a forwarded read
+     * returning, refresh housekeeping, a watchdog progress check, or
+     * any queued request's next command becoming issuable. Every cycle
+     * strictly before the returned value is guaranteed to be a no-op
+     * tick (no state changes), so the simulation loop may skip straight
+     * to it. The bound may be early (a spurious wake costs only time),
+     * never late. Returns kNeverDram when the controller is fully idle.
+     */
+    DramCycles nextInterestingCycle(DramCycles now) const;
+
+    /** nextInterestingCycle() sentinel: the controller is fully idle. */
+    static constexpr DramCycles kNeverDram =
+        static_cast<DramCycles>(-1);
+
     void setReadCallback(ReadCallback cb) { readCallback_ = std::move(cb); }
 
     const DramChannel &channel() const { return channel_; }
@@ -140,6 +156,16 @@ class MemoryController
                forwarded_.empty();
     }
 
+    /**
+     * Total column commands issued (reads + writes, since reset).
+     * Monotone counter the simulation loop uses as a change-detection
+     * generation: a column issue is the only controller event that
+     * frees request-buffer capacity, i.e. the only memory-side event
+     * (besides read completions, which carry their own callback) that
+     * can unblock a structurally stalled core.
+     */
+    std::uint64_t columnIssues() const { return columnIssues_; }
+
     /** Shadow protocol checker, or null when disabled. */
     const ProtocolChecker *protocolChecker() const
     {
@@ -156,9 +182,56 @@ class MemoryController
     void auditDrained(DramCycles now);
 
   private:
+    /**
+     * Earliest cycle any request queued for @p bank could have its next
+     * command issued, derived from the buffer's per-row index and the
+     * channel's earliestIssue tables in O(distinct row classes) instead
+     * of a queue scan. Exact per command class: if it is in the future,
+     * a scan of the bank at the current cycle finds nothing issuable.
+     * Returns kNeverDram for an empty bank queue.
+     */
+    DramCycles bankReadyAt(BankId bank) const;
+
+    /**
+     * Memoized bankReadyAt, tracked per bank: an enqueue changes only
+     * its own bank's queue (channel timing untouched), so it re-derives
+     * one entry; a command issue or refresh work shifts the channel's
+     * shared timing state (bus, tRRD, tFAW) and re-derives everything.
+     */
+    DramCycles bankReadyCached(BankId bank) const
+    {
+        if (bankReadyDirty_ & (std::uint64_t{1} << bank)) {
+            bankReadyCache_[bank] = bankReadyAt(bank);
+            bankReadyDirty_ &= ~(std::uint64_t{1} << bank);
+        }
+        return bankReadyCache_[bank];
+    }
+    /**
+     * Highest-priority issuable command among @p bank's queue, or an
+     * invalid candidate. When the scan comes up empty, @p next_try is
+     * lowered to the earliest future cycle its outcome could change
+     * with no intervening scheduler event: the soonest earliestIssue
+     * among schedulable-but-not-yet-issuable commands, capped at the
+     * next cycle when a time-varying priority comparison (row
+     * protection) suppressed the winner. Requests held back by the
+     * read/write gating contribute nothing — the gating only moves on
+     * buffer changes, which invalidate the quiet window anyway.
+     */
     Candidate pickBankCandidate(BankId bank, bool allow_writes,
                                 bool allow_reads, const SchedContext &ctx,
-                                std::uint64_t &oldest_row_seq) const;
+                                std::uint64_t &oldest_row_seq,
+                                DramCycles &next_try) const;
+
+    /**
+     * Quiet-window bound for a tick that issued nothing: the earliest
+     * future cycle at which tick() could do observable work, combining
+     * @p issue_bound (per-bank issuability, from the scheduling scan)
+     * with burst/forward completions, the refresh deadline, and the
+     * watchdog stride. Every component is strictly past @p now by
+     * construction (completions due now were just delivered, refresh
+     * due now was just handled).
+     */
+    DramCycles quietBound(DramCycles now, DramCycles issue_bound) const;
     void issueCommand(const Candidate &winner, bool bypassed_older_row,
                       const SchedContext &ctx);
     std::uint32_t readyColumnThreadMask(DramCycles now) const;
@@ -179,6 +252,24 @@ class MemoryController
     ReadCallback readCallback_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextId_ = 0;
+    std::uint64_t columnIssues_ = 0;
+
+    /** bankReadyCached() memo; per-bank dirty bits (bit b set = entry b
+     *  must be re-derived). Banks are capped at 64 per channel by this
+     *  mask width (the paper's systems use 8). */
+    mutable std::vector<DramCycles> bankReadyCache_;
+    mutable std::uint64_t bankReadyDirty_ = ~std::uint64_t{0};
+
+    /**
+     * Quiet-window memo: every tick() strictly before this cycle is a
+     * guaranteed no-op (nothing completes, nothing can issue, no
+     * refresh or watchdog work is due) and returns in O(1). Set at the
+     * end of a tick that issued nothing (see quietBound); reset to 0 —
+     * "recompute" — by every event that could create work: a request
+     * arriving (enqueueRead/enqueueWrite), a command issuing, or
+     * refresh housekeeping touching the banks.
+     */
+    DramCycles quietUntil_ = 0;
 
     /** Refresh state machine (active when params_.refreshEnabled). */
     DramCycles nextRefreshAt_ = 0;

@@ -1,5 +1,7 @@
 #include "mem/memory_system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace stfm
@@ -43,6 +45,7 @@ MemorySystem::canAcceptWrite(Addr addr) const
 void
 MemorySystem::issueRead(Addr addr, ThreadId thread, bool blocking)
 {
+    wakeCacheValid_ = false;
     const AddrDecode coords = mapping_.decode(addr);
     controllers_[coords.channel]->enqueueRead(addr, coords, thread,
                                               blocking, cpuNow_,
@@ -52,6 +55,7 @@ MemorySystem::issueRead(Addr addr, ThreadId thread, bool blocking)
 void
 MemorySystem::issueWrite(Addr addr, ThreadId thread)
 {
+    wakeCacheValid_ = false;
     const AddrDecode coords = mapping_.decode(addr);
     controllers_[coords.channel]->enqueueWrite(addr, coords, thread,
                                                cpuNow_, dramNow_);
@@ -100,10 +104,47 @@ MemorySystem::tick(Cycles cpu_now)
     cpuNow_ = cpu_now;
     if (cpu_now % config_.cpuPerDram != 0)
         return;
+    wakeCacheValid_ = false;
     ++dramNow_;
     policy_->beginCycle(makeContext(0, cpu_now));
     for (ChannelId c = 0; c < controllers_.size(); ++c)
         controllers_[c]->tick(makeContext(c, cpu_now));
+}
+
+void
+MemorySystem::quiescentDramTick(Cycles cpu_now)
+{
+    cpuNow_ = cpu_now;
+    wakeCacheValid_ = false;
+    ++dramNow_;
+    policy_->beginCycle(makeContext(0, cpu_now));
+}
+
+Cycles
+MemorySystem::nextInterestingCpuCycle(Cycles now) const
+{
+    if (wakeCacheValid_)
+        return wakeCache_;
+    DramCycles wake = MemoryController::kNeverDram;
+    for (const auto &controller : controllers_)
+        wake = std::min(wake, controller->nextInterestingCycle(dramNow_));
+    // DRAM cycle W (> dramNow_) is reached at the (W - dramNow_)'th
+    // DRAM boundary after the most recent one at or before `now`.
+    const Cycles per = config_.cpuPerDram;
+    const Cycles last_boundary = now / per * per;
+    Cycles result = kNever;
+    if (wake != MemoryController::kNeverDram) {
+        const DramCycles ahead = wake - dramNow_;
+        result = ahead > (kNever - last_boundary) / per
+                     ? kNever // Saturate instead of overflowing.
+                     : last_boundary + ahead * per;
+    }
+    // Valid for the rest of this DRAM window: invalidated by boundary
+    // ticks and enqueues, and last_boundary can only change across a
+    // boundary tick.
+    wakeCache_ = result;
+    wakeCacheValid_ = true;
+    return result;
 }
 
 ControllerThreadStats

@@ -62,6 +62,67 @@ class MemorySystem : public MemoryPort
      */
     void tick(Cycles cpu_now);
 
+    /**
+     * Earliest CPU cycle > @p now at which a DRAM-domain tick could
+     * perform observable work (deliver data, issue a command, run
+     * refresh or watchdog housekeeping). Every DRAM boundary strictly
+     * before it is guaranteed to be a no-op controller tick, which the
+     * fast-forward path in CmpSystem::run exploits. Returns kNever when
+     * all channels are fully idle. The bound may be early, never late.
+     */
+    Cycles nextInterestingCpuCycle(Cycles now) const;
+
+    /**
+     * True when the policy's beginCycle must run at every DRAM
+     * boundary even across quiescent stretches (STFM).
+     */
+    bool policyNeedsPerCycleAccounting() const
+    {
+        return policy_->perCycleAccounting();
+    }
+
+    /**
+     * Advance one DRAM boundary at CPU cycle @p cpu_now known to be
+     * controller-quiescent: the DRAM clock advances and the policy's
+     * per-cycle accounting runs, but controllers are not ticked (their
+     * ticks are proven no-ops by nextInterestingCpuCycle).
+     */
+    void quiescentDramTick(Cycles cpu_now);
+
+    /**
+     * Advance @p count quiescent DRAM boundaries wholesale. Only legal
+     * when !policyNeedsPerCycleAccounting() and no skipped boundary is
+     * interesting (both enforced by the caller's use of
+     * nextInterestingCpuCycle, which also never skips past a watchdog
+     * stride cycle).
+     */
+    void skipDramTicks(std::uint64_t count)
+    {
+        dramNow_ += count;
+        wakeCacheValid_ = false;
+    }
+
+    /** Re-align the CPU-domain timestamp after a fast-forward. */
+    void syncCpuNow(Cycles cpu_now) { cpuNow_ = cpu_now; }
+
+    /**
+     * Change-detection generation for core-visible memory state. The
+     * only memory-side events that can unblock a core are a read
+     * completing (delivered through the read callback, which the
+     * simulation loop hooks directly) and request-buffer capacity being
+     * freed — which happens exactly when a column command issues. The
+     * generation therefore advances on every column issue; while it is
+     * unchanged and no completion fired, a core's cached quiescence
+     * window remains valid.
+     */
+    std::uint64_t coreEventGen() const
+    {
+        std::uint64_t gen = 0;
+        for (const auto &controller : controllers_)
+            gen += controller->columnIssues();
+        return gen;
+    }
+
     /** Completion notifications for demand reads. */
     void setReadCallback(ReadCallback cb);
 
@@ -117,6 +178,16 @@ class MemorySystem : public MemoryPort
     const std::vector<Cycles> *stallCycles_ = nullptr;
     DramCycles dramNow_ = 0;
     Cycles cpuNow_ = 0;
+
+    /**
+     * Memoized nextInterestingCpuCycle result. Controller state only
+     * changes at DRAM-boundary ticks and on enqueues, so between those
+     * the full readiness sweep would recompute the same value for every
+     * CPU cycle of the same DRAM window; the cache collapses that to
+     * one sweep per window.
+     */
+    mutable Cycles wakeCache_ = 0;
+    mutable bool wakeCacheValid_ = false;
 };
 
 } // namespace stfm

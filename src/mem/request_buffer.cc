@@ -10,7 +10,8 @@ namespace stfm
 RequestBuffer::RequestBuffer(unsigned banks, unsigned read_capacity,
                              unsigned write_capacity, unsigned threads)
     : readCapacity_(read_capacity), writeCapacity_(write_capacity),
-      bankWrites_(banks, 0), threadReads_(threads, 0), queues_(banks)
+      bankWrites_(banks, 0), threadReads_(threads, 0), queues_(banks),
+      rowIndex_(banks)
 {
     STFM_ASSERT(banks > 0, "request buffer needs at least one bank");
 }
@@ -34,6 +35,29 @@ RequestBuffer::add(const Request &req)
     auto owned = std::make_unique<Request>(req);
     Request *ptr = owned.get();
     queues_[req.coords.bank].push_back(std::move(owned));
+    auto &index = rowIndex_[req.coords.bank];
+    RowMix *found = nullptr;
+    for (RowEntry &e : index) {
+        if (e.row == req.coords.row) {
+            found = &e.mix;
+            break;
+        }
+    }
+    if (!found) {
+        index.push_back(RowEntry{req.coords.row, RowMix{}});
+        found = &index.back().mix;
+    }
+    RowMix &mix = *found;
+    if (req.isWrite) {
+        ++mix.writes;
+        writeByAddr_[req.addr] = ptr;
+    } else {
+        ++mix.reads;
+        if (req.blocking &&
+            mix.blockingReads[req.thread]++ == 0) {
+            mix.blockingReadMask |= 1u << req.thread;
+        }
+    }
     return ptr;
 }
 
@@ -53,6 +77,31 @@ RequestBuffer::extract(Request *req)
     } else {
         --readCount_;
         --threadReads_[owned->thread];
+    }
+    auto &index = rowIndex_[owned->coords.bank];
+    std::size_t mix_pos = index.size();
+    for (std::size_t i = 0; i < index.size(); ++i) {
+        if (index[i].row == owned->coords.row) {
+            mix_pos = i;
+            break;
+        }
+    }
+    STFM_ASSERT(mix_pos < index.size(), "row index out of sync");
+    RowMix &mix = index[mix_pos].mix;
+    if (owned->isWrite) {
+        --mix.writes;
+        writeByAddr_.erase(owned->addr);
+    } else {
+        --mix.reads;
+        if (owned->blocking &&
+            --mix.blockingReads[owned->thread] == 0) {
+            mix.blockingReadMask &= ~(1u << owned->thread);
+        }
+    }
+    if (mix.total() == 0) {
+        // Swap-remove: the index is lookup-only, order is free.
+        index[mix_pos] = index.back();
+        index.pop_back();
     }
     return owned;
 }
@@ -87,15 +136,10 @@ RequestBuffer::oldestWriteBank() const
 Request *
 RequestBuffer::findWrite(Addr addr) const
 {
-    // Queues are short (<= capacity), so a linear scan mirrors the
-    // associative lookup real write buffers do.
-    for (const auto &queue : queues_) {
-        for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
-            if ((*it)->isWrite && (*it)->addr == addr)
-                return it->get();
-        }
-    }
-    return nullptr;
+    // Enqueue-side coalescing keeps at most one queued write per line,
+    // so the address index is a complete associative lookup.
+    const auto it = writeByAddr_.find(addr);
+    return it == writeByAddr_.end() ? nullptr : it->second;
 }
 
 } // namespace stfm

@@ -9,7 +9,10 @@
 #ifndef STFM_MEM_REQUEST_BUFFER_HH
 #define STFM_MEM_REQUEST_BUFFER_HH
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -42,6 +45,45 @@ class RequestBuffer
     /** Youngest queued write to @p addr (for coalescing/forwarding). */
     Request *findWrite(Addr addr) const;
 
+    /** Reads/writes queued for one (bank, row) pair. */
+    struct RowMix
+    {
+        unsigned reads = 0;
+        unsigned writes = 0;
+        /** Threads with >= 1 blocking read queued for this row — the
+         *  threads a data burst that bypasses the row actually delays.
+         *  Maintained with the per-thread counts below so the last
+         *  extract clears the bit. */
+        std::uint32_t blockingReadMask = 0;
+        std::array<std::uint16_t, 32> blockingReads{};
+        unsigned total() const { return reads + writes; }
+    };
+
+    /**
+     * Requests queued for (bank, row), maintained incrementally on
+     * add/extract. Lets the controller classify a bank's demand against
+     * its open row — row hits vs. conflicts — without scanning the
+     * queue. Null when no request targets the row. Stored as a flat
+     * per-bank array scanned linearly: a bank queue holds only a
+     * handful of distinct rows at a time, where the scan beats a hash
+     * lookup and the entries stay cache-resident. Lookup only — no
+     * caller iterates the index, so its internal order is free.
+     */
+    const RowMix *rowMix(BankId bank, RowId row) const
+    {
+        for (const RowEntry &e : rowIndex_[bank]) {
+            if (e.row == row)
+                return &e.mix;
+        }
+        return nullptr;
+    }
+
+    /** Number of requests (reads + writes) queued for @p bank. */
+    unsigned queueSize(BankId bank) const
+    {
+        return static_cast<unsigned>(queues_[bank].size());
+    }
+
     unsigned readCount() const { return readCount_; }
     /** Queued reads belonging to @p thread. */
     unsigned readCount(ThreadId thread) const
@@ -68,6 +110,15 @@ class RequestBuffer
     std::vector<unsigned> bankWrites_;
     std::vector<unsigned> threadReads_;
     std::vector<std::vector<std::unique_ptr<Request>>> queues_;
+    struct RowEntry
+    {
+        RowId row;
+        RowMix mix;
+    };
+    std::vector<std::vector<RowEntry>> rowIndex_;
+    /** Queued write per line address (enqueue coalescing guarantees at
+     *  most one); constant-time findWrite for forwarding/coalescing. */
+    std::unordered_map<Addr, Request *> writeByAddr_;
 };
 
 } // namespace stfm

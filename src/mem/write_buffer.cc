@@ -34,6 +34,21 @@ WriteDrainControl::pickDrainBank(const RequestBuffer &buffer)
     return false;
 }
 
+bool
+WriteDrainControl::wouldTransition(const RequestBuffer &buffer) const
+{
+    const unsigned total = buffer.writeCount();
+    if (emergency_ != (total + 1 >= capacity_))
+        return true;
+    if (!draining_) {
+        // Mirror pickDrainBank()'s start conditions without committing.
+        if (buffer.writeCount(buffer.busiestWriteBank()) >= bankBatch_)
+            return true;
+        return total >= high_ || (buffer.readCount() == 0 && total > 0);
+    }
+    return buffer.writeCount(drainBank_) == 0;
+}
+
 void
 WriteDrainControl::update(const RequestBuffer &buffer)
 {

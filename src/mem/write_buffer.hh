@@ -39,6 +39,20 @@ class WriteDrainControl
      */
     void update(const RequestBuffer &buffer);
 
+    /**
+     * Would update() change any state given the current buffer
+     * contents? update() is a deterministic, idempotent function of
+     * (machine state, buffer contents), so while this is false and the
+     * buffer does not change, every skipped update() call is provably a
+     * no-op. Skip-ahead predictors use this to decide whether the next
+     * cycle's update() is interesting instead of conservatively waking
+     * after every buffer event: a pending transition (an episode
+     * starting, re-targeting, or the emergency flag flipping) makes the
+     * next cycle interesting; otherwise the machine holds until the
+     * next enqueue/issue, which invalidates the predictor anyway.
+     */
+    bool wouldTransition(const RequestBuffer &buffer) const;
+
     /** Is a drain episode active? */
     bool draining() const { return draining_; }
     /** Bank being drained (valid while draining). */

@@ -45,6 +45,10 @@ class NfqPolicy : public SchedulingPolicy
     bool higherPriority(const Candidate &a, const Candidate &b,
                         const SchedContext &ctx) const override;
 
+    /** The first-ready boost expires as a row access's wait crosses
+     *  the threshold, so the ordering shifts with the clock alone. */
+    bool timeVaryingPriority() const override { return true; }
+
     void onColumnCommand(const ColumnIssueEvent &ev,
                          const SchedContext &ctx) override;
 

@@ -117,6 +117,28 @@ class SchedulingPolicy
     virtual void beginCycle(const SchedContext &) {}
 
     /**
+     * True when beginCycle() performs per-cycle accounting whose result
+     * depends on being invoked every DRAM cycle (STFM's interference
+     * integration). When false (the default no-op beginCycle), the
+     * simulation loop may fast-forward the DRAM clock across quiescent
+     * cycles without calling beginCycle for each one.
+     */
+    virtual bool perCycleAccounting() const { return false; }
+
+    /**
+     * True when higherPriority()'s verdict for a fixed candidate pair
+     * can change from one DRAM cycle to the next with no intervening
+     * scheduler event (enqueue, command issue, completion) — e.g.
+     * NFQ's wait-threshold boost expiring or STFM's per-cycle slowdown
+     * trip. The controller's quiet-window memo consults this where a
+     * priority comparison (row protection) suppressed an issue: a
+     * time-varying ordering caps the window at the next cycle, an
+     * event-driven ordering cannot flip the outcome until an event
+     * invalidates the memo anyway.
+     */
+    virtual bool timeVaryingPriority() const { return false; }
+
+    /**
      * Strict priority order: true iff @p a must be scheduled in
      * preference to @p b. Both candidates are ready. Must be a strict
      * weak ordering for any fixed cycle.

@@ -39,6 +39,16 @@ struct SimConfig
     /** Hard safety limit on simulated CPU cycles. */
     Cycles maxCycles = 2'000'000'000ULL;
 
+    /**
+     * Event-driven fast-forwarding: skip runs of CPU cycles in which
+     * every core is provably quiescent and no DRAM command can become
+     * ready (see CmpSystem::run). Bit-exact with the cycle-by-cycle
+     * reference path (fastForward = false, also reachable via
+     * STFM_REFERENCE=1 through the harness); the reference path is the
+     * oracle for the equivalence suite and perf baselines.
+     */
+    bool fastForward = true;
+
     /** The paper's baseline system for @p cores cores. */
     static SimConfig baseline(unsigned cores);
 

@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace stfm
@@ -10,7 +12,9 @@ CmpSystem::CmpSystem(const SimConfig &config,
     : config_(config), traces_(std::move(traces)),
       memory_(config.memory, config.scheduler, config.cores),
       stallSnapshot_(config.cores, 0), frozen_(config.cores, false),
-      warm_(config.cores)
+      warm_(config.cores), coreWake_(config.cores, 0),
+      coreStalls_(config.cores, 0), coreWakeValid_(config.cores, 0),
+      coreAheadUntil_(config.cores, 0)
 {
     STFM_ASSERT(traces_.size() == config.cores,
                 "one trace per core required (%zu traces, %u cores)",
@@ -27,6 +31,9 @@ CmpSystem::CmpSystem(const SimConfig &config,
     memory_.setStallCounters(&stallSnapshot_);
     memory_.setReadCallback([this](const Request &req) {
         cores_[req.thread]->onReadComplete(req.addr, cpuNow_);
+        // The completion mutated the core; its cached quiescence
+        // window no longer describes its state.
+        coreWakeValid_[req.thread] = 0;
     });
 }
 
@@ -76,19 +83,88 @@ CmpSystem::run()
     unsigned active = config_.cores;
     const Cycles cpu_per_dram = config_.memory.cpuPerDram;
 
+    // Next DRAM-boundary cycle, tracked incrementally so the hot loop
+    // carries no divisions. Re-derived after every fast-forward jump.
+    Cycles next_boundary = 0;
+
     for (cpuNow_ = 0; active > 0 && cpuNow_ < config_.maxCycles;
          ++cpuNow_) {
-        for (auto &core : cores_)
-            core->tick(cpuNow_);
+        const bool boundary = cpuNow_ == next_boundary;
+        if (boundary)
+            next_boundary += cpu_per_dram;
 
-        if (cpuNow_ % cpu_per_dram == 0) {
+        bool any_active = false;
+        // Cores whose tick() ran this cycle. Only a tick can push a
+        // core across a snapshot/freeze threshold: runAhead() stops
+        // strictly below commitCap(), cached-window skips and ahead
+        // cores commit nothing, so the threshold scan below covers
+        // exactly these cores. 32 cores max (asserted by MemorySystem).
+        std::uint32_t ticked = 0;
+        if (config_.fastForward) {
+            // Per-core lazy ticks: a run-ahead core already executed
+            // this cycle (see coreAheadUntil_); a core inside its
+            // cached quiescence window would tick as a no-op except for
+            // (possibly) one stall-counter increment — apply that
+            // directly. Anyone else first attempts a run-ahead burst,
+            // then ticks for real; a tick that made progress is assumed
+            // active again next cycle (sound: early wakes are
+            // harmless), so the exact wake is only computed on the
+            // first progress-free tick.
+            refreshCoreEventGen();
+            for (unsigned t = 0; t < config_.cores; ++t) {
+                if (cpuNow_ < coreAheadUntil_[t])
+                    continue;
+                if (coreWakeValid_[t] && cpuNow_ < coreWake_[t]) {
+                    if (coreStalls_[t])
+                        cores_[t]->skipStalledCycles(1);
+                    continue;
+                }
+                // Horizon-bounded so a never-missing (typically
+                // frozen) core doesn't burn host time running all the
+                // way to maxCycles when the run will end much sooner;
+                // re-entry is O(1), so long streaks just chain bursts.
+                const Cycles horizon = std::min(
+                    config_.maxCycles, cpuNow_ + kRunAheadChunk);
+                const Cycles ahead = cores_[t]->runAhead(
+                    cpuNow_, horizon, commitCap(t));
+                if (ahead != cpuNow_) {
+                    coreAheadUntil_[t] = ahead;
+                    coreWakeValid_[t] = 0;
+                    continue;
+                }
+                ticked |= 1u << t;
+                if (cores_[t]->tick(cpuNow_)) {
+                    coreWake_[t] = cpuNow_ + 1;
+                    coreStalls_[t] = 0;
+                    any_active = true;
+                } else {
+                    bool stalling = false;
+                    coreWake_[t] =
+                        cores_[t]->nextEventCycle(cpuNow_, stalling);
+                    coreStalls_[t] = stalling ? 1 : 0;
+                    any_active = any_active ||
+                                 coreWake_[t] <= cpuNow_ + 1;
+                }
+                coreWakeValid_[t] = 1;
+            }
+        } else {
+            for (auto &core : cores_)
+                core->tick(cpuNow_);
+            ticked = ~0u;
+        }
+
+        if (boundary) {
             for (unsigned t = 0; t < config_.cores; ++t)
                 stallSnapshot_[t] = cores_[t]->memStallCycles();
+            memory_.tick(cpuNow_);
+        } else {
+            memory_.syncCpuNow(cpuNow_);
         }
-        memory_.tick(cpuNow_);
 
-        for (unsigned t = 0; t < config_.cores; ++t) {
-            if (frozen_[t])
+        // Threshold scan, after the memory tick so snapshots observe
+        // the same post-tick stats a full per-cycle scan would.
+        for (unsigned t = 0; ticked != 0 && t < config_.cores; ++t) {
+            if (!(ticked & (1u << t)) || frozen_[t])
                 continue;
             const std::uint64_t done =
                 cores_[t]->instructionsCommitted();
@@ -101,6 +177,21 @@ CmpSystem::run()
                             config_.instructionBudget) {
                 freezeThread(t, cpuNow_, result);
                 --active;
+            }
+        }
+
+        // Event-driven fast-forwarding: from post-tick state, skip
+        // straight to the next cycle where anything can happen. Guarded
+        // on active > 0 so the exit value of cpuNow_ (and thus
+        // totalCycles) matches the cycle-by-cycle reference exactly;
+        // skipped outright when a core just made progress (its wake is
+        // now + 1, so no window can open).
+        if (config_.fastForward && active > 0 && !any_active) {
+            const Cycles jumped = fastForward(cpuNow_);
+            if (jumped != cpuNow_) {
+                cpuNow_ = jumped;
+                next_boundary =
+                    (cpuNow_ / cpu_per_dram + 1) * cpu_per_dram;
             }
         }
     }
@@ -135,6 +226,76 @@ CmpSystem::run()
         memory_.auditDrained();
     }
     return result;
+}
+
+Cycles
+CmpSystem::fastForward(Cycles now)
+{
+    // A skip window (now, wake) is legal when every core is quiescent
+    // (its ticks reduce to at most a stall-counter increment) and no
+    // DRAM boundary inside it can deliver data, issue a command, or
+    // run refresh/watchdog housekeeping. All wake bounds err early,
+    // never late, so at worst we wake spuriously and re-evaluate.
+    // Core checks run first: they are cheap and usually decide (an
+    // actively executing core ends the attempt immediately). Cached
+    // windows from the lazy-tick pass are reused; only cores whose
+    // cache was invalidated this cycle (a completion fired or a column
+    // issued during the memory tick) recompute. The memory-side bound
+    // — a full readiness sweep — runs last, and only when every core
+    // turned out quiescent.
+    refreshCoreEventGen();
+    Cycles wake = config_.maxCycles;
+    for (unsigned t = 0; t < config_.cores; ++t) {
+        if (now < coreAheadUntil_[t]) {
+            // Run-ahead core: already executed (stall-free) up to its
+            // horizon; it next needs the global clock at that cycle.
+            wake = std::min(wake, coreAheadUntil_[t]);
+        } else {
+            if (!coreWakeValid_[t]) {
+                bool stalling = false;
+                coreWake_[t] = cores_[t]->nextEventCycle(now, stalling);
+                coreStalls_[t] = stalling ? 1 : 0;
+                coreWakeValid_[t] = 1;
+            }
+            wake = std::min(wake, coreWake_[t]);
+        }
+        if (wake <= now + 1)
+            return now;
+    }
+    wake = std::min(wake, memory_.nextInterestingCpuCycle(now));
+    if (wake <= now + 1)
+        return now;
+
+    // Replay the per-cycle effects a cycle-by-cycle run would have had
+    // over (now, wake - 1]: stall accounting on the cores, and on each
+    // DRAM boundary the stall snapshot plus the policy's per-cycle
+    // accounting (STFM integrates interference every DRAM cycle; the
+    // other policies' beginCycle is a no-op, letting the DRAM clock
+    // jump wholesale).
+    const Cycles skipped = wake - 1 - now;
+    const Cycles per = config_.memory.cpuPerDram;
+    if (memory_.policyNeedsPerCycleAccounting()) {
+        for (Cycles c = (now / per + 1) * per; c < wake; c += per) {
+            for (unsigned t = 0; t < config_.cores; ++t) {
+                // Run-ahead cores accrued no stall over their horizon
+                // (which covers this whole window), so their counter is
+                // already the per-boundary value.
+                const bool st =
+                    now >= coreAheadUntil_[t] && coreStalls_[t];
+                stallSnapshot_[t] = cores_[t]->memStallCycles() +
+                                    (st ? c - now : 0);
+            }
+            memory_.quiescentDramTick(c);
+        }
+    } else {
+        memory_.skipDramTicks((wake - 1) / per - now / per);
+    }
+    for (unsigned t = 0; t < config_.cores; ++t) {
+        if (now >= coreAheadUntil_[t] && coreStalls_[t])
+            cores_[t]->skipStalledCycles(skipped);
+    }
+    memory_.syncCpuNow(wake - 1);
+    return wake - 1;
 }
 
 } // namespace stfm

@@ -13,6 +13,8 @@
 #ifndef STFM_SIM_SYSTEM_HH
 #define STFM_SIM_SYSTEM_HH
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -57,6 +59,32 @@ class CmpSystem
     void snapshotThread(unsigned t, Cycles now);
     void freezeThread(unsigned t, Cycles now, SimResult &result);
 
+    /**
+     * Fast-forward from post-tick state at @p now: if every core is
+     * quiescent and no DRAM cycle is interesting before some wake
+     * cycle, advance straight to it — replaying only the per-cycle
+     * effects a cycle-by-cycle run would have had (stall counters,
+     * DRAM-boundary policy accounting). @return the last cycle whose
+     * effects are applied (the loop resumes at the cycle after it);
+     * @p now itself when nothing can be skipped.
+     */
+    Cycles fastForward(Cycles now);
+
+    /**
+     * Drop every cached core quiescence window if memory state a core
+     * can observe changed since the caches were computed (column issue
+     * = request-buffer capacity freed). Read completions invalidate the
+     * affected core directly from the read callback.
+     */
+    void refreshCoreEventGen()
+    {
+        const std::uint64_t gen = memory_.coreEventGen();
+        if (gen != coreEventGenSeen_) {
+            coreEventGenSeen_ = gen;
+            std::fill(coreWakeValid_.begin(), coreWakeValid_.end(), 0);
+        }
+    }
+
     SimConfig config_;
     std::vector<std::unique_ptr<TraceSource>> traces_;
     MemorySystem memory_;
@@ -64,7 +92,42 @@ class CmpSystem
     std::vector<Cycles> stallSnapshot_;
     std::vector<bool> frozen_;
     std::vector<WarmSnapshot> warm_;
+    /**
+     * Per-core quiescence cache: until coreWake_[t], core t's ticks are
+     * no-ops except a stall-counter increment when coreStalls_[t] is
+     * set, so the loop applies that increment directly instead of
+     * ticking. Entries are invalidated by the core's own tick, its read
+     * completions, and memory capacity events (see refreshCoreEventGen).
+     */
+    std::vector<Cycles> coreWake_;
+    std::vector<char> coreStalls_;
+    std::vector<char> coreWakeValid_;
+    std::uint64_t coreEventGenSeen_ = 0;
+    /**
+     * Run-ahead horizon: core t already executed every cycle below
+     * coreAheadUntil_[t] via Core::runAhead() and accrued no stall
+     * doing so. Until then it must not be ticked again and is immune to
+     * cache invalidation (a run-ahead core has no outstanding request,
+     * so no external event can be aimed at it).
+     */
+    std::vector<Cycles> coreAheadUntil_;
+    /** Max cycles a single runAhead() burst may cover. Bounds wasted
+     *  work past the (unknowable in advance) end of the run; large
+     *  enough that burst re-entry cost is noise. */
+    static constexpr Cycles kRunAheadChunk = 65536;
     Cycles cpuNow_ = 0;
+
+    /** Committed-instruction count at which core @p t next crosses a
+     *  snapshot/freeze threshold (run-ahead must stop short of it). */
+    std::uint64_t commitCap(unsigned t) const
+    {
+        if (!warm_[t].taken)
+            return config_.warmupInstructions;
+        if (!frozen_[t])
+            return config_.warmupInstructions +
+                   config_.instructionBudget;
+        return ~0ULL;
+    }
 };
 
 } // namespace stfm
