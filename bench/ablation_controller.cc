@@ -14,63 +14,10 @@
  * everyone; refresh costs a little throughput across the board.
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-namespace
-{
-
-void
-run(stfm::TextTable &table, const std::string &label,
-    const stfm::SimConfig &base, const stfm::Workload &workload)
-{
-    using namespace stfm;
-    ExperimentRunner runner(base);
-    const RunOutcome o = runner.run(workload, SchedulerConfig{});
-    table.addRow({label, fmt(o.metrics.unfairness),
-                  fmt(o.metrics.weightedSpeedup),
-                  fmt(o.metrics.hmeanSpeedup, 3)});
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(50000);
-    const Workload workload = workloads::caseNonIntensive();
-
-    std::cout << "Controller design ablations under FR-FCFS ("
-              << workloadLabel(workload) << ")\n\n";
-    TextTable table({"variant", "unfairness", "weighted-speedup",
-                     "hmean-speedup"});
-
-    run(table, "baseline", base, workload);
-    {
-        SimConfig c = base;
-        c.memory.controller.rowProtection = false;
-        run(table, "no row protection", c, workload);
-    }
-    {
-        SimConfig c = base;
-        c.memory.xorBankMapping = false;
-        run(table, "linear bank mapping", c, workload);
-    }
-    {
-        SimConfig c = base;
-        c.memory.controller.refreshEnabled = true;
-        run(table, "with auto-refresh", c, workload);
-    }
-    for (const unsigned banks : {4u, 16u}) {
-        SimConfig c = base;
-        c.memory.banksPerChannel = banks;
-        run(table, std::to_string(banks) + " banks", c, workload);
-    }
-    table.print(std::cout);
-    return 0;
+    return stfm::runFigure("ablation_controller", argc, argv);
 }

@@ -14,73 +14,10 @@
  * bus term mildly worsens fairness for bus-bound mixes.
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-namespace
-{
-
-void
-run(stfm::ExperimentRunner &runner, const stfm::Workload &workload,
-    stfm::TextTable &table, const std::string &label,
-    const stfm::SchedulerConfig &sched)
-{
-    using namespace stfm;
-    const RunOutcome o = runner.run(workload, sched);
-    table.addRow({label, fmt(o.metrics.unfairness),
-                  fmt(o.metrics.weightedSpeedup),
-                  fmt(o.metrics.hmeanSpeedup, 3)});
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(60000);
-    ExperimentRunner runner(base);
-    const Workload workload = workloads::caseIntensive();
-
-    std::cout << "STFM ablations (" << workloadLabel(workload) << ")\n\n";
-    TextTable table({"variant", "unfairness", "weighted-speedup",
-                     "hmean-speedup"});
-
-    SchedulerConfig stfm_cfg;
-    stfm_cfg.kind = PolicyKind::Stfm;
-    run(runner, workload, table, "baseline (gamma=0.5, 2^24, quantized)",
-        stfm_cfg);
-
-    for (const double gamma : {0.25, 1.0, 2.0}) {
-        SchedulerConfig s = stfm_cfg;
-        s.gamma = gamma;
-        run(runner, workload, table, "gamma=" + fmt(gamma, 2), s);
-    }
-    for (const unsigned shift : {14u, 18u, 28u}) {
-        SchedulerConfig s = stfm_cfg;
-        s.intervalLength = 1ULL << shift;
-        run(runner, workload, table,
-            "interval=2^" + std::to_string(shift), s);
-    }
-    {
-        SchedulerConfig s = stfm_cfg;
-        s.quantizeSlowdowns = false;
-        run(runner, workload, table, "exact slowdown registers", s);
-    }
-    {
-        SchedulerConfig s = stfm_cfg;
-        s.busInterference = true;
-        run(runner, workload, table, "with per-event bus term", s);
-    }
-    {
-        SchedulerConfig s = stfm_cfg;
-        s.requestLevelEstimator = true;
-        run(runner, workload, table, "request-level estimator", s);
-    }
-    table.print(std::cout);
-    return 0;
+    return stfm::runFigure("ablation_stfm", argc, argv);
 }

@@ -8,44 +8,10 @@
  * (~11.4x), libquantum ~1.09x; the spread grows with core count.
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-namespace
-{
-
-void
-runCase(unsigned cores, const stfm::Workload &workload)
-{
-    using namespace stfm;
-    SimConfig base = SimConfig::baseline(cores);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(60000);
-    ExperimentRunner runner(base);
-
-    SchedulerConfig fr_fcfs; // Default-constructed = FR-FCFS.
-    const RunOutcome outcome = runner.run(workload, fr_fcfs);
-
-    std::cout << cores << "-core workload under FR-FCFS\n";
-    TextTable table({"core", "benchmark", "memory slowdown"});
-    for (unsigned t = 0; t < workload.size(); ++t) {
-        table.addRow({std::to_string(t + 1), workload[t],
-                      fmt(outcome.metrics.slowdowns[t])});
-    }
-    table.print(std::cout);
-    std::cout << "unfairness (max/min): "
-              << fmt(outcome.metrics.unfairness) << "\n\n";
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "Figure 1: memory slowdown of programs under the "
-                 "thread-unaware FR-FCFS baseline\n\n";
-    runCase(4, stfm::workloads::fig1FourCore());
-    runCase(8, stfm::workloads::fig1EightCore());
-    return 0;
+    return stfm::runFigure("fig01", argc, argv);
 }

@@ -18,144 +18,10 @@
  * idle interval and treats all four threads evenly.
  */
 
-#include <iostream>
-#include <memory>
-
-#include "harness/table.hh"
-#include "sim/system.hh"
-#include "trace/generator.hh"
-
-namespace
-{
-
-using namespace stfm;
-
-/** Prepends an idle (pure-compute) phase to another trace. */
-class DelayedTrace : public TraceSource
-{
-  public:
-    DelayedTrace(std::unique_ptr<TraceSource> inner,
-                 std::uint64_t idle_instructions)
-        : inner_(std::move(inner)), remaining_(idle_instructions)
-    {}
-
-    TraceOp
-    next() override
-    {
-        if (remaining_ > 0) {
-            TraceOp idle;
-            idle.kind = TraceOp::Kind::None;
-            idle.aluBefore = static_cast<std::uint32_t>(
-                std::min<std::uint64_t>(remaining_, 100000));
-            remaining_ -= idle.aluBefore;
-            return idle;
-        }
-        return inner_->next();
-    }
-
-    void
-    warmupFootprint(std::size_t lines, std::vector<WarmLine> &out) override
-    {
-        inner_->warmupFootprint(lines, out);
-    }
-
-  private:
-    std::unique_ptr<TraceSource> inner_;
-    std::uint64_t remaining_;
-};
-
-TraceProfile
-continuousProfile()
-{
-    TraceProfile p;
-    p.mpki = 40;
-    p.rowBufferHitRate = 0.9;
-    p.burstDuty = 1.0; // Thread 1: never idle.
-    p.streamCount = 8;
-    p.storeFraction = 0.3;
-    return p;
-}
-
-TraceProfile
-burstyProfile()
-{
-    TraceProfile p = continuousProfile();
-    p.burstDuty = 0.4; // Threads 2-4: bursts with idle gaps.
-    p.burstLength = 64;
-    return p;
-}
-
-SimResult
-run(PolicyKind kind, double *alone_mcpi)
-{
-    SimConfig config = SimConfig::baseline(4);
-    config.instructionBudget = 40000;
-    config.scheduler.kind = kind;
-    AddressMapping mapping(config.memory.channels,
-                           config.memory.banksPerChannel,
-                           config.memory.rowBytes, config.memory.lineBytes,
-                           config.memory.rowsPerBank,
-                           config.memory.xorBankMapping);
-
-    // Alone baselines (FR-FCFS, no initial delays).
-    for (unsigned t = 0; t < 4; ++t) {
-        SimConfig alone = config;
-        alone.cores = 1;
-        alone.scheduler = SchedulerConfig{};
-        std::vector<std::unique_ptr<TraceSource>> solo;
-        solo.push_back(std::make_unique<SyntheticTraceGenerator>(
-            t == 0 ? continuousProfile() : burstyProfile(), mapping, 0,
-            1, 100 + t));
-        CmpSystem system(alone, std::move(solo));
-        alone_mcpi[t] = system.run().threads[0].mcpi();
-    }
-
-    // Shared run: Thread 1 starts immediately; Threads 2-4 join at
-    // staggered times t1 < t2 < t3 (Figure 3's schedule).
-    std::vector<std::unique_ptr<TraceSource>> traces;
-    traces.push_back(std::make_unique<SyntheticTraceGenerator>(
-        continuousProfile(), mapping, 0, 4, 100));
-    for (unsigned t = 1; t < 4; ++t) {
-        traces.push_back(std::make_unique<DelayedTrace>(
-            std::make_unique<SyntheticTraceGenerator>(burstyProfile(),
-                                                      mapping, t, 4,
-                                                      100 + t),
-            /*idle_instructions=*/8000u * t));
-    }
-    CmpSystem system(config, std::move(traces));
-    return system.run();
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << "Figure 3: the idleness problem — one continuous "
-                 "thread vs three staggered bursty threads\n\n";
-    TextTable table({"scheduler", "T1 (continuous)", "T2 (bursty)",
-                     "T3 (bursty)", "T4 (bursty)",
-                     "T1 vs bursty-max"});
-    for (const PolicyKind kind :
-         {PolicyKind::FrFcfs, PolicyKind::Nfq, PolicyKind::Stfm}) {
-        double alone[4] = {};
-        const SimResult result = run(kind, alone);
-        double slowdown[4];
-        for (unsigned t = 0; t < 4; ++t)
-            slowdown[t] = result.threads[t].mcpi() / alone[t];
-        const double bursty_max =
-            std::max({slowdown[1], slowdown[2], slowdown[3]});
-        const char *name = kind == PolicyKind::FrFcfs ? "FR-FCFS"
-                           : kind == PolicyKind::Nfq  ? "NFQ"
-                                                      : "STFM";
-        table.addRow({name, stfm::fmt(slowdown[0]),
-                      stfm::fmt(slowdown[1]), stfm::fmt(slowdown[2]),
-                      stfm::fmt(slowdown[3]),
-                      stfm::fmt(slowdown[0] / bursty_max)});
-    }
-    table.print(std::cout);
-    std::cout << "\nT1-vs-bursty-max > 1 means the continuous thread is "
-                 "treated worse than the bursty ones; the paper "
-                 "predicts NFQ shows the largest such bias.\n";
-    return 0;
+    return stfm::runFigure("fig03", argc, argv);
 }

@@ -10,70 +10,10 @@
  * unfairness reduced ~76%) and improves hmean speedup ~6.5%.
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-#include "stats/summary.hh"
-#include "trace/catalog.hh"
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    SimConfig base = SimConfig::baseline(2);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(50000);
-    ExperimentRunner runner(base);
-
-    SchedulerConfig fr_fcfs;
-    SchedulerConfig stfm_cfg;
-    stfm_cfg.kind = PolicyKind::Stfm;
-
-    std::cout << "Figure 5: mcf paired with every other benchmark "
-                 "(2-core)\n\n";
-
-    TextTable table({"other benchmark", "mcf(FR-FCFS)", "other(FR-FCFS)",
-                     "unfair(FR)", "mcf(STFM)", "other(STFM)",
-                     "unfair(STFM)"});
-    GeoMean unfair_fr, unfair_stfm;
-    SweepSummary sum_fr, sum_stfm;
-    double max_unfair_stfm = 0.0;
-
-    for (const auto &profile : benchmarkCatalog()) {
-        if (profile.name == "mcf")
-            continue;
-        const Workload workload = {"mcf", profile.name};
-        const RunOutcome fr = runner.run(workload, fr_fcfs);
-        const RunOutcome st = runner.run(workload, stfm_cfg);
-        table.addRow({profile.name, fmt(fr.metrics.slowdowns[0]),
-                      fmt(fr.metrics.slowdowns[1]),
-                      fmt(fr.metrics.unfairness),
-                      fmt(st.metrics.slowdowns[0]),
-                      fmt(st.metrics.slowdowns[1]),
-                      fmt(st.metrics.unfairness)});
-        unfair_fr.add(fr.metrics.unfairness);
-        unfair_stfm.add(st.metrics.unfairness);
-        sum_fr.add(fr.metrics);
-        sum_stfm.add(st.metrics);
-        max_unfair_stfm =
-            std::max(max_unfair_stfm, st.metrics.unfairness);
-    }
-    table.print(std::cout);
-
-    std::cout << "\nGMEAN unfairness:      FR-FCFS "
-              << fmt(unfair_fr.value()) << "  STFM "
-              << fmt(unfair_stfm.value()) << "\n";
-    std::cout << "max STFM unfairness:   " << fmt(max_unfair_stfm)
-              << "\n";
-    std::cout << "GMEAN weighted speedup: FR-FCFS "
-              << fmt(sum_fr.weightedSpeedup.value()) << "  STFM "
-              << fmt(sum_stfm.weightedSpeedup.value()) << "\n";
-    std::cout << "GMEAN hmean speedup:    FR-FCFS "
-              << fmt(sum_fr.hmeanSpeedup.value(), 3) << "  STFM "
-              << fmt(sum_stfm.hmeanSpeedup.value(), 3) << "\n";
-    std::cout << "GMEAN sum-of-IPCs:      FR-FCFS "
-              << fmt(sum_fr.sumOfIpcs.value()) << "  STFM "
-              << fmt(sum_stfm.sumOfIpcs.value()) << "\n";
-    return 0;
+    return stfm::runFigure("fig05", argc, argv);
 }

@@ -13,43 +13,10 @@
  * and hmean speedup.
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(60000);
-    ExperimentRunner runner(base);
-
-    const Workload workload = workloads::caseIntensive();
-    std::cout << "Figure 6: memory-intensive 4-core workload ("
-              << workloadLabel(workload) << ")\n\n";
-
-    TextTable slowdowns({"scheduler", workload[0], workload[1],
-                         workload[2], workload[3], "unfairness"});
-    TextTable throughput({"scheduler", "weighted-speedup", "sum-of-IPCs",
-                          "hmean-speedup"});
-
-    for (const RunOutcome &o :
-         runner.runAll(workload, ExperimentRunner::paperSchedulers())) {
-        slowdowns.addRow({o.policyName, fmt(o.metrics.slowdowns[0]),
-                          fmt(o.metrics.slowdowns[1]),
-                          fmt(o.metrics.slowdowns[2]),
-                          fmt(o.metrics.slowdowns[3]),
-                          fmt(o.metrics.unfairness)});
-        throughput.addRow({o.policyName, fmt(o.metrics.weightedSpeedup),
-                           fmt(o.metrics.sumOfIpcs),
-                           fmt(o.metrics.hmeanSpeedup, 3)});
-    }
-
-    slowdowns.print(std::cout);
-    std::cout << '\n';
-    throughput.print(std::cout);
-    return 0;
+    return stfm::runFigure("fig06", argc, argv);
 }

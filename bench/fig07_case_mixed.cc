@@ -10,13 +10,10 @@
  * with the best weighted/hmean speedup.
  */
 
-#include "harness/case_study.hh"
-#include "harness/workloads.hh"
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    stfm::runCaseStudy("Figure 7: mixed-behavior 4-core workload",
-                       stfm::workloads::caseMixed());
-    return 0;
+    return stfm::runFigure("fig07", argc, argv);
 }

@@ -10,13 +10,10 @@
  * unfairness (~1.2) and the best throughput.
  */
 
-#include "harness/case_study.hh"
-#include "harness/workloads.hh"
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    stfm::runCaseStudy("Figure 8: non-memory-intensive 4-core workload",
-                       stfm::workloads::caseNonIntensive());
-    return 0;
+    return stfm::runFigure("fig08", argc, argv);
 }

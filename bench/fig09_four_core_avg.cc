@@ -10,20 +10,10 @@
  * weighted (+5.8% over NFQ) and hmean (+10.8%) speedups.
  */
 
-#include <cstdlib>
-
-#include "harness/sweep.hh"
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace stfm;
-    // --check runs the whole sweep under the integrity layer (shadow
-    // protocol checker + watchdogs); same as STFM_CHECK=1.
-    ExperimentRunner::applyBenchFlags(argc, argv);
-    const bool full = std::getenv("STFM_FULL_SWEEP") != nullptr;
-    const unsigned count = full ? 256 : 32;
-    runSweep("Figure 9: 4-core category-balanced workload sweep",
-             sampleWorkloads(4, count, /*seed=*/0x5174f09), 10, 50000);
-    return 0;
+    return stfm::runFigure("fig09", argc, argv);
 }

@@ -10,13 +10,10 @@
  * ~1.3 while improving throughput.
  */
 
-#include "harness/case_study.hh"
-#include "harness/workloads.hh"
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    stfm::runCaseStudy("Figure 10: non-intensive 8-core workload",
-                       stfm::workloads::eightCoreCase(), 50000);
-    return 0;
+    return stfm::runFigure("fig10", argc, argv);
 }

@@ -9,21 +9,10 @@
  * count.
  */
 
-#include <cstdlib>
-
-#include "harness/sweep.hh"
-#include "harness/workloads.hh"
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace stfm;
-    ExperimentRunner::applyBenchFlags(argc, argv); // --check
-    std::vector<Workload> list = workloads::eightCoreSamples();
-    const bool full = std::getenv("STFM_FULL_SWEEP") != nullptr;
-    const unsigned extra = full ? 22 : 6;
-    for (auto &w : sampleWorkloads(8, extra, /*seed=*/0x8c03e5))
-        list.push_back(std::move(w));
-    runSweep("Figure 11: 8-core workload sweep", list, 10, 40000);
-    return 0;
+    return stfm::runFigure("fig11", argc, argv);
 }

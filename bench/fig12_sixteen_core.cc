@@ -10,15 +10,10 @@
  * (average 1.75 vs 2.23 for FCFS) and the best weighted/hmean speedup.
  */
 
-#include "harness/sweep.hh"
-#include "harness/workloads.hh"
+#include "harness/figures.hh"
 
 int
 main(int argc, char **argv)
 {
-    using namespace stfm;
-    ExperimentRunner::applyBenchFlags(argc, argv); // --check
-    runSweep("Figure 12: 16-core workloads (high16, high8+low8, low16)",
-             workloads::sixteenCore(), 3, 30000);
-    return 0;
+    return stfm::runFigure("fig12", argc, argv);
 }

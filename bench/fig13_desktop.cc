@@ -12,13 +12,10 @@
  * speedup.
  */
 
-#include "harness/case_study.hh"
-#include "harness/workloads.hh"
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    stfm::runCaseStudy("Figure 13: desktop-application 4-core workload",
-                       stfm::workloads::desktop());
-    return 0;
+    return stfm::runFigure("fig13", argc, argv);
 }

@@ -12,77 +12,10 @@
  * slowdowns (unfairness among them ~1.2-1.3).
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-namespace
-{
-
-void
-runWeights(stfm::ExperimentRunner &runner, const stfm::Workload &workload,
-           const std::vector<double> &weights)
-{
-    using namespace stfm;
-
-    std::cout << "weights:";
-    for (const double w : weights)
-        std::cout << ' ' << static_cast<int>(w);
-    std::cout << '\n';
-
-    SchedulerConfig fr_fcfs;
-    SchedulerConfig nfq;
-    nfq.kind = PolicyKind::Nfq;
-    nfq.shares = weights; // NFQ: bandwidth share proportional to weight.
-    SchedulerConfig stfm_cfg;
-    stfm_cfg.kind = PolicyKind::Stfm;
-    stfm_cfg.weights = weights;
-
-    std::vector<std::string> headers{"scheduler"};
-    for (std::size_t i = 0; i < workload.size(); ++i) {
-        headers.push_back(workload[i] + "(w" +
-                          std::to_string(static_cast<int>(weights[i])) +
-                          ")");
-    }
-    headers.push_back("equal-pri unfairness");
-    TextTable table(std::move(headers));
-
-    for (const auto &sched : {fr_fcfs, nfq, stfm_cfg}) {
-        const RunOutcome o = runner.run(workload, sched);
-        // Unfairness among the weight-1 threads only.
-        double max_s = 0.0, min_s = 1e30;
-        for (std::size_t i = 0; i < weights.size(); ++i) {
-            if (weights[i] == 1.0) {
-                max_s = std::max(max_s, o.metrics.slowdowns[i]);
-                min_s = std::min(min_s, o.metrics.slowdowns[i]);
-            }
-        }
-        std::vector<std::string> row{o.policyName};
-        for (const double s : o.metrics.slowdowns)
-            row.push_back(fmt(s));
-        row.push_back(fmt(max_s / min_s));
-        table.addRow(std::move(row));
-    }
-    table.print(std::cout);
-    std::cout << '\n';
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(60000);
-    ExperimentRunner runner(base);
-    const Workload workload = workloads::weighted();
-
-    std::cout << "Figure 14: thread weights (" << workloadLabel(workload)
-              << ")\n\n";
-    runWeights(runner, workload, {1, 16, 1, 1});
-    runWeights(runner, workload, {1, 4, 8, 1});
-    return 0;
+    return stfm::runFigure("fig14", argc, argv);
 }

@@ -9,42 +9,10 @@
  * *worse* throughput than 1.05/1.1 without gaining fairness.
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(60000);
-    ExperimentRunner runner(base);
-    const Workload workload = workloads::caseIntensive();
-
-    std::cout << "Figure 15: effect of alpha ("
-              << workloadLabel(workload) << ")\n\n";
-
-    TextTable table({"config", "unfairness", "weighted-speedup",
-                     "sum-of-IPCs", "hmean-speedup"});
-    for (const double alpha : {1.0, 1.05, 1.1, 1.2, 2.0, 5.0, 20.0}) {
-        SchedulerConfig sched;
-        sched.kind = PolicyKind::Stfm;
-        sched.alpha = alpha;
-        const RunOutcome o = runner.run(workload, sched);
-        table.addRow({"Alpha=" + fmt(alpha, 2),
-                      fmt(o.metrics.unfairness),
-                      fmt(o.metrics.weightedSpeedup),
-                      fmt(o.metrics.sumOfIpcs),
-                      fmt(o.metrics.hmeanSpeedup, 3)});
-    }
-    const RunOutcome fr = runner.run(workload, SchedulerConfig{});
-    table.addRow({"FR-FCFS", fmt(fr.metrics.unfairness),
-                  fmt(fr.metrics.weightedSpeedup),
-                  fmt(fr.metrics.sumOfIpcs),
-                  fmt(fr.metrics.hmeanSpeedup, 3)});
-    table.print(std::cout);
-    return 0;
+    return stfm::runFigure("fig15", argc, argv);
 }

@@ -24,14 +24,16 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "harness/runner.hh"
 #include "harness/workloads.hh"
@@ -163,7 +165,7 @@ timedSweep(const std::vector<Workload> &workload_list,
 
     timing.aloneSeconds = seconds(t0, t1);
     timing.sweepSeconds = seconds(t1, t2);
-    const Cycles per = base.memory.cpuPerDram;
+    const Cycles per = base.memory.cpuPerDram();
     for (const RunOutcome &o : timing.outcomes)
         if (!o.failed)
             timing.dramCycles += o.shared.totalCycles / per;
@@ -195,51 +197,48 @@ sameResult(const SimResult &a, const SimResult &b)
     return true;
 }
 
-void
-emitJson(std::ostream &os, unsigned workload_count, std::uint64_t budget,
-         unsigned jobs, const SweepTiming &ref, const SweepTiming &opt,
-         bool bit_exact)
+/** Round for presentation: timings don't carry 17 digits of signal. */
+double
+rounded(double value, double scale)
 {
-    const auto section = [&os](const char *name, const SweepTiming &t) {
-        char buf[512];
-        std::snprintf(
-            buf, sizeof(buf),
-            "  \"%s\": {\n"
-            "    \"figure_host_seconds\": %.3f,\n"
-            "    \"sweep_host_seconds\": %.3f,\n"
-            "    \"alone_baseline_host_seconds\": %.3f,\n"
-            "    \"sweep_dram_cycles\": %llu,\n"
-            "    \"dram_cycles_per_host_second\": %.0f\n"
-            "  }",
-            name, t.aloneSeconds + t.sweepSeconds, t.sweepSeconds,
-            t.aloneSeconds,
-            static_cast<unsigned long long>(t.dramCycles),
-            t.dramCycles / t.sweepSeconds);
-        os << buf;
-    };
-    char head[512];
-    std::snprintf(head, sizeof(head),
-                  "{\n"
-                  "  \"benchmark\": \"fig09_four_core_avg sweep "
-                  "(4 cores x %u workloads x 5 schedulers)\",\n"
-                  "  \"instruction_budget\": %llu,\n"
-                  "  \"worker_threads\": %u,\n",
-                  workload_count,
-                  static_cast<unsigned long long>(budget), jobs);
-    os << head;
-    section("reference", ref);
-    os << ",\n";
-    section("optimized", opt);
-    char tail[256];
-    std::snprintf(tail, sizeof(tail),
-                  ",\n"
-                  "  \"speedup_wall_clock\": %.2f,\n"
-                  "  \"bit_exact\": %s\n"
-                  "}\n",
-                  (ref.aloneSeconds + ref.sweepSeconds) /
-                      (opt.aloneSeconds + opt.sweepSeconds),
-                  bit_exact ? "true" : "false");
-    os << tail;
+    return std::round(value * scale) / scale;
+}
+
+Json
+timingJson(const SweepTiming &t)
+{
+    Json out = Json::object();
+    out.set("figure_host_seconds",
+            rounded(t.aloneSeconds + t.sweepSeconds, 1000));
+    out.set("sweep_host_seconds", rounded(t.sweepSeconds, 1000));
+    out.set("alone_baseline_host_seconds",
+            rounded(t.aloneSeconds, 1000));
+    out.set("sweep_dram_cycles", t.dramCycles);
+    out.set("dram_cycles_per_host_second",
+            std::round(static_cast<double>(t.dramCycles) /
+                       t.sweepSeconds));
+    return out;
+}
+
+Json
+perfJson(unsigned workload_count, std::uint64_t budget, unsigned jobs,
+         const SweepTiming &ref, const SweepTiming &opt, bool bit_exact)
+{
+    Json out = Json::object();
+    out.set("benchmark",
+            formatMessage("fig09_four_core_avg sweep (4 cores x %u "
+                          "workloads x 5 schedulers)",
+                          workload_count));
+    out.set("instruction_budget", budget);
+    out.set("worker_threads", jobs);
+    out.set("reference", timingJson(ref));
+    out.set("optimized", timingJson(opt));
+    out.set("speedup_wall_clock",
+            rounded((ref.aloneSeconds + ref.sweepSeconds) /
+                        (opt.aloneSeconds + opt.sweepSeconds),
+                    100));
+    out.set("bit_exact", bit_exact);
+    return out;
 }
 
 int
@@ -283,12 +282,13 @@ runThroughputBench()
 
     const char *out = std::getenv("STFM_BENCH_OUT");
     const std::string path = out ? out : "BENCH_perf.json";
-    std::ofstream file(path);
-    if (!file) {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    try {
+        writeJsonFile(perfJson(count, budget, jobs, ref, opt, bit_exact),
+                      path);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }
-    emitJson(file, count, budget, jobs, ref, opt, bit_exact);
     std::printf("speedup %.2fx, bit_exact %s -> %s\n",
                 (ref.aloneSeconds + ref.sweepSeconds) /
                     (opt.aloneSeconds + opt.sweepSeconds),

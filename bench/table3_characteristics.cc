@@ -10,54 +10,10 @@
  * closely; MCPI should preserve the paper's intensity ordering.
  */
 
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-#include "trace/catalog.hh"
-
-namespace
-{
-
-void
-report(stfm::ExperimentRunner &runner,
-       const std::vector<stfm::BenchmarkProfile> &catalog,
-       const char *title)
-{
-    using namespace stfm;
-    std::cout << title << "\n";
-    TextTable table({"#", "benchmark", "type", "MCPI", "(paper)",
-                     "L2 MPKI", "(paper)", "RBhit%", "(paper)", "cat"});
-    unsigned index = 1;
-    for (const auto &profile : catalog) {
-        const ThreadResult &r = runner.aloneResult(profile.name);
-        table.addRow({std::to_string(index++), profile.name, profile.type,
-                      fmt(r.mcpi()), fmt(profile.paperMcpi),
-                      fmt(r.mpki(), 1), fmt(profile.paperMpki, 1),
-                      fmt(100.0 * r.rowHitRate(), 1),
-                      fmt(100.0 * profile.paperRowHit, 1),
-                      std::to_string(profile.category)});
-    }
-    table.print(std::cout);
-    std::cout << '\n';
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = ExperimentRunner::budgetFromEnv(60000);
-    ExperimentRunner runner(base);
-
-    report(runner, benchmarkCatalog(),
-           "Table 3: SPEC CPU2006 benchmark characteristics "
-           "(measured alone, FR-FCFS)");
-    report(runner, desktopCatalog(),
-           "Table 4: Windows desktop application characteristics "
-           "(measured alone, FR-FCFS)");
-    return 0;
+    return stfm::runFigure("table3", argc, argv);
 }

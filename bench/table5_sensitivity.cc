@@ -11,86 +11,10 @@
  * all six configurations while improving weighted speedup throughout.
  */
 
-#include <cstdlib>
-#include <iostream>
-
-#include "harness/runner.hh"
-#include "harness/table.hh"
-#include "stats/summary.hh"
-
-namespace
-{
-
-struct Cell
-{
-    double unfairnessFr = 0.0, wsFr = 0.0;
-    double unfairnessStfm = 0.0, wsStfm = 0.0;
-};
-
-Cell
-measure(unsigned banks, std::uint64_t row_bytes,
-        const std::vector<stfm::Workload> &workload_list,
-        std::uint64_t budget)
-{
-    using namespace stfm;
-    SimConfig base = SimConfig::baseline(8);
-    base.memory.banksPerChannel = banks;
-    base.memory.rowBytes = row_bytes;
-    base.instructionBudget = budget;
-    ExperimentRunner runner(base);
-
-    SchedulerConfig fr_fcfs;
-    SchedulerConfig stfm_cfg;
-    stfm_cfg.kind = PolicyKind::Stfm;
-
-    SweepSummary fr, stfm_summary;
-    for (const Workload &w : workload_list) {
-        fr.add(runner.run(w, fr_fcfs).metrics);
-        stfm_summary.add(runner.run(w, stfm_cfg).metrics);
-    }
-    return {fr.unfairness.value(), fr.weightedSpeedup.value(),
-            stfm_summary.unfairness.value(),
-            stfm_summary.weightedSpeedup.value()};
-}
-
-void
-report(const char *dimension, const std::string &label, const Cell &c)
-{
-    using stfm::fmt;
-    std::cout << dimension << "=" << label << ": FR-FCFS unfairness "
-              << fmt(c.unfairnessFr) << " WS " << fmt(c.wsFr)
-              << " | STFM unfairness " << fmt(c.unfairnessStfm) << " WS "
-              << fmt(c.wsStfm) << " | improvement "
-              << fmt(c.unfairnessFr / c.unfairnessStfm) << "X / "
-              << fmt(100.0 * (c.wsStfm / c.wsFr - 1.0), 1) << "%\n";
-}
-
-} // namespace
+#include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace stfm;
-
-    const bool full = std::getenv("STFM_FULL_SWEEP") != nullptr;
-    const auto workload_list =
-        sampleWorkloads(8, full ? 32 : 8, /*seed=*/0x7ab1e5);
-    const std::uint64_t budget =
-        ExperimentRunner::budgetFromEnv(40000);
-
-    std::cout << "Table 5: sensitivity to DRAM banks and row-buffer "
-                 "size (8-core sweep, "
-              << workload_list.size() << " workloads)\n\n";
-
-    std::cout << "-- DRAM banks (16 KB effective rows) --\n";
-    for (const unsigned banks : {4u, 8u, 16u}) {
-        report("banks", std::to_string(banks),
-               measure(banks, 16 * 1024, workload_list, budget));
-    }
-    std::cout << "\n-- Row-buffer size (8 banks) --\n";
-    for (const std::uint64_t row : {8u * 1024, 16u * 1024, 32u * 1024}) {
-        report("row", std::to_string(row / 1024) + "KB",
-               measure(8, row, workload_list, budget));
-    }
-    return 0;
+    return stfm::runFigure("table5", argc, argv);
 }

@@ -1,0 +1,9 @@
+/** The stfm binary: `stfm run spec.json`, `stfm list ...`, `stfm fig09`. */
+
+#include "harness/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    return stfm::cliMain(argc, argv);
+}

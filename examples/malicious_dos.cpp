@@ -7,103 +7,54 @@
  * under the throughput-oriented FR-FCFS scheduler. STFM defuses the
  * attack by bounding the victims' slowdown.
  *
- * The hog is built directly from a TraceProfile (not the SPEC catalog)
- * to show how custom workloads plug into the simulator.
+ * The hog is an inline benchmark in the spec's "benchmarks" section —
+ * a raw TraceProfile registered under a name, showing how custom
+ * workloads plug into the declarative layer (slowdowns are still
+ * measured against each thread's own alone run).
  */
 
 #include <cstdio>
-#include <memory>
+#include <iostream>
 
-#include "sim/system.hh"
-#include "trace/catalog.hh"
-#include "trace/generator.hh"
-
-using namespace stfm;
-
-namespace
-{
-
-/** The attacker: saturating, perfectly row-local, store-heavy. */
-TraceProfile
-hogProfile()
-{
-    TraceProfile hog;
-    hog.mpki = 120.0;           // Far beyond any SPEC benchmark.
-    hog.rowBufferHitRate = 0.99;
-    hog.burstDuty = 1.0;        // Never pauses.
-    hog.burstLength = 128;
-    hog.streamCount = 8;        // Covers every bank.
-    hog.storeFraction = 0.5;
-    hog.dependentFraction = 0.0;
-    hog.hitAccessesPer1k = 0.0;
-    return hog;
-}
-
-SimResult
-runAttack(PolicyKind kind, double &victim_alone_mcpi)
-{
-    SimConfig config = SimConfig::baseline(4);
-    config.instructionBudget = 40000;
-    config.scheduler.kind = kind;
-
-    AddressMapping mapping(config.memory.channels,
-                           config.memory.banksPerChannel,
-                           config.memory.rowBytes, config.memory.lineBytes,
-                           config.memory.rowsPerBank,
-                           config.memory.xorBankMapping);
-
-    // One attacker, three ordinary victims from the catalog.
-    std::vector<std::unique_ptr<TraceSource>> traces;
-    traces.push_back(std::make_unique<SyntheticTraceGenerator>(
-        hogProfile(), mapping, 0, 4, /*seed=*/0xbadf00d));
-    const char *victims[] = {"omnetpp", "hmmer", "h264ref"};
-    for (unsigned t = 0; t < 3; ++t) {
-        traces.push_back(makeBenchmarkTrace(findBenchmark(victims[t]),
-                                            mapping, t + 1, 4));
-    }
-
-    // Victim baseline (alone, FR-FCFS) for slowdown reporting.
-    {
-        SimConfig alone = config;
-        alone.cores = 1;
-        alone.scheduler = SchedulerConfig{};
-        std::vector<std::unique_ptr<TraceSource>> solo;
-        solo.push_back(makeBenchmarkTrace(findBenchmark("omnetpp"),
-                                          mapping, 0, 1));
-        CmpSystem system(alone, std::move(solo));
-        victim_alone_mcpi = system.run().threads[0].mcpi();
-    }
-
-    CmpSystem system(config, std::move(traces));
-    return system.run();
-}
-
-} // namespace
+#include "harness/experiment.hh"
 
 int
 main()
 {
-    std::printf("Memory performance attack: a streaming hog vs three "
-                "ordinary applications\n\n");
-    for (const PolicyKind kind : {PolicyKind::FrFcfs, PolicyKind::Stfm}) {
-        double omnetpp_alone = 0.0;
-        const SimResult result = runAttack(kind, omnetpp_alone);
-        const char *name =
-            kind == PolicyKind::FrFcfs ? "FR-FCFS" : "STFM";
-        std::printf("%s:\n", name);
-        std::printf("  hog      IPC %.3f (%.0f DRAM reads serviced)\n",
-                    result.threads[0].ipc(),
-                    static_cast<double>(result.threads[0].dramReads));
-        const char *victims[] = {"omnetpp", "hmmer", "h264ref"};
-        for (unsigned t = 1; t < 4; ++t) {
-            std::printf("  %-8s IPC %.3f, MCPI %.2f%s\n", victims[t - 1],
-                        result.threads[t].ipc(), result.threads[t].mcpi(),
-                        t == 1 ? " (see slowdown below)" : "");
-        }
-        std::printf("  omnetpp slowdown vs running alone: %.2fx\n\n",
-                    result.threads[1].mcpi() / omnetpp_alone);
+    using namespace stfm;
+
+    // The attacker: saturating, perfectly row-local, store-heavy, with
+    // streams covering every bank. mpki 120 is far beyond any SPEC
+    // benchmark.
+    const ExperimentSpec spec = specFromText(R"({
+        "name": "malicious_dos",
+        "title": "Memory performance attack: a streaming hog vs three ordinary applications",
+        "benchmarks": {
+            "hog": {"mpki": 120, "rowBufferHitRate": 0.99,
+                    "burstDuty": 1.0, "burstLength": 128,
+                    "streamCount": 8, "storeFraction": 0.5,
+                    "dependentFraction": 0.0, "hitAccessesPer1k": 0.0}
+        },
+        "workloads": [["hog", "omnetpp", "hmmer", "h264ref"]],
+        "schedulers": ["FR-FCFS", "STFM"],
+        "budget": 40000
+    })");
+
+    const ExperimentResult result = runExperiment(spec);
+    printExperiment(result, std::cout, ReportStyle::CaseStudy);
+
+    // The per-thread detail: how much DRAM service the hog extracted.
+    for (std::size_t s = 0; s < result.schedulers.size(); ++s) {
+        const RunOutcome &o = result.outcome(0, s);
+        std::printf("\n%s: hog IPC %.3f (%llu DRAM reads), omnetpp "
+                    "slowdown %.2fx\n",
+                    result.schedulers[s].label.c_str(),
+                    o.shared.threads[0].ipc(),
+                    static_cast<unsigned long long>(
+                        o.shared.threads[0].dramReads),
+                    o.metrics.slowdowns[1]);
     }
-    std::printf("STFM bounds the victims' slowdown without any OS "
+    std::printf("\nSTFM bounds the victims' slowdown without any OS "
                 "involvement; FR-FCFS lets the hog monopolize the "
                 "row buffers.\n");
     return 0;

@@ -6,69 +6,40 @@
  * near-alone performance while equal-weight background threads share
  * the leftover bandwidth evenly. Also demonstrates the alpha knob:
  * with a huge alpha the hardware fairness rule is effectively off.
+ *
+ * The four configurations are one declarative spec: a scheduler list
+ * with per-policy parameters and labels.
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "harness/runner.hh"
-#include "harness/table.hh"
-
-using namespace stfm;
-
-namespace
-{
-
-void
-report(ExperimentRunner &runner, const Workload &workload,
-       const SchedulerConfig &sched, const std::string &label,
-       TextTable &table)
-{
-    const RunOutcome o = runner.run(workload, sched);
-    std::vector<std::string> row{label};
-    for (const double s : o.metrics.slowdowns)
-        row.push_back(fmt(s));
-    row.push_back(fmt(o.metrics.weightedSpeedup));
-    table.addRow(std::move(row));
-}
-
-} // namespace
+#include "harness/experiment.hh"
 
 int
 main()
 {
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = 50000;
-    ExperimentRunner runner(base);
+    using namespace stfm;
 
     // xalancbmk is the latency-sensitive foreground task; the other
     // three are background batch jobs.
-    const Workload workload = {"xalancbmk", "mcf", "lbm", "GemsFDTD"};
-    std::printf("QoS scenario: foreground %s vs three background "
-                "jobs\n\n",
-                workload[0].c_str());
+    const ExperimentSpec spec = specFromText(R"json({
+        "name": "priority_qos",
+        "title": "QoS scenario: foreground xalancbmk vs three background jobs",
+        "workloads": [["xalancbmk", "mcf", "lbm", "GemsFDTD"]],
+        "schedulers": [
+            {"label": "FR-FCFS (no QoS)", "policy": "FR-FCFS"},
+            {"label": "STFM, equal weights", "policy": "STFM"},
+            {"label": "STFM, fg weight 8", "policy": "STFM",
+             "weights": [8, 1, 1, 1]},
+            {"label": "STFM, alpha=1000 (off)", "policy": "STFM",
+             "alpha": 1000}
+        ],
+        "budget": 50000
+    })json");
 
-    TextTable table({"configuration", workload[0] + " (fg)", workload[1],
-                     workload[2], workload[3], "weighted-speedup"});
-
-    SchedulerConfig fr_fcfs;
-    report(runner, workload, fr_fcfs, "FR-FCFS (no QoS)", table);
-
-    SchedulerConfig equal;
-    equal.kind = PolicyKind::Stfm;
-    report(runner, workload, equal, "STFM, equal weights", table);
-
-    SchedulerConfig weighted;
-    weighted.kind = PolicyKind::Stfm;
-    weighted.weights = {8.0, 1.0, 1.0, 1.0};
-    report(runner, workload, weighted, "STFM, fg weight 8", table);
-
-    SchedulerConfig off;
-    off.kind = PolicyKind::Stfm;
-    off.alpha = 1000.0; // OS opts out of hardware fairness.
-    report(runner, workload, off, "STFM, alpha=1000 (off)", table);
-
-    table.print(std::cout);
+    printExperiment(runExperiment(spec), std::cout,
+                    ReportStyle::CaseStudy);
     std::printf("\nWith weight 8 the foreground thread's slowdown "
                 "drops toward 1x while the three weight-1 jobs remain "
                 "mutually fair; alpha=1000 reproduces FR-FCFS "

@@ -1,62 +1,55 @@
 /**
  * @file
- * Quickstart: run one 4-core workload under FR-FCFS and STFM and print
- * each thread's memory slowdown and the system throughput metrics.
+ * Quickstart: describe an experiment declaratively, run it, and read
+ * both the human report and the machine-readable results.
  *
- * This is the 60-second tour of the library:
- *   1. Build a baseline system config (SimConfig::baseline).
- *   2. Pick a workload (one benchmark per core, from the catalog).
- *   3. Let the ExperimentRunner handle alone-run baselines and metrics.
+ * This is the 60-second tour of the experiment layer:
+ *   1. Write an ExperimentSpec (here: inline JSON — the same schema
+ *      `stfm run spec.json` accepts; see specs/ for checked-in files).
+ *   2. runExperiment resolves baseline(cores) + overrides, handles
+ *      alone-run baselines, and fans runs over a worker pool.
+ *   3. printExperiment renders the classic report; resultsJson holds
+ *      every metric plus the fully resolved configuration.
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "harness/runner.hh"
-#include "harness/table.hh"
+#include "harness/experiment.hh"
 
 int
 main()
 {
     using namespace stfm;
 
-    // A 4-core CMP with the paper's Table 2 memory system.
-    SimConfig base = SimConfig::baseline(4);
-    base.instructionBudget = 60000;
-    ExperimentRunner runner(base);
+    // mcf (memory hog) vs three lighter threads, FR-FCFS vs STFM, on
+    // a 4-core CMP with the paper's Table 2 memory system.
+    const ExperimentSpec spec = specFromText(R"({
+        "name": "quickstart",
+        "title": "Quickstart: mcf vs three lighter threads",
+        "workloads": [["mcf", "libquantum", "h264ref", "omnetpp"]],
+        "schedulers": ["FR-FCFS",
+                       {"policy": "STFM", "alpha": 1.1}],
+        "budget": 60000
+    })");
 
-    // mcf (memory hog) vs three lighter threads.
-    const Workload workload = {"mcf", "libquantum", "h264ref", "omnetpp"};
+    const ExperimentResult result = runExperiment(spec);
+    printExperiment(result);
 
-    SchedulerConfig fr_fcfs;
-    fr_fcfs.kind = PolicyKind::FrFcfs;
-    SchedulerConfig stfm_cfg;
-    stfm_cfg.kind = PolicyKind::Stfm;
-    stfm_cfg.alpha = 1.10;
-
-    std::printf("Workload: %s\n\n", workloadLabel(workload).c_str());
-
-    TextTable table({"scheduler", "thread", "benchmark", "slowdown",
-                     "IPC", "MCPI", "rowhit%", "lat p50/p99 (DRAM cyc)"});
-    for (const auto &sched : {fr_fcfs, stfm_cfg}) {
-        const RunOutcome outcome = runner.run(workload, sched);
-        for (unsigned t = 0; t < workload.size(); ++t) {
-            const ThreadResult &r = outcome.shared.threads[t];
-            table.addRow({outcome.policyName, std::to_string(t),
-                          workload[t], fmt(outcome.metrics.slowdowns[t]),
-                          fmt(r.ipc()), fmt(r.mcpi()),
-                          fmt(100.0 * r.rowHitRate(), 1),
-                          std::to_string(r.readLatencyP50) + " / " +
-                              std::to_string(r.readLatencyP99)});
-        }
-        std::printf("%s: unfairness %.2f, weighted speedup %.2f, "
-                    "hmean speedup %.3f\n",
-                    outcome.policyName.c_str(),
-                    outcome.metrics.unfairness,
-                    outcome.metrics.weightedSpeedup,
-                    outcome.metrics.hmeanSpeedup);
-    }
-    std::printf("\n");
-    table.print(std::cout);
+    // The same run as structured data: per-run metrics, per-thread
+    // stats, and the resolved SimConfig echo.
+    const Json results = resultsJson(result);
+    std::printf("\nresults document: %zu runs, schema %s\n",
+                results.at("runs", "results").size(),
+                results.at("schema", "results")
+                    .asString("schema")
+                    .c_str());
+    const Json &first = results.at("runs", "results").at(0);
+    std::printf("first run: %s under %s, unfairness %.2f\n",
+                spec.workloads.front().front().c_str(),
+                first.at("scheduler", "run").asString("run").c_str(),
+                first.at("metrics", "run")
+                    .at("unfairness", "metrics")
+                    .asDouble("unfairness"));
     return 0;
 }

@@ -10,8 +10,7 @@
 
 #include <iostream>
 
-#include "harness/case_study.hh"
-#include "harness/runner.hh"
+#include "harness/experiment.hh"
 #include "trace/catalog.hh"
 
 int
@@ -27,7 +26,13 @@ main(int argc, char **argv)
     for (const auto &name : workload)
         findBenchmark(name); // Fail fast on typos (fatal with message).
 
-    runCaseStudy("Scheduler face-off", workload, 50000);
+    // An empty scheduler list means the paper's five policies.
+    ExperimentSpec spec;
+    spec.name = "Scheduler face-off";
+    spec.workloads = {workload};
+    spec.budget = 50000;
+    printExperiment(runExperiment(spec), std::cout,
+                    ReportStyle::CaseStudy);
 
     std::cout << "\nBenchmarks available:";
     for (const auto &profile : benchmarkCatalog())

@@ -26,7 +26,6 @@
 #define STFM_CHECK_INTEGRITY_HH
 
 #include <cstdint>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -70,22 +69,6 @@ struct IntegrityConfig
         return config;
     }
 
-    /**
-     * Honor the STFM_CHECK environment variable: any value other than
-     * empty/"0" enables the full integrity layer on top of @p base.
-     * Benches map their `--check` flag onto this.
-     */
-    static IntegrityConfig
-    fromEnv(IntegrityConfig base)
-    {
-        if (const char *env = std::getenv("STFM_CHECK")) {
-            if (env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
-                base.protocolCheck = true;
-                base.watchdog = true;
-            }
-        }
-        return base;
-    }
 };
 
 /** One recorded integrity violation (record-only mode). */

@@ -46,6 +46,15 @@ inline constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
 /** Sentinel timestamp meaning "never". */
 inline constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
 
+/**
+ * The paper's Table 2 clock domains: 4 GHz cores on a DDR2-800 bus
+ * (400 MHz command clock). Every CPU-per-DRAM-cycle ratio in the
+ * simulator derives from these two frequencies (MemoryConfig carries
+ * the configurable pair; SchedContext's default mirrors the baseline).
+ */
+inline constexpr unsigned kBaselineCoreMHz = 4000;
+inline constexpr unsigned kBaselineDramMHz = 400;
+
 } // namespace stfm
 
 #endif // STFM_COMMON_TYPES_HH

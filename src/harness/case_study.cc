@@ -2,7 +2,7 @@
 
 #include <iostream>
 
-#include "harness/table.hh"
+#include "harness/experiment.hh"
 
 namespace stfm
 {
@@ -11,37 +11,16 @@ void
 runCaseStudy(const std::string &title, const Workload &workload,
              std::uint64_t default_budget)
 {
-    SimConfig base =
-        SimConfig::baseline(static_cast<unsigned>(workload.size()));
-    base.instructionBudget =
-        ExperimentRunner::budgetFromEnv(default_budget);
-    ExperimentRunner runner(base);
+    // One workload under the five paper schedulers — the smallest
+    // possible experiment spec.
+    ExperimentSpec spec;
+    spec.name = title;
+    spec.title = title;
+    spec.workloads = {workload};
+    spec.budget = default_budget;
 
-    std::cout << title << " (" << workloadLabel(workload) << ")\n\n";
-
-    std::vector<std::string> headers{"scheduler"};
-    for (const auto &name : workload)
-        headers.push_back(name);
-    headers.push_back("unfairness");
-    TextTable slowdowns(std::move(headers));
-    TextTable throughput({"scheduler", "weighted-speedup", "sum-of-IPCs",
-                          "hmean-speedup"});
-
-    for (const RunOutcome &o :
-         runner.runAll(workload, ExperimentRunner::paperSchedulers())) {
-        std::vector<std::string> row{o.policyName};
-        for (const double s : o.metrics.slowdowns)
-            row.push_back(fmt(s));
-        row.push_back(fmt(o.metrics.unfairness));
-        slowdowns.addRow(std::move(row));
-        throughput.addRow({o.policyName, fmt(o.metrics.weightedSpeedup),
-                           fmt(o.metrics.sumOfIpcs),
-                           fmt(o.metrics.hmeanSpeedup, 3)});
-    }
-
-    slowdowns.print(std::cout);
-    std::cout << '\n';
-    throughput.print(std::cout);
+    printExperiment(runExperiment(spec), std::cout,
+                    ReportStyle::CaseStudy);
 }
 
 } // namespace stfm

@@ -1,0 +1,212 @@
+#include "harness/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "harness/spec.hh"
+#include "sim/config_io.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: stfm <command> [arguments]\n"
+          "\n"
+          "commands:\n"
+          "  run <spec.json> [flags]   execute a declarative experiment\n"
+          "  validate <spec.json>      parse, resolve and validate only\n"
+          "  list schedulers           scheduling policies and knobs\n"
+          "  list workloads            the named workload catalog\n"
+          "  list figures              registered paper figures\n"
+          "  <figure> [flags]          run a figure (fig09, table5, ...)\n"
+          "  help                      this message\n"
+          "\n"
+          "flags (run and figures):\n"
+          "  --json PATH       also write machine-readable results\n"
+          "  --check           run under the integrity layer\n"
+          "  --reference       pin the cycle-by-cycle reference path\n"
+          "  --jobs N          worker-pool width\n"
+          "  --instructions N  per-thread instruction-budget override\n"
+          "  --full            full-size sweep (sampled figures)\n";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw SimError("cannot open spec file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Shared flag parsing for `run` and `validate`. */
+struct RunFlags
+{
+    std::string specPath;
+    std::string jsonPath;
+};
+
+RunFlags
+parseRunFlags(const char *command, int argc, char **argv, int first)
+{
+    RunFlags flags;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            flags.jsonPath = argv[++i];
+        } else if (arg == "--check") {
+            setenv("STFM_CHECK", "1", 1);
+        } else if (arg == "--reference") {
+            setenv("STFM_REFERENCE", "1", 1);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            setenv("STFM_JOBS", argv[++i], 1);
+        } else if (arg == "--instructions" && i + 1 < argc) {
+            setenv("STFM_INSTRUCTIONS", argv[++i], 1);
+        } else if (!arg.empty() && arg[0] == '-') {
+            throw SimError(std::string("unknown flag '") + arg +
+                           "' for stfm " + command);
+        } else if (flags.specPath.empty()) {
+            flags.specPath = arg;
+        } else {
+            throw SimError(std::string("stfm ") + command +
+                           " takes one spec file (got '" + arg + "')");
+        }
+    }
+    if (flags.specPath.empty())
+        throw SimError(std::string("stfm ") + command +
+                       " needs a spec file argument");
+    return flags;
+}
+
+int
+commandRun(int argc, char **argv)
+{
+    const RunFlags flags = parseRunFlags("run", argc, argv, 2);
+    const ExperimentSpec spec = specFromText(readFile(flags.specPath));
+    const ExperimentResult result = runExperiment(spec);
+    printExperiment(result);
+    if (!flags.jsonPath.empty()) {
+        writeResultsJson(result, flags.jsonPath);
+        std::cout << "\nresults written to " << flags.jsonPath << "\n";
+    }
+    return 0;
+}
+
+int
+commandValidate(int argc, char **argv)
+{
+    const RunFlags flags = parseRunFlags("validate", argc, argv, 2);
+    const ExperimentSpec spec = specFromText(readFile(flags.specPath));
+    const std::vector<Workload> workloads = resolveWorkloads(spec);
+    const SimConfig base =
+        resolveConfig(spec, EnvOverrides::capture());
+
+    std::size_t scheduler_count = spec.schedulers.size();
+    if (scheduler_count == 0)
+        scheduler_count = 5; // The paper's five policies.
+
+    std::cout << flags.specPath << ": OK\n"
+              << "  name:       " << spec.name << "\n"
+              << "  workloads:  " << workloads.size() << " x "
+              << spec.repeat << " repetition(s)\n"
+              << "  schedulers: " << scheduler_count << "\n"
+              << "  cores:      " << base.cores << "\n"
+              << "  budget:     " << base.instructionBudget
+              << " instructions/thread\n";
+    return 0;
+}
+
+int
+commandList(int argc, char **argv)
+{
+    const std::string what = argc > 2 ? argv[2] : "";
+    if (what == "schedulers") {
+        std::cout
+            << "FR-FCFS     row-hit-first, oldest-first (baseline)\n"
+            << "FCFS        strict arrival order\n"
+            << "FRFCFS+Cap  FR-FCFS with a column-over-row cap "
+               "(knob: cap)\n"
+            << "NFQ         network-fair-queueing virtual finish times "
+               "(knobs: shares, inversionThreshold)\n"
+            << "STFM        stall-time fair scheduling (knobs: alpha, "
+               "intervalLength, gamma, quantizeSlowdowns,\n"
+            << "            busInterference, requestLevelEstimator, "
+               "weights)\n";
+        return 0;
+    }
+    if (what == "workloads") {
+        for (const std::string &name : namedWorkloadCatalog()) {
+            const std::vector<Workload> expanded = namedWorkloads(name);
+            std::cout << name << " (" << expanded.size()
+                      << (expanded.size() == 1 ? " workload)"
+                                               : " workloads)")
+                      << "\n";
+            for (const Workload &w : expanded)
+                std::cout << "  " << workloadLabel(w) << "\n";
+        }
+        return 0;
+    }
+    if (what == "figures") {
+        for (const Figure &figure : figureRegistry()) {
+            std::printf("%-20s %s%s\n", figure.name.c_str(),
+                        figure.description.c_str(),
+                        figure.specDriven() ? "" : " [custom]");
+        }
+        return 0;
+    }
+    std::cerr << "usage: stfm list {schedulers|workloads|figures}\n";
+    return 1;
+}
+
+} // namespace
+
+int
+cliMain(int argc, char **argv)
+{
+    if (argc < 2) {
+        printUsage(std::cerr);
+        return 1;
+    }
+    const std::string command = argv[1];
+    if (command == "help" || command == "--help" || command == "-h") {
+        printUsage(std::cout);
+        return 0;
+    }
+
+    try {
+        if (command == "run")
+            return commandRun(argc, argv);
+        if (command == "validate")
+            return commandValidate(argc, argv);
+        if (command == "list")
+            return commandList(argc, argv);
+        if (findFigure(command)) {
+            // Forward the remaining arguments as the figure's argv.
+            return runFigure(command, argc - 1, argv + 1);
+        }
+    } catch (const SimError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::cerr << "stfm: unknown command '" << command << "'\n\n";
+    printUsage(std::cerr);
+    return 1;
+}
+
+} // namespace stfm

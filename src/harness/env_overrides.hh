@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The harness's environment-variable overrides, captured in one place.
+ *
+ * Four variables tune every harness entry point (benches, the stfm CLI,
+ * tests):
+ *
+ *   - STFM_INSTRUCTIONS=<n>  per-thread instruction budget;
+ *   - STFM_REFERENCE=1       pin the cycle-by-cycle reference path
+ *                            (fastForward off) — the oracle for perf
+ *                            comparisons;
+ *   - STFM_CHECK=1           enable the full integrity layer (shadow
+ *                            protocol checker + watchdogs);
+ *   - STFM_JOBS=<n>          worker-pool width for runMany().
+ *
+ * EnvOverrides::capture() snapshots them once, apply() layers them onto
+ * a resolved SimConfig at spec-resolution time, and toJson() records
+ * exactly which overrides took effect so a results file is
+ * self-describing. "0"/empty means unset for the boolean variables,
+ * matching the historical behavior of the scattered getenv() calls this
+ * helper replaces.
+ */
+
+#ifndef STFM_HARNESS_ENV_OVERRIDES_HH
+#define STFM_HARNESS_ENV_OVERRIDES_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/json.hh"
+#include "sim/config.hh"
+
+namespace stfm
+{
+
+struct EnvOverrides
+{
+    /** STFM_INSTRUCTIONS, when set to a positive integer. */
+    std::optional<std::uint64_t> instructionBudget;
+    /** STFM_REFERENCE set (non-"0"): force the reference path. */
+    bool reference = false;
+    /** STFM_CHECK set (non-"0"): enable the full integrity layer. */
+    bool check = false;
+    /** STFM_JOBS, when set to a positive integer. */
+    std::optional<unsigned> jobs;
+
+    /** Snapshot the process environment. */
+    static EnvOverrides capture();
+
+    /** True when at least one override is active. */
+    bool any() const
+    {
+        return instructionBudget.has_value() || reference || check ||
+               jobs.has_value();
+    }
+
+    /** Layer the active overrides onto @p config. */
+    void apply(SimConfig &config) const;
+
+    /** Worker-pool width: STFM_JOBS, else @p fallback. */
+    unsigned jobsOr(unsigned fallback) const
+    {
+        return jobs.value_or(fallback);
+    }
+
+    /**
+     * The active overrides as a JSON object (only the variables that
+     * are set appear), for the results-file echo.
+     */
+    Json toJson() const;
+};
+
+} // namespace stfm
+
+#endif // STFM_HARNESS_ENV_OVERRIDES_HH

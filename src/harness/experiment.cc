@@ -1,0 +1,356 @@
+#include "harness/experiment.hh"
+
+#include <cstdio>
+#include <set>
+
+#include "common/logging.hh"
+#include "harness/table.hh"
+#include "sim/config_io.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+std::vector<SchedulerEntry>
+paperEntries()
+{
+    std::vector<SchedulerEntry> entries;
+    for (const SchedulerConfig &config :
+         ExperimentRunner::paperSchedulers())
+        entries.push_back({toString(config.kind), config});
+    return entries;
+}
+
+/**
+ * Scheduler name to print for a run. A defaulted label (the policy
+ * name from toString) defers to the policy's self-reported name —
+ * e.g. "FR-FCFS+Cap" rather than the terse "FRFCFS+Cap" — exactly as
+ * the legacy reports did; an explicit spec label always wins.
+ */
+std::string
+displayLabel(const SchedulerEntry &entry, const std::string &policy_name)
+{
+    if (!policy_name.empty() && entry.label == toString(entry.config.kind))
+        return policy_name;
+    return entry.label;
+}
+
+/** Row label: workload benchmarks, plus the repetition when > 1. */
+std::string
+rowLabel(const ExperimentResult &result, std::size_t row)
+{
+    std::string label = workloadLabel(result.rowWorkload(row));
+    if (result.spec.repeat > 1) {
+        label += formatMessage("#%u", result.rowRepetition(row) + 1);
+    }
+    return label;
+}
+
+void
+printSweepReport(const ExperimentResult &result, std::ostream &os)
+{
+    const std::size_t rows = result.rows();
+    os << result.spec.heading() << " (" << rows << " workloads)\n\n";
+
+    std::vector<std::string> headers{"workload"};
+    for (const SchedulerEntry &entry : result.schedulers)
+        headers.push_back(entry.label);
+    TextTable unfairness_table(std::move(headers));
+    TextTable failure_table({"workload", "scheduler", "error"});
+    unsigned total_failures = 0;
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::vector<std::string> row{rowLabel(result, r)};
+        for (std::size_t s = 0; s < result.schedulers.size(); ++s) {
+            const RunOutcome &outcome = result.outcome(r, s);
+            if (outcome.failed) {
+                ++total_failures;
+                failure_table.addRow({rowLabel(result, r),
+                                      result.schedulers[s].label,
+                                      outcome.error});
+                row.push_back("FAIL");
+                continue;
+            }
+            row.push_back(fmt(outcome.metrics.unfairness));
+        }
+        if (r < result.spec.labelRows)
+            unfairness_table.addRow(std::move(row));
+    }
+    unfairness_table.print(os);
+
+    if (total_failures > 0) {
+        os << "\nFailed runs (excluded from the GMEAN aggregates):\n";
+        failure_table.print(os);
+    }
+
+    os << "\nGMEAN over all " << rows << " workloads:\n";
+    TextTable summary({"scheduler", "unfairness", "weighted-speedup",
+                       "sum-of-IPCs", "hmean-speedup", "failed"});
+    for (const SweepResult &r : result.aggregates) {
+        if (r.summary.unfairness.count() == 0) {
+            summary.addRow({r.policyName, "n/a", "n/a", "n/a", "n/a",
+                            std::to_string(r.failures)});
+            continue;
+        }
+        summary.addRow({r.policyName, fmt(r.summary.unfairness.value()),
+                        fmt(r.summary.weightedSpeedup.value()),
+                        fmt(r.summary.sumOfIpcs.value()),
+                        fmt(r.summary.hmeanSpeedup.value(), 3),
+                        std::to_string(r.failures)});
+    }
+    summary.print(os);
+}
+
+void
+printCaseStudyReport(const ExperimentResult &result, std::ostream &os)
+{
+    const Workload &workload = result.workloads.front();
+    os << result.spec.heading() << " (" << workloadLabel(workload)
+       << ")\n\n";
+
+    std::vector<std::string> headers{"scheduler"};
+    for (const std::string &name : workload)
+        headers.push_back(name);
+    headers.push_back("unfairness");
+    TextTable slowdowns(std::move(headers));
+    TextTable throughput({"scheduler", "weighted-speedup", "sum-of-IPCs",
+                          "hmean-speedup"});
+
+    for (std::size_t s = 0; s < result.schedulers.size(); ++s) {
+        const RunOutcome &o = result.outcome(0, s);
+        const std::string label =
+            displayLabel(result.schedulers[s], o.policyName);
+        if (o.failed) {
+            std::vector<std::string> row{label};
+            for (std::size_t t = 0; t < workload.size() + 1; ++t)
+                row.push_back("FAIL");
+            slowdowns.addRow(std::move(row));
+            throughput.addRow({label, "FAIL", "FAIL", "FAIL"});
+            continue;
+        }
+        std::vector<std::string> row{label};
+        for (const double slowdown : o.metrics.slowdowns)
+            row.push_back(fmt(slowdown));
+        row.push_back(fmt(o.metrics.unfairness));
+        slowdowns.addRow(std::move(row));
+        throughput.addRow({label, fmt(o.metrics.weightedSpeedup),
+                           fmt(o.metrics.sumOfIpcs),
+                           fmt(o.metrics.hmeanSpeedup, 3)});
+    }
+
+    slowdowns.print(os);
+    os << '\n';
+    throughput.print(os);
+}
+
+Json
+toJson(const ThreadResult &thread)
+{
+    Json out = Json::object();
+    out.set("instructions", thread.instructions);
+    out.set("cycles", thread.cycles);
+    out.set("ipc", thread.ipc());
+    out.set("mcpi", thread.mcpi());
+    out.set("mpki", thread.mpki());
+    out.set("rowHitRate", thread.rowHitRate());
+    out.set("memStallCycles", thread.memStallCycles);
+    out.set("dramReads", thread.dramReads);
+    out.set("dramWrites", thread.dramWrites);
+    return out;
+}
+
+} // namespace
+
+std::vector<Workload>
+resolveWorkloads(const ExperimentSpec &spec)
+{
+    std::vector<Workload> workloads = spec.workloads;
+    if (spec.sample) {
+        for (Workload &w :
+             sampleWorkloads(spec.sample->cores, spec.sample->count,
+                             spec.sample->seed))
+            workloads.push_back(std::move(w));
+    }
+    if (workloads.empty())
+        throw SimError("spec resolves to zero workloads");
+    return workloads;
+}
+
+SimConfig
+resolveConfig(const ExperimentSpec &spec, const EnvOverrides &env)
+{
+    const std::vector<Workload> workloads = resolveWorkloads(spec);
+    SimConfig base = simConfigFromJson(
+        spec.config, static_cast<unsigned>(workloads.front().size()));
+    if (spec.budget)
+        base.instructionBudget = spec.budget;
+    env.apply(base);
+    validateOrThrow(base);
+    return base;
+}
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec)
+{
+    ExperimentResult result;
+    result.spec = spec;
+    result.env = EnvOverrides::capture();
+    result.workloads = resolveWorkloads(spec);
+    result.schedulers =
+        spec.schedulers.empty() ? paperEntries() : spec.schedulers;
+    result.base = resolveConfig(spec, result.env);
+
+    // Validate every (workload size, scheduler) pairing the grid will
+    // produce — per-thread weight/share lists must fit each core count.
+    std::set<std::size_t> sizes;
+    for (const Workload &w : result.workloads) {
+        if (w.empty())
+            throw SimError("spec contains an empty workload");
+        sizes.insert(w.size());
+    }
+    for (const std::size_t size : sizes) {
+        for (const SchedulerEntry &entry : result.schedulers) {
+            SimConfig probe = result.base;
+            probe.cores = static_cast<unsigned>(size);
+            probe.scheduler = entry.config;
+            const std::vector<std::string> problems =
+                validateConfig(probe);
+            if (!problems.empty()) {
+                throw SimError(formatMessage(
+                    "scheduler '%s' invalid for %zu-core workloads: %s",
+                    entry.label.c_str(), size, problems.front().c_str()));
+            }
+        }
+    }
+
+    ExperimentRunner runner(result.base);
+    runner.setMaxAttempts(spec.attempts);
+    for (const auto &[name, profile] : spec.benchmarks)
+        runner.addBenchmark(name, profile);
+
+    std::vector<RunJob> jobs;
+    jobs.reserve(result.rows() * result.schedulers.size());
+    for (const Workload &workload : result.workloads) {
+        for (unsigned rep = 0; rep < spec.repeat; ++rep) {
+            for (const SchedulerEntry &entry : result.schedulers)
+                jobs.push_back(
+                    {workload, entry.config, spec.seed + rep});
+        }
+    }
+    result.outcomes = runner.runMany(jobs, spec.jobs);
+
+    // Per-scheduler aggregates in job order (failures excluded), the
+    // exact accumulation the legacy sweep performed.
+    result.aggregates.assign(result.schedulers.size(), SweepResult{});
+    for (std::size_t s = 0; s < result.schedulers.size(); ++s)
+        result.aggregates[s].policyName = result.schedulers[s].label;
+    for (std::size_t r = 0; r < result.rows(); ++r) {
+        for (std::size_t s = 0; s < result.schedulers.size(); ++s) {
+            const RunOutcome &outcome = result.outcome(r, s);
+            if (outcome.failed) {
+                ++result.aggregates[s].failures;
+                continue;
+            }
+            result.aggregates[s].policyName =
+                displayLabel(result.schedulers[s], outcome.policyName);
+            result.aggregates[s].summary.add(outcome.metrics);
+        }
+    }
+    return result;
+}
+
+void
+printExperiment(const ExperimentResult &result, std::ostream &os,
+                ReportStyle style)
+{
+    if (style == ReportStyle::Auto) {
+        style = result.rows() == 1 ? ReportStyle::CaseStudy
+                                   : ReportStyle::Sweep;
+    }
+    if (style == ReportStyle::CaseStudy)
+        printCaseStudyReport(result, os);
+    else
+        printSweepReport(result, os);
+}
+
+Json
+resultsJson(const ExperimentResult &result)
+{
+    Json out = Json::object();
+    out.set("schema", "stfm-results-v1");
+    out.set("name", result.spec.name);
+    out.set("title", result.spec.heading());
+    out.set("spec", toJson(result.spec));
+    out.set("envOverrides", result.env.toJson());
+    out.set("resolvedConfig", toJson(result.base));
+
+    Json schedulers = Json::array();
+    for (const SchedulerEntry &entry : result.schedulers)
+        schedulers.push(toJson(entry));
+    out.set("schedulers", std::move(schedulers));
+
+    Json runs = Json::array();
+    for (std::size_t r = 0; r < result.rows(); ++r) {
+        for (std::size_t s = 0; s < result.schedulers.size(); ++s) {
+            const RunOutcome &o = result.outcome(r, s);
+            Json run = Json::object();
+            Json workload = Json::array();
+            for (const std::string &bench : result.rowWorkload(r))
+                workload.push(Json(bench));
+            run.set("workload", std::move(workload));
+            run.set("repetition", result.rowRepetition(r));
+            run.set("scheduler", result.schedulers[s].label);
+            run.set("failed", o.failed);
+            run.set("attempts", o.attempts);
+            if (o.failed) {
+                run.set("error", o.error);
+                runs.push(std::move(run));
+                continue;
+            }
+            Json metrics = Json::object();
+            Json slowdowns = Json::array();
+            for (const double v : o.metrics.slowdowns)
+                slowdowns.push(Json(v));
+            metrics.set("slowdowns", std::move(slowdowns));
+            metrics.set("unfairness", o.metrics.unfairness);
+            metrics.set("weightedSpeedup", o.metrics.weightedSpeedup);
+            metrics.set("hmeanSpeedup", o.metrics.hmeanSpeedup);
+            metrics.set("sumOfIpcs", o.metrics.sumOfIpcs);
+            run.set("metrics", std::move(metrics));
+            Json threads = Json::array();
+            for (const ThreadResult &thread : o.shared.threads)
+                threads.push(toJson(thread));
+            run.set("threads", std::move(threads));
+            run.set("totalCycles", o.shared.totalCycles);
+            runs.push(std::move(run));
+        }
+    }
+    out.set("runs", std::move(runs));
+
+    Json aggregates = Json::array();
+    for (const SweepResult &r : result.aggregates) {
+        Json agg = Json::object();
+        agg.set("scheduler", r.policyName);
+        agg.set("failed", r.failures);
+        if (r.summary.unfairness.count() > 0) {
+            agg.set("unfairness", r.summary.unfairness.value());
+            agg.set("weightedSpeedup",
+                    r.summary.weightedSpeedup.value());
+            agg.set("sumOfIpcs", r.summary.sumOfIpcs.value());
+            agg.set("hmeanSpeedup", r.summary.hmeanSpeedup.value());
+        }
+        aggregates.push(std::move(agg));
+    }
+    out.set("aggregates", std::move(aggregates));
+    return out;
+}
+
+void
+writeResultsJson(const ExperimentResult &result, const std::string &path)
+{
+    writeJsonFile(resultsJson(result), path);
+}
+
+} // namespace stfm

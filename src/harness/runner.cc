@@ -6,33 +6,20 @@
 #include <thread>
 
 #include "common/logging.hh"
-#include "trace/catalog.hh"
+#include "harness/env_overrides.hh"
 
 namespace stfm
 {
 
 ExperimentRunner::ExperimentRunner(SimConfig base) : base_(std::move(base))
 {
-    base_.instructionBudget = budgetFromEnv(base_.instructionBudget);
-    base_.memory.controller.integrity =
-        IntegrityConfig::fromEnv(base_.memory.controller.integrity);
-    // STFM_REFERENCE=1 pins every run to the cycle-by-cycle reference
-    // path (no fast-forwarding) — the oracle for perf comparisons.
-    if (const char *env = std::getenv("STFM_REFERENCE")) {
-        if (std::string(env) != "0")
-            base_.fastForward = false;
-    }
+    EnvOverrides::capture().apply(base_);
 }
 
 std::uint64_t
 ExperimentRunner::budgetFromEnv(std::uint64_t fallback)
 {
-    if (const char *env = std::getenv("STFM_INSTRUCTIONS")) {
-        const long long parsed = std::atoll(env);
-        if (parsed > 0)
-            return static_cast<std::uint64_t>(parsed);
-    }
-    return fallback;
+    return EnvOverrides::capture().instructionBudget.value_or(fallback);
 }
 
 void
@@ -62,6 +49,22 @@ ExperimentRunner::configFor(const Workload &workload,
     return config;
 }
 
+void
+ExperimentRunner::addBenchmark(const std::string &name,
+                               const BenchmarkProfile &profile)
+{
+    customBenchmarks_[name] = profile;
+}
+
+const BenchmarkProfile &
+ExperimentRunner::profileFor(const std::string &name) const
+{
+    const auto it = customBenchmarks_.find(name);
+    if (it != customBenchmarks_.end())
+        return it->second;
+    return findBenchmark(name);
+}
+
 std::string
 ExperimentRunner::aloneKey(const std::string &benchmark) const
 {
@@ -87,7 +90,7 @@ ExperimentRunner::aloneResult(const std::string &benchmark)
     config.cores = 1;
     config.scheduler = SchedulerConfig{}; // FR-FCFS, no knobs.
 
-    const BenchmarkProfile &profile = findBenchmark(benchmark);
+    const BenchmarkProfile &profile = profileFor(benchmark);
     AddressMapping mapping(config.memory.channels,
                            config.memory.banksPerChannel,
                            config.memory.rowBytes, config.memory.lineBytes,
@@ -119,7 +122,7 @@ ExperimentRunner::attemptRun(const Workload &workload,
                            config.memory.xorBankMapping);
     std::vector<std::unique_ptr<TraceSource>> traces;
     for (unsigned t = 0; t < workload.size(); ++t) {
-        traces.push_back(makeBenchmarkTrace(findBenchmark(workload[t]),
+        traces.push_back(makeBenchmarkTrace(profileFor(workload[t]),
                                             mapping, t, config.cores,
                                             seed_salt));
     }
@@ -140,14 +143,16 @@ ExperimentRunner::attemptRun(const Workload &workload,
 
 RunOutcome
 ExperimentRunner::run(const Workload &workload,
-                      const SchedulerConfig &scheduler)
+                      const SchedulerConfig &scheduler,
+                      std::uint64_t seed_salt)
 {
     RunOutcome outcome;
     for (unsigned attempt = 1; attempt <= maxAttempts_; ++attempt) {
         try {
-            // Salt 0 on the first attempt reproduces the canonical
-            // trace streams; retries reseed them.
-            outcome = attemptRun(workload, scheduler, attempt - 1);
+            // The base salt on the first attempt (0 = the canonical
+            // trace streams); retries reseed on top of it.
+            outcome = attemptRun(workload, scheduler,
+                                 seed_salt + (attempt - 1));
             outcome.attempts = attempt;
             return outcome;
         } catch (const SimError &e) {
@@ -178,13 +183,8 @@ ExperimentRunner::runAll(const Workload &workload,
 unsigned
 ExperimentRunner::defaultJobs()
 {
-    if (const char *env = std::getenv("STFM_JOBS")) {
-        const long long parsed = std::atoll(env);
-        if (parsed > 0)
-            return static_cast<unsigned>(parsed);
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    return EnvOverrides::capture().jobsOr(hw > 0 ? hw : 1);
 }
 
 std::vector<RunOutcome>
@@ -209,7 +209,8 @@ ExperimentRunner::runMany(const std::vector<RunJob> &jobs,
     const auto worker = [&]() {
         for (std::size_t i = next.fetch_add(1); i < jobs.size();
              i = next.fetch_add(1)) {
-            out[i] = run(jobs[i].workload, jobs[i].scheduler);
+            out[i] = run(jobs[i].workload, jobs[i].scheduler,
+                         jobs[i].seedSalt);
         }
     };
 

@@ -24,6 +24,7 @@
 #include "sim/results.hh"
 #include "sim/system.hh"
 #include "stats/metrics.hh"
+#include "trace/catalog.hh"
 
 namespace stfm
 {
@@ -33,6 +34,12 @@ struct RunJob
 {
     Workload workload;
     SchedulerConfig scheduler;
+    /**
+     * Base trace-RNG salt: 0 reproduces the canonical streams; a spec's
+     * repeat > 1 runs the same pairing under distinct salts to expose
+     * trace-stream sensitivity. Retries salt on top of this base.
+     */
+    std::uint64_t seedSalt = 0;
 };
 
 /** One workload run under one policy, with its metrics. */
@@ -56,11 +63,10 @@ class ExperimentRunner
      * @param base Baseline system configuration; `cores` and the
      *             scheduler field are overridden per run.
      *
-     * The per-thread instruction budget honors the STFM_INSTRUCTIONS
-     * environment variable if set (sweeps can be scaled up for tighter
-     * convergence at the cost of runtime). The integrity layer honors
-     * STFM_CHECK (any non-"0" value enables shadow protocol checking
-     * and the forward-progress watchdogs for every run).
+     * The environment overrides (EnvOverrides: STFM_INSTRUCTIONS,
+     * STFM_REFERENCE, STFM_CHECK) are captured and layered onto the
+     * base configuration here, so every run this runner performs
+     * honors them.
      */
     explicit ExperimentRunner(SimConfig base);
 
@@ -69,9 +75,24 @@ class ExperimentRunner
      * @p scheduler. Alone baselines are computed (and cached) with
      * FR-FCFS on the same memory configuration. Never throws for
      * run-level failures: inspect RunOutcome::failed.
+     *
+     * @param seed_salt Base trace-RNG salt (see RunJob::seedSalt);
+     *                  retry attempts add 1, 2, ... on top of it.
      */
     RunOutcome run(const Workload &workload,
-                   const SchedulerConfig &scheduler);
+                   const SchedulerConfig &scheduler,
+                   std::uint64_t seed_salt = 0);
+
+    /**
+     * Register a runner-local benchmark under @p name, shadowing any
+     * catalog entry of the same name for this runner's workloads and
+     * alone baselines. Lets experiment specs define inline synthetic
+     * profiles (e.g. the malicious-DoS hog) without touching the global
+     * catalog. Not thread-safe against concurrent runMany(): register
+     * everything before running.
+     */
+    void addBenchmark(const std::string &name,
+                      const BenchmarkProfile &profile);
 
     /**
      * Alone-run result of one benchmark on the base memory system.
@@ -137,6 +158,8 @@ class ExperimentRunner
     SimConfig configFor(const Workload &workload,
                         const SchedulerConfig &scheduler) const;
     std::string aloneKey(const std::string &benchmark) const;
+    /** Runner-local benchmark if registered, else the global catalog. */
+    const BenchmarkProfile &profileFor(const std::string &name) const;
     /** One attempt; throws SimError/CheckFailure on failure. */
     RunOutcome attemptRun(const Workload &workload,
                           const SchedulerConfig &scheduler,
@@ -144,6 +167,8 @@ class ExperimentRunner
 
     SimConfig base_;
     unsigned maxAttempts_ = 1;
+    /** Spec-registered inline benchmarks (see addBenchmark()). */
+    std::map<std::string, BenchmarkProfile> customBenchmarks_;
     /**
      * Memoized alone-run baselines, shared by concurrent runMany()
      * workers. aloneMutex_ is held for the whole lookup-or-compute:

@@ -1,7 +1,7 @@
 #include "harness/sweep.hh"
 
 #include "common/logging.hh"
-#include "harness/table.hh"
+#include "harness/experiment.hh"
 
 namespace stfm
 {
@@ -14,85 +14,20 @@ runSweep(const std::string &title,
 {
     STFM_ASSERT(!workload_list.empty(), "sweep '%s' needs workloads",
                 title.c_str());
-    SimConfig base = SimConfig::baseline(
-        static_cast<unsigned>(workload_list.front().size()));
-    base.instructionBudget =
-        ExperimentRunner::budgetFromEnv(default_budget);
-    ExperimentRunner runner(base);
+    // A sweep is one experiment spec: the named workloads under the
+    // five paper schedulers on the baseline configuration. The engine
+    // reproduces the historical job order and aggregate accumulation
+    // exactly (see harness/experiment.hh).
+    ExperimentSpec spec;
+    spec.name = title;
+    spec.title = title;
+    spec.workloads = workload_list;
+    spec.budget = default_budget;
+    spec.labelRows = label_rows;
 
-    const auto schedulers = ExperimentRunner::paperSchedulers();
-    const std::vector<std::string> scheduler_labels{
-        "FR-FCFS", "FCFS", "FRFCFS+Cap", "NFQ", "STFM"};
-    std::vector<SweepResult> results(schedulers.size());
-
-    os << title << " (" << workload_list.size() << " workloads)\n\n";
-
-    // One job per (workload, scheduler) cell, executed across the
-    // worker pool (STFM_JOBS wide by default). runMany() returns the
-    // outcomes in job order, so the report below — and the aggregate
-    // accumulation order — is identical to the old sequential loop.
-    std::vector<RunJob> jobs;
-    jobs.reserve(workload_list.size() * schedulers.size());
-    for (const auto &workload : workload_list)
-        for (const auto &scheduler : schedulers)
-            jobs.push_back({workload, scheduler});
-    const std::vector<RunOutcome> outcomes = runner.runMany(jobs);
-
-    TextTable unfairness_table({"workload", "FR-FCFS", "FCFS",
-                                "FRFCFS+Cap", "NFQ", "STFM"});
-    TextTable failure_table({"workload", "scheduler", "error"});
-    unsigned total_failures = 0;
-    for (std::size_t w = 0; w < workload_list.size(); ++w) {
-        const Workload &workload = workload_list[w];
-        std::vector<std::string> row{workloadLabel(workload)};
-        for (std::size_t s = 0; s < schedulers.size(); ++s) {
-            const RunOutcome &outcome =
-                outcomes[w * schedulers.size() + s];
-            if (outcome.failed) {
-                // Isolate the failure: report it, keep sweeping.
-                ++results[s].failures;
-                ++total_failures;
-                failure_table.addRow({workloadLabel(workload),
-                                      scheduler_labels[s],
-                                      outcome.error});
-                row.push_back("FAIL");
-                continue;
-            }
-            results[s].policyName = outcome.policyName;
-            results[s].summary.add(outcome.metrics);
-            row.push_back(fmt(outcome.metrics.unfairness));
-        }
-        if (w < label_rows)
-            unfairness_table.addRow(std::move(row));
-    }
-    unfairness_table.print(os);
-
-    if (total_failures > 0) {
-        os << "\nFailed runs (excluded from the GMEAN aggregates):\n";
-        failure_table.print(os);
-    }
-
-    os << "\nGMEAN over all " << workload_list.size()
-       << " workloads:\n";
-    TextTable summary({"scheduler", "unfairness", "weighted-speedup",
-                       "sum-of-IPCs", "hmean-speedup", "failed"});
-    for (std::size_t s = 0; s < results.size(); ++s) {
-        SweepResult &r = results[s];
-        if (r.policyName.empty())
-            r.policyName = scheduler_labels[s];
-        if (r.summary.unfairness.count() == 0) {
-            summary.addRow({r.policyName, "n/a", "n/a", "n/a", "n/a",
-                            std::to_string(r.failures)});
-            continue;
-        }
-        summary.addRow({r.policyName, fmt(r.summary.unfairness.value()),
-                        fmt(r.summary.weightedSpeedup.value()),
-                        fmt(r.summary.sumOfIpcs.value()),
-                        fmt(r.summary.hmeanSpeedup.value(), 3),
-                        std::to_string(r.failures)});
-    }
-    summary.print(os);
-    return results;
+    const ExperimentResult result = runExperiment(spec);
+    printExperiment(result, os, ReportStyle::Sweep);
+    return result.aggregates;
 }
 
 } // namespace stfm

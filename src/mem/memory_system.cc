@@ -91,7 +91,7 @@ MemorySystem::makeContext(ChannelId channel, Cycles cpu_now) const
     ctx.channel = channel;
     ctx.numThreads = numThreads_;
     ctx.banksPerChannel = config_.banksPerChannel;
-    ctx.cpuPerDram = config_.cpuPerDram;
+    ctx.cpuPerDram = config_.cpuPerDram();
     ctx.timing = &config_.timing;
     ctx.occupancy = &occupancy_;
     ctx.stallCycles = stallCycles_;
@@ -102,7 +102,7 @@ void
 MemorySystem::tick(Cycles cpu_now)
 {
     cpuNow_ = cpu_now;
-    if (cpu_now % config_.cpuPerDram != 0)
+    if (cpu_now % config_.cpuPerDram() != 0)
         return;
     wakeCacheValid_ = false;
     ++dramNow_;
@@ -130,7 +130,7 @@ MemorySystem::nextInterestingCpuCycle(Cycles now) const
         wake = std::min(wake, controller->nextInterestingCycle(dramNow_));
     // DRAM cycle W (> dramNow_) is reached at the (W - dramNow_)'th
     // DRAM boundary after the most recent one at or before `now`.
-    const Cycles per = config_.cpuPerDram;
+    const Cycles per = config_.cpuPerDram();
     const Cycles last_boundary = now / per * per;
     Cycles result = kNever;
     if (wake != MemoryController::kNeverDram) {

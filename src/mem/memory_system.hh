@@ -37,8 +37,22 @@ struct MemoryConfig
     bool xorBankMapping = true;
     DramTiming timing;
     ControllerParams controller;
-    /** CPU cycles per DRAM cycle (4 GHz / 400 MHz = 10). */
-    Cycles cpuPerDram = 10;
+    /** Core clock (paper: 4 GHz). The CPU-per-DRAM-cycle ratio is
+     *  derived from the two frequencies, never stored separately. */
+    unsigned coreFrequencyMHz = kBaselineCoreMHz;
+    /** DRAM command-bus clock (paper: DDR2-800 = 400 MHz). */
+    unsigned dramBusMHz = kBaselineDramMHz;
+
+    /**
+     * CPU cycles per DRAM cycle (baseline: 4000/400 = 10). The clock
+     * ratio must be a positive integer — validateConfig rejects
+     * non-integer ratios before a system is built.
+     */
+    Cycles
+    cpuPerDram() const
+    {
+        return dramBusMHz ? coreFrequencyMHz / dramBusMHz : 0;
+    }
 };
 
 class MemorySystem : public MemoryPort

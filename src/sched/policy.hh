@@ -40,8 +40,9 @@ struct SchedContext
     ChannelId channel = 0;
     unsigned numThreads = 0;
     unsigned banksPerChannel = 0;
-    /** CPU cycles per DRAM cycle (10 for 4 GHz / DDR2-800). */
-    Cycles cpuPerDram = 10;
+    /** CPU cycles per DRAM cycle, derived from the configured clock
+     *  pair (baseline 4 GHz / DDR2-800 = 10). */
+    Cycles cpuPerDram = kBaselineCoreMHz / kBaselineDramMHz;
     const DramTiming *timing = nullptr;
     const ThreadBankOccupancy *occupancy = nullptr;
     /**

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parse / validate / serialize for the simulation configuration tree.
+ *
+ * Every config struct (SimConfig, CoreParams, CacheParams,
+ * MemoryConfig, DramTiming, ControllerParams, IntegrityConfig,
+ * SchedulerConfig) gets a uniform story:
+ *
+ *  - toJson() serializes the full resolved configuration (stable key
+ *    order), so results files can echo back exactly what ran;
+ *  - applyJson() layers field-by-field overrides from a JSON object
+ *    onto an existing value: keys present replace that field, absent
+ *    fields keep their current value, and unknown keys throw SimError
+ *    naming the offending key and section — a typo in a spec file is a
+ *    diagnosable failure, not a silently ignored knob;
+ *  - validateConfig() checks cross-field consistency (clock ratios,
+ *    tFAW vs tRRD, buffer sizing, zero-thread workloads, power-of-two
+ *    geometry) and reports *all* problems, turning configurations that
+ *    would previously abort deep inside the model (STFM_ASSERT in
+ *    AddressMapping, nonsense scheduling) into structured, recoverable
+ *    SimErrors at spec-resolution time.
+ *
+ * The canonical layering is SimConfig::baseline(cores) + applyJson()
+ * of a spec's "config" object + environment overrides (EnvOverrides).
+ */
+
+#ifndef STFM_SIM_CONFIG_IO_HH
+#define STFM_SIM_CONFIG_IO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/config.hh"
+
+namespace stfm
+{
+
+// Serialization ------------------------------------------------------
+Json toJson(const DramTiming &timing);
+Json toJson(const CacheParams &cache);
+Json toJson(const CoreParams &cpu);
+Json toJson(const IntegrityConfig &integrity);
+Json toJson(const ControllerParams &controller);
+Json toJson(const MemoryConfig &memory);
+Json toJson(const SchedulerConfig &scheduler);
+Json toJson(const SimConfig &config);
+
+// Override layering --------------------------------------------------
+// @p context prefixes error messages ("config.memory.timing").
+void applyJson(const Json &overrides, DramTiming &out,
+               const std::string &context = "timing");
+void applyJson(const Json &overrides, CacheParams &out,
+               const std::string &context = "cache");
+void applyJson(const Json &overrides, CoreParams &out,
+               const std::string &context = "cpu");
+void applyJson(const Json &overrides, IntegrityConfig &out,
+               const std::string &context = "integrity");
+void applyJson(const Json &overrides, ControllerParams &out,
+               const std::string &context = "controller");
+void applyJson(const Json &overrides, MemoryConfig &out,
+               const std::string &context = "memory");
+void applyJson(const Json &overrides, SchedulerConfig &out,
+               const std::string &context = "scheduler");
+void applyJson(const Json &overrides, SimConfig &out,
+               const std::string &context = "config");
+
+/** Map a policy name ("STFM", "fr-fcfs", "frfcfs+cap", ...) to its
+ *  kind; separators and case are ignored. @throws SimError listing the
+ *  known names on an unknown policy. */
+PolicyKind policyKindFromName(const std::string &name);
+
+/**
+ * Full round trip helper: SimConfig::baseline(cores) with @p overrides
+ * layered on top. If overrides contains "cores", the baseline is built
+ * for that count (so channel scaling tracks it) before the remaining
+ * fields apply.
+ */
+SimConfig simConfigFromJson(const Json &overrides,
+                            unsigned default_cores = 4);
+
+// Validation ---------------------------------------------------------
+
+/**
+ * Cross-field consistency checks over the whole configuration tree.
+ * Returns one human-readable message per problem (empty = valid).
+ */
+std::vector<std::string> validateConfig(const SimConfig &config);
+
+/** @throws SimError joining every validateConfig() problem. */
+void validateOrThrow(const SimConfig &config);
+
+} // namespace stfm
+
+#endif // STFM_SIM_CONFIG_IO_HH

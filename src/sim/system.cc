@@ -81,7 +81,7 @@ CmpSystem::run()
     result.threads.resize(config_.cores);
 
     unsigned active = config_.cores;
-    const Cycles cpu_per_dram = config_.memory.cpuPerDram;
+    const Cycles cpu_per_dram = config_.memory.cpuPerDram();
 
     // Next DRAM-boundary cycle, tracked incrementally so the hot loop
     // carries no divisions. Re-derived after every fast-forward jump.
@@ -219,7 +219,7 @@ CmpSystem::run()
         }
         if (!memory_.idle()) {
             throw CheckFailure(
-                "drain-stall", cpuNow_ / config_.memory.cpuPerDram, 0, 0,
+                "drain-stall", cpuNow_ / config_.memory.cpuPerDram(), 0, 0,
                 CheckFailure::kNoRequest, kInvalidThread,
                 "memory system failed to drain after the run");
         }
@@ -273,7 +273,7 @@ CmpSystem::fastForward(Cycles now)
     // other policies' beginCycle is a no-op, letting the DRAM clock
     // jump wholesale).
     const Cycles skipped = wake - 1 - now;
-    const Cycles per = config_.memory.cpuPerDram;
+    const Cycles per = config_.memory.cpuPerDram();
     if (memory_.policyNeedsPerCycleAccounting()) {
         for (Cycles c = (now / per + 1) * per; c < wake; c += per) {
             for (unsigned t = 0; t < config_.cores; ++t) {

@@ -78,7 +78,8 @@ TEST(MemorySystem, StatsAggregateAcrossChannels)
 TEST(MemorySystem, DramTicksEveryCpuPerDramCycles)
 {
     MemoryConfig c = config(1);
-    c.cpuPerDram = 10;
+    c.coreFrequencyMHz = 4000;
+    c.dramBusMHz = 400; // 10 CPU cycles per DRAM cycle.
     MemorySystem mem(c, SchedulerConfig{}, 1);
     bool completed = false;
     mem.setReadCallback([&](const Request &) { completed = true; });
