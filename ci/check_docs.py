@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Docs-contract checks for CI (stdlib only).
+
+Three subcommands:
+
+  links                 every relative markdown link in the repo's .md
+                        files points at a file that exists
+  catalog CATALOG.TXT   `stfm list telemetry` output and docs/METRICS.md
+                        list exactly the same series patterns
+  artifacts DIR         telemetry/trace JSON artifacts in DIR match the
+                        schemas documented in docs/METRICS.md and
+                        docs/TRACING.md, and every emitted series name
+                        is documented
+"""
+
+import glob
+import json
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+def normalize(name):
+    """Mirror normalizeSeriesName(): digit runs -> <n>."""
+    return re.sub(r"\d+", "<n>", name)
+
+def markdown_files():
+    files = glob.glob(os.path.join(REPO, "*.md"))
+    files += glob.glob(os.path.join(REPO, "docs", "*.md"))
+    return sorted(files)
+
+def check_links():
+    link = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+    bad = []
+    for path in markdown_files():
+        text = open(path, encoding="utf-8").read()
+        # Ignore links inside fenced code blocks.
+        text = re.sub(r"```.*?```", "", text, flags=re.S)
+        for target in link.findall(text):
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            target = target.split("#")[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                bad.append(f"{os.path.relpath(path, REPO)} -> {target}")
+    if bad:
+        fail("broken markdown links:\n  " + "\n  ".join(bad))
+    print(f"links OK ({len(markdown_files())} markdown files)")
+
+def check_catalog(catalog_path):
+    catalog = set()
+    for line in open(catalog_path, encoding="utf-8"):
+        if line.strip():
+            catalog.add(line.split()[0])
+    if not catalog:
+        fail(f"no catalog entries parsed from {catalog_path}")
+
+    metrics_md = open(os.path.join(REPO, "docs", "METRICS.md"),
+                      encoding="utf-8").read()
+    # Documented series: backticked names in table rows.
+    documented = set(
+        m for m in re.findall(r"\|\s*`([a-z][\w.<>]*)`\s*\|", metrics_md))
+
+    missing = catalog - documented
+    stale = documented - catalog
+    if missing:
+        fail("series in `stfm list telemetry` but not docs/METRICS.md: "
+             + ", ".join(sorted(missing)))
+    if stale:
+        fail("series documented in docs/METRICS.md but not in the "
+             "catalog: " + ", ".join(sorted(stale)))
+    print(f"catalog OK ({len(catalog)} patterns, docs in sync)")
+
+def check_telemetry_doc(path, documented):
+    doc = json.load(open(path, encoding="utf-8"))
+    if doc.get("schema") != "stfm-telemetry-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    if not isinstance(doc.get("epochCycles"), int) or doc["epochCycles"] <= 0:
+        fail(f"{path}: bad epochCycles")
+    series = doc.get("series")
+    if not series:
+        fail(f"{path}: empty series list")
+    cycles = doc["samples"]["cycles"]
+    if cycles != sorted(set(cycles)):
+        fail(f"{path}: samples.cycles not strictly increasing")
+    values = doc["samples"]["values"]
+    for s in series:
+        name, kind = s["name"], s["kind"]
+        if kind not in ("counter", "gauge"):
+            fail(f"{path}: {name} has kind {kind!r}")
+        column = values.get(name)
+        if column is None or len(column) != len(cycles):
+            fail(f"{path}: {name} column missing or misaligned")
+        if name not in doc["final"]:
+            fail(f"{path}: {name} missing from final")
+        if normalize(name) not in documented:
+            fail(f"{path}: series {name} ({normalize(name)}) is not "
+                 "documented in docs/METRICS.md")
+    for h in doc.get("histograms", []):
+        if normalize(h["name"]) not in documented:
+            fail(f"{path}: histogram {h['name']} is not documented")
+    return len(series), len(cycles)
+
+def check_trace_doc(path):
+    doc = json.load(open(path, encoding="utf-8"))
+    if doc.get("otherData", {}).get("schema") != "stfm-trace-v1":
+        fail(f"{path}: otherData.schema missing or wrong")
+    events = doc.get("traceEvents")
+    if not events:
+        fail(f"{path}: no traceEvents")
+    last_ts = {}
+    open_spans = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        lane = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if lane in last_ts and ts < last_ts[lane]:
+            fail(f"{path}: ts regressed on lane {lane}")
+        last_ts[lane] = ts
+        if ph == "B":
+            open_spans[lane] = open_spans.get(lane, 0) + 1
+        elif ph == "E":
+            open_spans[lane] = open_spans.get(lane, 0) - 1
+            if open_spans[lane] < 0:
+                fail(f"{path}: E without B on lane {lane}")
+        elif ph == "X":
+            if "dur" not in ev:
+                fail(f"{path}: X event without dur")
+        elif ph != "i":
+            fail(f"{path}: unexpected phase {ph!r}")
+    unbalanced = {k: v for k, v in open_spans.items() if v}
+    if unbalanced:
+        fail(f"{path}: unclosed spans {unbalanced}")
+    return len(events)
+
+def check_artifacts(directory):
+    metrics_md = open(os.path.join(REPO, "docs", "METRICS.md"),
+                      encoding="utf-8").read()
+    documented = set(
+        re.findall(r"\|\s*`([a-z][\w.<>]*)`\s*\|", metrics_md))
+
+    telemetry = sorted(glob.glob(os.path.join(directory,
+                                              "*_telemetry*.json")))
+    traces = sorted(glob.glob(os.path.join(directory, "*.trace.*.json")))
+    traces += sorted(p for p in
+                     glob.glob(os.path.join(directory, "*.trace.json"))
+                     if p not in traces)
+    if not telemetry:
+        fail(f"no telemetry artifacts found in {directory}")
+    if not traces:
+        fail(f"no trace artifacts found in {directory}")
+    for path in telemetry:
+        nseries, nsamples = check_telemetry_doc(path, documented)
+        print(f"telemetry OK: {os.path.basename(path)} "
+              f"({nseries} series, {nsamples} samples)")
+    for path in traces:
+        nevents = check_trace_doc(path)
+        print(f"trace OK: {os.path.basename(path)} ({nevents} events)")
+
+def main():
+    if len(sys.argv) < 2:
+        fail(f"usage: {sys.argv[0]} links|catalog FILE|artifacts DIR")
+    cmd = sys.argv[1]
+    if cmd == "links":
+        check_links()
+    elif cmd == "catalog" and len(sys.argv) == 3:
+        check_catalog(sys.argv[2])
+    elif cmd == "artifacts" and len(sys.argv) == 3:
+        check_artifacts(sys.argv[2])
+    else:
+        fail(f"unknown command {cmd!r}")
+
+if __name__ == "__main__":
+    main()

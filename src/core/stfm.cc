@@ -1,5 +1,7 @@
 #include "core/stfm.hh"
 
+#include "common/logging.hh"
+#include "obs/telemetry.hh"
 #include "sched/fr_fcfs.hh"
 
 namespace stfm
@@ -133,15 +135,26 @@ StfmPolicy::beginCycle(const SchedContext &ctx)
     }
 
     if (hot == kInvalidThread || s_min <= 0.0) {
-        fairnessMode_ = false;
-        hotThread_ = kInvalidThread;
         unfairness_ = 1.0;
+        setFairnessMode(false, kInvalidThread, ctx.dramNow);
         return;
     }
     unfairness_ = s_max / s_min;
-    fairnessMode_ = unfairness_ > params_.alpha;
-    hotThread_ = fairnessMode_ ? hot : kInvalidThread;
+    setFairnessMode(unfairness_ > params_.alpha, hot, ctx.dramNow);
+}
 
+void
+StfmPolicy::setFairnessMode(bool active, ThreadId hot, DramCycles now)
+{
+    hotThread_ = active ? hot : kInvalidThread;
+    if (active == fairnessMode_)
+        return;
+    fairnessMode_ = active;
+    if (active)
+        ++fairnessModeToggles_;
+    if (fairnessTap_)
+        fairnessTap_->onFairnessMode(active, hotThread_, unfairness_,
+                                     now);
 }
 
 bool
@@ -163,6 +176,8 @@ StfmPolicy::onColumnCommand(const ColumnIssueEvent &ev,
                             const SchedContext &ctx)
 {
     const ThreadId owner = ev.req->thread;
+    if (fairnessMode_ && owner == hotThread_)
+        ++hotGrants_;
     const unsigned bank = ctx.globalBank(ev.req->coords.bank);
     busOwner_[ctx.channel] = owner;
     busUntil_[ctx.channel] = ev.busBusyUntil;
@@ -232,6 +247,28 @@ StfmPolicy::onColumnCommand(const ColumnIssueEvent &ev,
         tracker_.noteOwnService(owner, bank, ev.req->coords.row,
                                 ev.serviceState, bap, *ctx.timing,
                                 ctx.cpuPerDram);
+    }
+}
+
+void
+StfmPolicy::registerTelemetry(TelemetryRegistry &registry)
+{
+    registry.gauge("sched.stfm.unfairness", "ratio", "sched",
+                   [this] { return unfairness_; });
+    registry.gauge("sched.stfm.fairnessMode", "bool", "sched",
+                   [this] { return fairnessMode_ ? 1.0 : 0.0; });
+    registry.counter("sched.stfm.fairnessModeToggles", "transitions",
+                     "sched", [this] {
+                         return static_cast<double>(fairnessModeToggles_);
+                     });
+    registry.counter("sched.stfm.hotGrants", "commands", "sched",
+                     [this] {
+                         return static_cast<double>(hotGrants_);
+                     });
+    for (unsigned t = 0; t < tracker_.numThreads(); ++t) {
+        registry.gauge(
+            formatMessage("sched.stfm.slowdown.t%u", t), "ratio",
+            "sched", [this, t] { return tracker_.slowdown(t); });
     }
 }
 

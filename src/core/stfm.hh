@@ -87,15 +87,31 @@ class StfmPolicy : public SchedulingPolicy
     /** Unfairness (Smax/Smin) computed at the last beginCycle. */
     double unfairness() const { return unfairness_; }
 
+    /** Times the scheduler entered fairness mode. */
+    std::uint64_t fairnessModeToggles() const
+    {
+        return fairnessModeToggles_;
+    }
+    /** Column commands granted to the hot thread in fairness mode. */
+    std::uint64_t hotGrants() const { return hotGrants_; }
+
+    void registerTelemetry(TelemetryRegistry &registry) override;
+
     const SlowdownTracker &tracker() const { return tracker_; }
 
   private:
+    /** Commit a fairness-mode decision, counting entries and firing
+     *  the trace tap on transitions. */
+    void setFairnessMode(bool active, ThreadId hot, DramCycles now);
+
     StfmParams params_;
     SlowdownTracker tracker_;
 
     bool fairnessMode_ = false;
     ThreadId hotThread_ = kInvalidThread;
     double unfairness_ = 1.0;
+    std::uint64_t fairnessModeToggles_ = 0;
+    std::uint64_t hotGrants_ = 0;
 
     /** Row-command (precharge/activate) occupancy per global bank, so
      *  the prep phase of a foreign access counts as interference too. */

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 
 namespace stfm
 {
@@ -19,6 +20,29 @@ Core::Core(ThreadId id, const CoreParams &params, TraceSource &trace,
     // lookup is a mask; at most windowSize entries are live at once,
     // so every live position still maps to a distinct slot.
     windowMask_ = window_.size() - 1;
+}
+
+void
+Core::registerTelemetry(TelemetryRegistry &registry)
+{
+    registry.gauge(formatMessage("core.t%u.mshrOccupancy", id_),
+                   "entries", "core",
+                   [this] { return static_cast<double>(mshrInUse()); });
+    registry.counter(formatMessage("core.t%u.stallCycles", id_),
+                     "cpu-cycles", "core", [this] {
+                         return static_cast<double>(memStallCycles());
+                     });
+    registry.counter(
+        formatMessage("core.t%u.instructions", id_), "instructions",
+        "core", [this] {
+            return static_cast<double>(instructionsCommitted());
+        });
+    // "llc", not "l2": digits in series names are reserved for
+    // instance indices (normalizeSeriesName folds them to <n>).
+    registry.counter(formatMessage("core.t%u.llcMisses", id_),
+                     "requests", "core", [this] {
+                         return static_cast<double>(l2Misses());
+                     });
 }
 
 void

@@ -31,6 +31,8 @@
 namespace stfm
 {
 
+class TelemetryRegistry;
+
 /** Core tunables; defaults are the paper's Table 2 values. */
 struct CoreParams
 {
@@ -128,6 +130,12 @@ class Core
     std::uint64_t l2Misses() const { return mshr_.allocations(); }
     std::uint64_t l1Hits() const { return l1_.hits(); }
     std::uint64_t l2Hits() const { return l2_.hits(); }
+    /** MSHR entries currently allocated (misses in flight). */
+    unsigned mshrInUse() const { return mshr_.inUse(); }
+
+    /** Register this core's gauges/counters (core.t<id>.*) into the
+     *  telemetry registry. */
+    void registerTelemetry(TelemetryRegistry &registry);
 
   private:
     struct WindowEntry

@@ -37,8 +37,8 @@ DramChannel::refreshAll(DramCycles now)
     STFM_ASSERT(allBanksClosed(),
                 "refresh requires precharged banks (cycle %llu)",
                 static_cast<unsigned long long>(now));
-    if (observer_)
-        observer_->onRefresh(now);
+    for (unsigned i = 0; i < numObservers_; ++i)
+        observers_[i]->onRefresh(now);
     const DramCycles done = now + timing_.tRFC;
     for (Bank &bank : banks_)
         bank.blockUntil(done);
@@ -118,8 +118,20 @@ DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
                 "%llu",
                 toString(cmd), b, row,
                 static_cast<unsigned long long>(now));
-    if (observer_)
-        observer_->onCommand(cmd, b, row, now);
+    for (unsigned i = 0; i < numObservers_; ++i)
+        observers_[i]->onCommand(cmd, b, row, now);
+
+    // tFAW accounting: the activate counts as FAW-limited when the
+    // four-activate window was its binding constraint, i.e. the window
+    // bound exceeds every other lower bound on its issue time. Read
+    // before the bank issue below advances the bank's own bounds.
+    if (cmd == DramCommand::Activate && actCount_ >= actWindow_.size()) {
+        const DramCycles faw_bound =
+            actWindow_[actWindowIdx_] + timing_.tFAW;
+        if (faw_bound > std::max(banks_[b].actAllowedAt(), actAllowedAt_))
+            ++stats_.fawLimitedActs;
+    }
+
     banks_[b].issue(cmd, row, now, timing_);
 
     switch (cmd) {

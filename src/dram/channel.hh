@@ -53,6 +53,8 @@ struct ChannelStats
     std::uint64_t precharges = 0;
     std::uint64_t refreshes = 0;
     std::uint64_t dataBusBusyCycles = 0;
+    /** Activates whose issue time was bound by the tFAW window. */
+    std::uint64_t fawLimitedActs = 0;
 };
 
 /** A single-rank DRAM channel with @p num_banks banks. */
@@ -113,10 +115,28 @@ class DramChannel
     const DramTiming &timing() const { return timing_; }
     const ChannelStats &stats() const { return stats_; }
 
-    /** Attach an observer of the issued command stream (may be null). */
+    /**
+     * Attach the sole observer of the issued command stream (may be
+     * null), replacing any previously attached set. The historical
+     * single-slot entry point; the protocol checker uses it.
+     */
     void setObserver(DramCommandObserver *observer)
     {
-        observer_ = observer;
+        numObservers_ = 0;
+        if (observer)
+            observers_[numObservers_++] = observer;
+    }
+
+    /**
+     * Attach an additional observer alongside any existing ones, so
+     * the trace exporter composes with the protocol checker. At most
+     * kMaxObservers observers; extras beyond that are ignored (there
+     * are exactly two producers today).
+     */
+    void addObserver(DramCommandObserver *observer)
+    {
+        if (observer && numObservers_ < observers_.size())
+            observers_[numObservers_++] = observer;
     }
 
   private:
@@ -133,7 +153,9 @@ class DramChannel
     unsigned actWindowIdx_ = 0;
     std::uint64_t actCount_ = 0;
 
-    DramCommandObserver *observer_ = nullptr;
+    static constexpr unsigned kMaxObservers = 2;
+    std::array<DramCommandObserver *, kMaxObservers> observers_{};
+    unsigned numObservers_ = 0;
 
     ChannelStats stats_;
 };

@@ -12,6 +12,7 @@
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "harness/spec.hh"
+#include "obs/telemetry.hh"
 #include "sim/config_io.hh"
 
 namespace stfm
@@ -31,6 +32,7 @@ printUsage(std::ostream &os)
           "  list schedulers           scheduling policies and knobs\n"
           "  list workloads            the named workload catalog\n"
           "  list figures              registered paper figures\n"
+          "  list telemetry            the telemetry series catalog\n"
           "  <figure> [flags]          run a figure (fig09, table5, ...)\n"
           "  help                      this message\n"
           "\n"
@@ -40,6 +42,8 @@ printUsage(std::ostream &os)
           "  --reference       pin the cycle-by-cycle reference path\n"
           "  --jobs N          worker-pool width\n"
           "  --instructions N  per-thread instruction-budget override\n"
+          "  --telemetry       sample epoch telemetry (docs/METRICS.md)\n"
+          "  --trace PATH      export a Chrome trace (docs/TRACING.md)\n"
           "  --full            full-size sweep (sampled figures)\n";
 }
 
@@ -77,6 +81,10 @@ parseRunFlags(const char *command, int argc, char **argv, int first)
             setenv("STFM_JOBS", argv[++i], 1);
         } else if (arg == "--instructions" && i + 1 < argc) {
             setenv("STFM_INSTRUCTIONS", argv[++i], 1);
+        } else if (arg == "--telemetry") {
+            setenv("STFM_TELEMETRY", "1", 1);
+        } else if (arg == "--trace" && i + 1 < argc) {
+            setenv("STFM_TRACE", argv[++i], 1);
         } else if (!arg.empty() && arg[0] == '-') {
             throw SimError(std::string("unknown flag '") + arg +
                            "' for stfm " + command);
@@ -104,6 +112,8 @@ commandRun(int argc, char **argv)
         writeResultsJson(result, flags.jsonPath);
         std::cout << "\nresults written to " << flags.jsonPath << "\n";
     }
+    for (const std::string &path : writeObsArtifacts(result))
+        std::cout << "observability artifact written to " << path << "\n";
     return 0;
 }
 
@@ -128,6 +138,21 @@ commandValidate(int argc, char **argv)
               << "  cores:      " << base.cores << "\n"
               << "  budget:     " << base.instructionBudget
               << " instructions/thread\n";
+    const TelemetryConfig &telemetry = base.telemetry;
+    if (!telemetry.collecting()) {
+        std::cout << "  telemetry:  off\n";
+    } else {
+        if (telemetry.enabled) {
+            std::cout << "  telemetry:  every " << telemetry.epochCycles
+                      << " DRAM cycles -> "
+                      << (telemetry.output.empty()
+                              ? spec.name + "_telemetry.json"
+                              : telemetry.output)
+                      << "\n";
+        }
+        if (telemetry.tracing())
+            std::cout << "  trace:      " << telemetry.trace << "\n";
+    }
     return 0;
 }
 
@@ -169,7 +194,18 @@ commandList(int argc, char **argv)
         }
         return 0;
     }
-    std::cerr << "usage: stfm list {schedulers|workloads|figures}\n";
+    if (what == "telemetry") {
+        // The machine-checkable metrics contract: every registered
+        // series matches one of these patterns (docs/METRICS.md).
+        for (const TelemetryCatalogEntry &entry : telemetryCatalog()) {
+            std::printf("%-32s %-9s %-12s %-6s %s\n", entry.pattern,
+                        entry.kind, entry.unit, entry.subsystem,
+                        entry.description);
+        }
+        return 0;
+    }
+    std::cerr
+        << "usage: stfm list {schedulers|workloads|figures|telemetry}\n";
     return 1;
 }
 

@@ -40,6 +40,16 @@ EnvOverrides::capture()
     env.check = flagSet("STFM_CHECK");
     if (const auto v = positiveValue("STFM_JOBS"))
         env.jobs = static_cast<unsigned>(*v);
+    env.telemetry = flagSet("STFM_TELEMETRY");
+    if (env.telemetry) {
+        const char *value = std::getenv("STFM_TELEMETRY");
+        if (value && !(value[0] == '1' && value[1] == '\0'))
+            env.telemetryOutput = value;
+    }
+    if (const char *trace = std::getenv("STFM_TRACE")) {
+        if (trace[0] != '\0')
+            env.tracePath = trace;
+    }
     return env;
 }
 
@@ -54,6 +64,13 @@ EnvOverrides::apply(SimConfig &config) const
         config.memory.controller.integrity.protocolCheck = true;
         config.memory.controller.integrity.watchdog = true;
     }
+    if (telemetry) {
+        config.telemetry.enabled = true;
+        if (!telemetryOutput.empty())
+            config.telemetry.output = telemetryOutput;
+    }
+    if (!tracePath.empty())
+        config.telemetry.trace = tracePath;
 }
 
 Json
@@ -68,6 +85,13 @@ EnvOverrides::toJson() const
         out.set("STFM_CHECK", true);
     if (jobs)
         out.set("STFM_JOBS", *jobs);
+    if (telemetry) {
+        out.set("STFM_TELEMETRY",
+                telemetryOutput.empty() ? std::string("1")
+                                        : telemetryOutput);
+    }
+    if (!tracePath.empty())
+        out.set("STFM_TRACE", tracePath);
     return out;
 }
 

@@ -11,7 +11,11 @@
  *                            comparisons;
  *   - STFM_CHECK=1           enable the full integrity layer (shadow
  *                            protocol checker + watchdogs);
- *   - STFM_JOBS=<n>          worker-pool width for runMany().
+ *   - STFM_JOBS=<n>          worker-pool width for runMany();
+ *   - STFM_TELEMETRY=1|path  enable epoch telemetry sampling ("1" uses
+ *                            the default output path; any other value
+ *                            is the output path itself);
+ *   - STFM_TRACE=<path>      export a Chrome trace_event file.
  *
  * EnvOverrides::capture() snapshots them once, apply() layers them onto
  * a resolved SimConfig at spec-resolution time, and toJson() records
@@ -43,6 +47,13 @@ struct EnvOverrides
     bool check = false;
     /** STFM_JOBS, when set to a positive integer. */
     std::optional<unsigned> jobs;
+    /** STFM_TELEMETRY set (non-"0"): enable telemetry sampling. */
+    bool telemetry = false;
+    /** STFM_TELEMETRY's value when it names an output path (any value
+     *  other than "1"). Empty means "use the configured default". */
+    std::string telemetryOutput;
+    /** STFM_TRACE: Chrome trace output path (empty = tracing off). */
+    std::string tracePath;
 
     /** Snapshot the process environment. */
     static EnvOverrides capture();
@@ -51,7 +62,7 @@ struct EnvOverrides
     bool any() const
     {
         return instructionBudget.has_value() || reference || check ||
-               jobs.has_value();
+               jobs.has_value() || telemetry || !tracePath.empty();
     }
 
     /** Layer the active overrides onto @p config. */

@@ -186,6 +186,10 @@ resolveConfig(const ExperimentSpec &spec, const EnvOverrides &env)
         spec.config, static_cast<unsigned>(workloads.front().size()));
     if (spec.budget)
         base.instructionBudget = spec.budget;
+    // Spec-level telemetry block wins over "config.telemetry"; the
+    // environment (STFM_TELEMETRY / STFM_TRACE) wins over both.
+    if (!spec.telemetry.asObject("telemetry").empty())
+        applyJson(spec.telemetry, base.telemetry, "telemetry");
     env.apply(base);
     validateOrThrow(base);
     return base;
@@ -351,6 +355,90 @@ void
 writeResultsJson(const ExperimentResult &result, const std::string &path)
 {
     writeJsonFile(resultsJson(result), path);
+}
+
+namespace
+{
+
+/** File-name-safe form of a workload/scheduler label. */
+std::string
+sanitizeTag(const std::string &label)
+{
+    std::string out;
+    for (const char c : label) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_';
+        out += ok ? c : '-';
+    }
+    return out;
+}
+
+/** Insert ".<tag>" before @p path's extension ("a.json" -> "a.t.json"). */
+std::string
+taggedPath(const std::string &path, const std::string &tag)
+{
+    if (tag.empty())
+        return path;
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.find_last_of("/\\");
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + tag;
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+std::string
+runTag(const ExperimentResult &result, std::size_t row, std::size_t s)
+{
+    std::string tag = sanitizeTag(workloadLabel(result.rowWorkload(row)));
+    if (result.spec.repeat > 1)
+        tag += formatMessage("-r%u", result.rowRepetition(row) + 1);
+    tag += "." + sanitizeTag(result.schedulers[s].label);
+    return tag;
+}
+
+} // namespace
+
+std::vector<std::string>
+writeObsArtifacts(const ExperimentResult &result)
+{
+    std::vector<std::string> written;
+    const TelemetryConfig &telemetry = result.base.telemetry;
+    if (!telemetry.collecting())
+        return written;
+
+    std::string telemetry_path = telemetry.output;
+    if (telemetry.enabled && telemetry_path.empty())
+        telemetry_path = result.spec.name + "_telemetry.json";
+
+    // With a single document-bearing run the configured paths are used
+    // as-is; a grid of runs tags each artifact with its workload and
+    // scheduler so the documents don't overwrite each other.
+    std::size_t docs = 0;
+    for (const RunOutcome &o : result.outcomes) {
+        if (o.hasTelemetry() || o.hasTrace())
+            ++docs;
+    }
+
+    for (std::size_t r = 0; r < result.rows(); ++r) {
+        for (std::size_t s = 0; s < result.schedulers.size(); ++s) {
+            const RunOutcome &o = result.outcome(r, s);
+            const std::string tag = docs > 1 ? runTag(result, r, s) : "";
+            if (o.hasTelemetry() && !telemetry_path.empty()) {
+                const std::string path = taggedPath(telemetry_path, tag);
+                writeJsonFile(o.telemetry, path);
+                written.push_back(path);
+            }
+            if (o.hasTrace() && !telemetry.trace.empty()) {
+                const std::string path =
+                    taggedPath(telemetry.trace, tag);
+                writeJsonFile(o.trace, path);
+                written.push_back(path);
+            }
+        }
+    }
+    return written;
 }
 
 } // namespace stfm

@@ -123,6 +123,16 @@ Json resultsJson(const ExperimentResult &result);
 void writeResultsJson(const ExperimentResult &result,
                       const std::string &path);
 
+/**
+ * Write every run's observability artifacts (telemetry documents,
+ * Chrome traces) to the paths the resolved configuration names,
+ * defaulting the telemetry path to "<name>_telemetry.json". Multi-run
+ * experiments tag each path with workload + scheduler. Returns the
+ * paths written (empty when observability was off). @throws SimError
+ * on I/O failure.
+ */
+std::vector<std::string> writeObsArtifacts(const ExperimentResult &result);
+
 } // namespace stfm
 
 #endif // STFM_HARNESS_EXPERIMENT_HH

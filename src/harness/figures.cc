@@ -189,6 +189,10 @@ runFigure(const std::string &name, int argc, char **argv)
             setenv("STFM_FULL_SWEEP", "1", 1);
         } else if (arg == "--json" && i + 1 < argc) {
             flags.jsonPath = argv[++i];
+        } else if (arg == "--telemetry") {
+            setenv("STFM_TELEMETRY", "1", 1);
+        } else if (arg == "--trace" && i + 1 < argc) {
+            setenv("STFM_TRACE", argv[++i], 1);
         }
         // Unknown arguments are ignored, as the legacy benches did.
     }
@@ -200,6 +204,9 @@ runFigure(const std::string &name, int argc, char **argv)
             printExperiment(result);
             if (!flags.jsonPath.empty())
                 writeResultsJson(result, flags.jsonPath);
+            for (const std::string &path : writeObsArtifacts(result))
+                std::printf("observability artifact written to %s\n",
+                            path.c_str());
             return 0;
         }
         return figure->custom(flags);

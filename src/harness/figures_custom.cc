@@ -204,6 +204,46 @@ idleness(const FigureFlags &)
 // --------------------------------------------------------------------
 // Figure 5 — 2-core: mcf runs against every other SPEC benchmark.
 
+namespace
+{
+
+/**
+ * Per-run observability artifacts for a custom (non-spec-driven)
+ * figure: the configured paths get a "<figure>.<tag>" suffix before
+ * the extension because the pairing sweep produces one document per
+ * (workload, scheduler) run.
+ */
+void
+writeOutcomeArtifacts(const TelemetryConfig &telemetry,
+                      const std::string &figure, const RunOutcome &o,
+                      const std::string &tag)
+{
+    const auto tagged = [&](const std::string &path) {
+        const std::size_t dot = path.rfind('.');
+        const std::string suffix = "." + tag;
+        if (dot == std::string::npos)
+            return path + suffix;
+        return path.substr(0, dot) + suffix + path.substr(dot);
+    };
+    if (o.hasTelemetry()) {
+        const std::string base_path = telemetry.output.empty()
+                                          ? figure + "_telemetry.json"
+                                          : telemetry.output;
+        const std::string path = tagged(base_path);
+        writeJsonFile(o.telemetry, path);
+        std::cout << "observability artifact written to " << path
+                  << "\n";
+    }
+    if (o.hasTrace() && !telemetry.trace.empty()) {
+        const std::string path = tagged(telemetry.trace);
+        writeJsonFile(o.trace, path);
+        std::cout << "observability artifact written to " << path
+                  << "\n";
+    }
+}
+
+} // namespace
+
 int
 twoCore(const FigureFlags &)
 {
@@ -231,6 +271,13 @@ twoCore(const FigureFlags &)
         const Workload workload = {"mcf", profile.name};
         const RunOutcome fr = runner.run(workload, fr_fcfs);
         const RunOutcome st = runner.run(workload, stfm_cfg);
+        const TelemetryConfig &telemetry = runner.base().telemetry;
+        if (telemetry.collecting()) {
+            writeOutcomeArtifacts(telemetry, "fig05", fr,
+                                  "mcf-" + profile.name + ".FR-FCFS");
+            writeOutcomeArtifacts(telemetry, "fig05", st,
+                                  "mcf-" + profile.name + ".STFM");
+        }
         table.addRow({profile.name, fmt(fr.metrics.slowdowns[0]),
                       fmt(fr.metrics.slowdowns[1]),
                       fmt(fr.metrics.unfairness),

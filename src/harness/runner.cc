@@ -30,6 +30,10 @@ ExperimentRunner::applyBenchFlags(int argc, char **argv)
             setenv("STFM_CHECK", "1", 1);
         if (std::string(argv[i]) == "--reference")
             setenv("STFM_REFERENCE", "1", 1);
+        if (std::string(argv[i]) == "--telemetry")
+            setenv("STFM_TELEMETRY", "1", 1);
+        if (std::string(argv[i]) == "--trace" && i + 1 < argc)
+            setenv("STFM_TRACE", argv[++i], 1);
     }
 }
 
@@ -85,10 +89,13 @@ ExperimentRunner::aloneResult(const std::string &benchmark)
         return it->second;
 
     // Alone baseline: the benchmark runs by itself on the same memory
-    // system with FR-FCFS (Section 6.2).
+    // system with FR-FCFS (Section 6.2). Observability stays off for
+    // baselines — their documents would shadow the shared run's, and
+    // the baseline is memoized across runs with different settings.
     SimConfig config = base_;
     config.cores = 1;
     config.scheduler = SchedulerConfig{}; // FR-FCFS, no knobs.
+    config.telemetry = TelemetryConfig{};
 
     const BenchmarkProfile &profile = profileFor(benchmark);
     AddressMapping mapping(config.memory.channels,
@@ -132,6 +139,12 @@ ExperimentRunner::attemptRun(const Workload &workload,
     RunOutcome outcome;
     outcome.policyName = system.memory().policy().name();
     outcome.shared = system.run();
+    if (const ObsSession *obs = system.obs()) {
+        if (obs->hasTelemetryDoc())
+            outcome.telemetry = obs->telemetryJson();
+        if (obs->hasTraceDoc())
+            outcome.trace = obs->traceJson();
+    }
 
     std::vector<ThreadResult> alone;
     alone.reserve(workload.size());

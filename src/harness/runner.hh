@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "harness/workloads.hh"
 #include "sim/config.hh"
 #include "sim/results.hh"
@@ -54,6 +55,14 @@ struct RunOutcome
     std::string error;
     /** Attempts consumed (1 = first try succeeded / no retry). */
     unsigned attempts = 1;
+    /** The run's stfm-telemetry-v1 document (Null unless telemetry
+     *  sampling was enabled for the run). */
+    Json telemetry;
+    /** The run's Chrome trace document (Null unless tracing). */
+    Json trace;
+
+    bool hasTelemetry() const { return telemetry.type() != Json::Type::Null; }
+    bool hasTrace() const { return trace.type() != Json::Type::Null; }
 };
 
 class ExperimentRunner

@@ -162,9 +162,9 @@ specFromJson(const Json &json)
 {
     rejectUnknownKeys(json, "spec",
                       {"name", "title", "workloads", "sample",
-                       "schedulers", "config", "budget", "labelRows",
-                       "repeat", "seed", "jobs", "attempts",
-                       "benchmarks"});
+                       "schedulers", "config", "telemetry", "budget",
+                       "labelRows", "repeat", "seed", "jobs",
+                       "attempts", "benchmarks"});
 
     ExperimentSpec spec;
     spec.name = json.at("name", "spec").asString("spec.name");
@@ -222,6 +222,14 @@ specFromJson(const Json &json)
 
     if (const Json *v = json.find("config"))
         spec.config = *v;
+
+    if (const Json *v = json.find("telemetry")) {
+        // Validate eagerly so `stfm validate` reports telemetry.* key
+        // errors without having to resolve the whole experiment.
+        TelemetryConfig probe;
+        applyJson(*v, probe, "telemetry");
+        spec.telemetry = *v;
+    }
 
     if (const Json *v = json.find("budget"))
         spec.budget = v->asUint("spec.budget");
@@ -322,6 +330,8 @@ toJson(const ExperimentSpec &spec)
 
     if (!spec.config.asObject("config").empty())
         out.set("config", spec.config);
+    if (!spec.telemetry.asObject("telemetry").empty())
+        out.set("telemetry", spec.telemetry);
     if (spec.budget)
         out.set("budget", spec.budget);
     if (spec.labelRows != static_cast<std::size_t>(-1))

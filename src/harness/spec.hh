@@ -27,6 +27,10 @@
  *                    "policy": "STFM", "alpha": 2.0} ],
  *     "config":    { ... },                 // SimConfig overrides layered
  *                                           // onto baseline(cores)
+ *     "telemetry": {"enabled": true,        // observability block
+ *                   "epochCycles": 10000,   // (docs/METRICS.md):
+ *                   "output": "t.json",     // sampled telemetry doc
+ *                   "trace": "t.trace.json"},  // Chrome trace export
  *     "budget":    50000,                   // per-thread instructions
  *     "labelRows": 10,                      // per-workload report rows
  *     "repeat":    1,                       // trace-reseeded repetitions
@@ -90,6 +94,13 @@ struct ExperimentSpec
 
     /** SimConfig overrides (JSON object), layered onto baseline(cores). */
     Json config = Json::object();
+
+    /**
+     * Telemetry overrides (JSON object, TelemetryConfig fields).
+     * Layered after "config" so a spec-level telemetry block wins over
+     * "config.telemetry"; environment overrides win over both.
+     */
+    Json telemetry = Json::object();
 
     /** Per-thread instruction budget; 0 keeps the config's value. */
     std::uint64_t budget = 0;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 
 namespace stfm
 {
@@ -36,6 +37,86 @@ MemoryController::MemoryController(ChannelId channel_id, unsigned num_banks,
         auditor_ = std::make_unique<RequestAuditor>(
             channel_id, integrity.starvationBound,
             integrity.throwOnViolation);
+    }
+}
+
+void
+MemoryController::registerTelemetry(TelemetryRegistry &registry,
+                                    const DramCycles *dram_now)
+{
+    const unsigned c = channelId_;
+    const ChannelStats *cs = &channel_.stats();
+
+    // DRAM device model (dram.ch<c>.*).
+    registry.counter(formatMessage("dram.ch%u.reads", c), "commands",
+                     "dram",
+                     [cs] { return static_cast<double>(cs->reads); });
+    registry.counter(formatMessage("dram.ch%u.writes", c), "commands",
+                     "dram",
+                     [cs] { return static_cast<double>(cs->writes); });
+    registry.counter(
+        formatMessage("dram.ch%u.activates", c), "commands", "dram",
+        [cs] { return static_cast<double>(cs->activates); });
+    registry.counter(
+        formatMessage("dram.ch%u.precharges", c), "commands", "dram",
+        [cs] { return static_cast<double>(cs->precharges); });
+    registry.counter(
+        formatMessage("dram.ch%u.refreshes", c), "commands", "dram",
+        [cs] { return static_cast<double>(cs->refreshes); });
+    registry.counter(
+        formatMessage("dram.ch%u.fawLimitedActs", c), "commands",
+        "dram",
+        [cs] { return static_cast<double>(cs->fawLimitedActs); });
+    registry.gauge(formatMessage("dram.ch%u.busUtilization", c),
+                   "fraction", "dram", [cs, dram_now] {
+                       const double elapsed = static_cast<double>(
+                           *dram_now ? *dram_now : 1);
+                       return static_cast<double>(cs->dataBusBusyCycles) /
+                              elapsed;
+                   });
+
+    // Controller (mem.ch<c>.*).
+    const auto sum_stat =
+        [this](std::uint64_t ControllerThreadStats::*member) {
+            std::uint64_t total = 0;
+            for (const ControllerThreadStats &s : threadStats_)
+                total += s.*member;
+            return static_cast<double>(total);
+        };
+    registry.counter(formatMessage("mem.ch%u.rowHits", c), "requests",
+                     "mem", [sum_stat] {
+                         return sum_stat(&ControllerThreadStats::rowHits);
+                     });
+    registry.counter(
+        formatMessage("mem.ch%u.rowClosed", c), "requests", "mem",
+        [sum_stat] { return sum_stat(&ControllerThreadStats::rowClosed); });
+    registry.counter(formatMessage("mem.ch%u.rowConflicts", c),
+                     "requests", "mem", [sum_stat] {
+                         return sum_stat(
+                             &ControllerThreadStats::rowConflicts);
+                     });
+    registry.gauge(formatMessage("mem.ch%u.readQueueOccupancy", c),
+                   "requests", "mem", [this] {
+                       return static_cast<double>(buffer_.readCount());
+                   });
+    registry.gauge(formatMessage("mem.ch%u.writeQueueOccupancy", c),
+                   "requests", "mem", [this] {
+                       return static_cast<double>(buffer_.writeCount());
+                   });
+    registry.counter(formatMessage("mem.ch%u.drainEpisodes", c),
+                     "episodes", "mem", [this] {
+                         return static_cast<double>(
+                             drain_.drainEpisodes());
+                     });
+    registry.counter(formatMessage("mem.ch%u.emergencyDrains", c),
+                     "episodes", "mem", [this] {
+                         return static_cast<double>(
+                             drain_.emergencyEntries());
+                     });
+    for (ThreadId t = 0; t < readLatency_.size(); ++t) {
+        registry.histogram(
+            formatMessage("mem.ch%u.readLatency.t%u", c, t),
+            "dram-cycles", "mem", &readLatency_[t]);
     }
 }
 
@@ -517,7 +598,21 @@ MemoryController::tick(const SchedContext &ctx)
     // schedulable during a drain episode (see WriteDrainControl), which
     // also starts early when the read queues are empty. All write
     // service is bank-batched so row disturbance stays contained.
-    drain_.update(buffer_);
+    if (drainTap_) {
+        const bool was_draining = drain_.draining();
+        const bool was_emergency = drain_.emergency();
+        const BankId was_bank = drain_.drainBank();
+        drain_.update(buffer_);
+        if (drain_.draining() != was_draining ||
+            drain_.emergency() != was_emergency ||
+            (drain_.draining() && drain_.drainBank() != was_bank)) {
+            drainTap_->onDrainState(drain_.draining(),
+                                    drain_.emergency(),
+                                    drain_.drainBank(), ctx.dramNow);
+        }
+    } else {
+        drain_.update(buffer_);
+    }
 
     Candidate best;
     std::uint64_t best_oldest_row_seq = 0;

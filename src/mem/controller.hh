@@ -181,6 +181,26 @@ class MemoryController
      */
     void auditDrained(DramCycles now);
 
+    /**
+     * Attach an additional DRAM-command observer (the trace exporter)
+     * alongside any already installed (the protocol checker).
+     */
+    void addChannelObserver(DramCommandObserver *observer)
+    {
+        channel_.addObserver(observer);
+    }
+
+    /** Attach the write-drain span tap (null = disabled, default). */
+    void setDrainTap(DrainTap *tap) { drainTap_ = tap; }
+
+    /**
+     * Register this channel's telemetry series (dram.ch<c>.* and
+     * mem.ch<c>.*). @p dram_now must point at the memory system's DRAM
+     * cycle counter (gauges derive utilization from elapsed time).
+     */
+    void registerTelemetry(TelemetryRegistry &registry,
+                           const DramCycles *dram_now);
+
   private:
     /**
      * Earliest cycle any request queued for @p bank could have its next
@@ -278,6 +298,9 @@ class MemoryController
     /** Integrity layer (null when the corresponding toggle is off). */
     std::unique_ptr<ProtocolChecker> checker_;
     std::unique_ptr<RequestAuditor> auditor_;
+
+    /** Write-drain transition tap (trace exporter); null = off. */
+    DrainTap *drainTap_ = nullptr;
 
     /** @return true if this cycle was consumed by refresh work. */
     bool handleRefresh(const SchedContext &ctx);

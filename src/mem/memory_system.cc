@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/session.hh"
 
 namespace stfm
 {
@@ -170,6 +171,21 @@ MemorySystem::readLatency(ThreadId thread) const
     for (const auto &controller : controllers_)
         merged.merge(controller->readLatency(thread));
     return merged;
+}
+
+void
+MemorySystem::registerObservability(ObsSession &obs)
+{
+    for (ChannelId c = 0; c < controllers_.size(); ++c) {
+        controllers_[c]->registerTelemetry(obs.registry(), &dramNow_);
+        if (ChromeTraceWriter *trace = obs.trace()) {
+            controllers_[c]->addChannelObserver(trace->channelTap(c));
+            controllers_[c]->setDrainTap(trace->drainTap(c));
+        }
+    }
+    policy_->registerTelemetry(obs.registry());
+    if (ChromeTraceWriter *trace = obs.trace())
+        policy_->setFairnessTap(trace->fairnessTap());
 }
 
 void

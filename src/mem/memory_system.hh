@@ -25,6 +25,8 @@
 namespace stfm
 {
 
+class ObsSession;
+
 /** Geometry + device + controller configuration of the memory system. */
 struct MemoryConfig
 {
@@ -179,6 +181,18 @@ class MemorySystem : public MemoryPort
     void auditDrained();
 
     const MemoryConfig &config() const { return config_; }
+
+    /** Current DRAM cycle (number of DRAM boundaries advanced). */
+    DramCycles dramNow() const { return dramNow_; }
+
+    /**
+     * Wire the memory side of an observability session: register every
+     * channel's and the policy's telemetry series, and attach the
+     * trace exporter's command/drain/fairness taps when tracing is on.
+     * Composes with the integrity layer (the protocol checker keeps
+     * its observer slot; the tracer is added alongside).
+     */
+    void registerObservability(ObsSession &obs);
 
   private:
     SchedContext makeContext(ChannelId channel, Cycles cpu_now) const;

@@ -53,14 +53,22 @@ void
 WriteDrainControl::update(const RequestBuffer &buffer)
 {
     const unsigned total = buffer.writeCount();
+    const bool was_emergency = emergency_;
     emergency_ = total + 1 >= capacity_;
+    if (emergency_ && !was_emergency)
+        ++emergencyEntries_;
 
     if (!draining_) {
         draining_ = pickDrainBank(buffer);
+        if (draining_)
+            ++drainEpisodes_;
         return;
     }
-    if (buffer.writeCount(drainBank_) == 0)
+    if (buffer.writeCount(drainBank_) == 0) {
         draining_ = pickDrainBank(buffer);
+        if (draining_)
+            ++drainEpisodes_;
+    }
 }
 
 } // namespace stfm

@@ -60,6 +60,12 @@ class WriteDrainControl
     /** Buffer is critically full: writes allowed in every bank. */
     bool emergency() const { return emergency_; }
 
+    /** Drain episodes started (bank-batch handoffs count as new
+     *  episodes: each targets a fresh victim bank). */
+    std::uint64_t drainEpisodes() const { return drainEpisodes_; }
+    /** Entries into the emergency (buffer-nearly-full) state. */
+    std::uint64_t emergencyEntries() const { return emergencyEntries_; }
+
   private:
     bool pickDrainBank(const RequestBuffer &buffer);
 
@@ -70,6 +76,8 @@ class WriteDrainControl
     bool draining_ = false;
     bool emergency_ = false;
     BankId drainBank_ = 0;
+    std::uint64_t drainEpisodes_ = 0;
+    std::uint64_t emergencyEntries_ = 0;
 };
 
 } // namespace stfm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Epoch sampler: snapshots every registered telemetry series each N
+ * DRAM cycles and serializes the run into an `stfm-telemetry-v1`
+ * document (schema documented in docs/METRICS.md).
+ *
+ * The sampler is driven from executed DRAM-cycle boundaries only.
+ * Event-driven fast-forwarding (DESIGN.md sec. 6) legitimately skips
+ * boundaries, so samples are taken at the first executed boundary at
+ * or after each epoch edge and the *actual* cycle is recorded per
+ * sample — the time axis is explicit, never assumed uniform.
+ */
+
+#ifndef STFM_OBS_SAMPLER_HH
+#define STFM_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+
+namespace stfm
+{
+
+class TelemetryRegistry;
+
+class EpochSampler
+{
+  public:
+    /** @p epoch_cycles must be > 0 (validated by config_io). */
+    EpochSampler(const TelemetryRegistry &registry,
+                 std::uint64_t epoch_cycles);
+
+    /**
+     * Called at an executed DRAM-cycle boundary. Samples once when
+     * @p dram_now has reached the next epoch edge, then re-arms at the
+     * following edge strictly after @p dram_now.
+     */
+    void
+    onBoundary(DramCycles dram_now)
+    {
+        if (dram_now >= nextEpoch_)
+            sample(dram_now);
+    }
+
+    /** Take a closing sample (end of run), regardless of epoch phase. */
+    void finalize(DramCycles dram_now);
+
+    std::size_t sampleCount() const { return cycles_.size(); }
+    const std::vector<DramCycles> &cycles() const { return cycles_; }
+
+    /** The full `stfm-telemetry-v1` document. */
+    Json toJson() const;
+
+  private:
+    void sample(DramCycles dram_now);
+
+    const TelemetryRegistry &registry_;
+    const std::uint64_t epochCycles_;
+    DramCycles nextEpoch_ = 0;
+
+    std::vector<DramCycles> cycles_;
+    /** values_[s][i] = series s at cycles_[i]. */
+    std::vector<std::vector<double>> values_;
+    bool finalized_ = false;
+};
+
+} // namespace stfm
+
+#endif // STFM_OBS_SAMPLER_HH

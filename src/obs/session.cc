@@ -1,0 +1,48 @@
+#include "obs/session.hh"
+
+namespace stfm
+{
+
+ObsSession::ObsSession(const TelemetryConfig &config,
+                       const DramTiming &timing)
+    : config_(config)
+{
+    if (config_.tracing())
+        trace_ = std::make_unique<ChromeTraceWriter>(timing);
+}
+
+void
+ObsSession::start(DramCycles dram_now)
+{
+    // The sampler snapshots the registry by reference, so it is built
+    // after registration settles; its first sample lands on the first
+    // executed boundary at or after `dram_now`.
+    if (config_.enabled && !sampler_) {
+        sampler_ =
+            std::make_unique<EpochSampler>(registry_, config_.epochCycles);
+        sampler_->onBoundary(dram_now);
+    }
+}
+
+void
+ObsSession::finalize(DramCycles dram_now)
+{
+    if (sampler_)
+        sampler_->finalize(dram_now);
+    if (trace_)
+        trace_->finalize(dram_now);
+}
+
+Json
+ObsSession::telemetryJson() const
+{
+    return sampler_ ? sampler_->toJson() : Json();
+}
+
+Json
+ObsSession::traceJson() const
+{
+    return trace_ ? trace_->toJson() : Json();
+}
+
+} // namespace stfm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-run observability session: owns the telemetry registry, the
+ * epoch sampler and (when tracing) the Chrome trace writer, and is
+ * driven from CmpSystem's executed DRAM-cycle boundaries.
+ *
+ * A session exists only when `TelemetryConfig::collecting()` — the
+ * disabled configuration never constructs one, so the simulation hot
+ * path pays exactly one null-pointer check per DRAM boundary.
+ */
+
+#ifndef STFM_OBS_SESSION_HH
+#define STFM_OBS_SESSION_HH
+
+#include <memory>
+
+#include "common/json.hh"
+#include "obs/sampler.hh"
+#include "obs/telemetry.hh"
+#include "obs/telemetry_config.hh"
+#include "obs/trace_writer.hh"
+
+namespace stfm
+{
+
+class ObsSession
+{
+  public:
+    ObsSession(const TelemetryConfig &config, const DramTiming &timing);
+
+    const TelemetryConfig &config() const { return config_; }
+    TelemetryRegistry &registry() { return registry_; }
+    const TelemetryRegistry &registry() const { return registry_; }
+
+    /** Null when tracing is disabled. */
+    ChromeTraceWriter *trace() { return trace_.get(); }
+
+    /** Must be called once, after every subsystem has registered. */
+    void start(DramCycles dram_now);
+
+    /** Called at each *executed* DRAM-cycle boundary. */
+    void
+    onBoundary(DramCycles dram_now)
+    {
+        if (sampler_)
+            sampler_->onBoundary(dram_now);
+    }
+
+    /** Take closing samples and close open trace spans. */
+    void finalize(DramCycles dram_now);
+
+    bool hasTelemetryDoc() const { return sampler_ != nullptr; }
+    bool hasTraceDoc() const { return trace_ != nullptr; }
+
+    /** The stfm-telemetry-v1 document (valid after finalize). */
+    Json telemetryJson() const;
+    /** The Chrome trace document (valid after finalize). */
+    Json traceJson() const;
+
+  private:
+    const TelemetryConfig config_;
+    TelemetryRegistry registry_;
+    std::unique_ptr<EpochSampler> sampler_;
+    std::unique_ptr<ChromeTraceWriter> trace_;
+};
+
+} // namespace stfm
+
+#endif // STFM_OBS_SESSION_HH

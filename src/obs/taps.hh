@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Observer-tap interfaces the simulated subsystems fire into.
+ *
+ * These are the write-side counterparts of `DramCommandObserver`
+ * (dram/channel.hh): tiny virtual interfaces a subsystem holds as a
+ * null-by-default pointer and fires only on state *transitions*. They
+ * live in obs/ but depend on nothing beyond common/types.hh, so
+ * sched/ and mem/ can include them without pulling in the telemetry
+ * or trace machinery (and without obs/ depending back on them).
+ *
+ * The zero-overhead-when-off contract: every fire site is guarded by
+ * a pointer null-check on a transition path that already branches, so
+ * a disabled build path costs one predictable compare.
+ */
+
+#ifndef STFM_OBS_TAPS_HH
+#define STFM_OBS_TAPS_HH
+
+#include "common/types.hh"
+
+namespace stfm
+{
+
+/**
+ * Fired by a fairness-aware scheduling policy (STFM) whenever it
+ * enters or leaves fairness mode. `hot` is the prioritized thread
+ * while fairness mode is active, kInvalidThread otherwise.
+ */
+class FairnessModeTap
+{
+  public:
+    virtual ~FairnessModeTap() = default;
+    virtual void onFairnessMode(bool active, ThreadId hot,
+                                double unfairness, DramCycles now) = 0;
+};
+
+/**
+ * Fired by a memory controller when its write-drain state machine
+ * transitions: a drain episode starts/ends, the drained bank batch
+ * advances, or the emergency (buffer-nearly-full) flag flips.
+ */
+class DrainTap
+{
+  public:
+    virtual ~DrainTap() = default;
+    virtual void onDrainState(bool draining, bool emergency,
+                              unsigned bank, DramCycles now) = 0;
+};
+
+} // namespace stfm
+
+#endif // STFM_OBS_TAPS_HH

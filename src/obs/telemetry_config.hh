@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Observability configuration — a member of SimConfig.
+ *
+ * Parsed/serialized by sim/config_io (spec "telemetry" block), layered
+ * by EnvOverrides (STFM_TELEMETRY / STFM_TRACE) and surfaced on the
+ * `stfm` CLI as `--telemetry` / `--trace <file>`. The struct itself is
+ * dependency-free so sim/config.hh can include it directly.
+ */
+
+#ifndef STFM_OBS_TELEMETRY_CONFIG_HH
+#define STFM_OBS_TELEMETRY_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace stfm
+{
+
+struct TelemetryConfig
+{
+    /** Collect the time-series registry and emit stfm-telemetry-v1. */
+    bool enabled = false;
+
+    /** Sampling period of the epoch sampler, in DRAM cycles. */
+    std::uint64_t epochCycles = 10000;
+
+    /**
+     * Output path for the telemetry document. Empty = derived by the
+     * harness ("<experiment>_telemetry.json" next to the results).
+     */
+    std::string output;
+
+    /**
+     * Output path for the Chrome trace_event document. Empty =
+     * tracing disabled; a non-empty path implies collection even if
+     * `enabled` is false.
+     */
+    std::string trace;
+
+    /** True when any observability machinery must be built. */
+    bool
+    collecting() const
+    {
+        return enabled || !trace.empty();
+    }
+
+    /** True when the Chrome-trace exporter is active. */
+    bool
+    tracing() const
+    {
+        return !trace.empty();
+    }
+};
+
+} // namespace stfm
+
+#endif // STFM_OBS_TELEMETRY_CONFIG_HH

@@ -1,0 +1,348 @@
+#include "obs/trace_writer.hh"
+
+#include "common/logging.hh"
+#include "dram/command.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+constexpr unsigned kSchedulerPid = 1;
+constexpr unsigned kSchedulerTid = 0;
+constexpr unsigned kChannelPidBase = 100;
+constexpr unsigned kDrainTid = 1000;
+
+} // namespace
+
+// Tap adapters -------------------------------------------------------
+
+class ChromeTraceWriter::ChannelTapImpl : public DramCommandObserver
+{
+  public:
+    ChannelTapImpl(ChromeTraceWriter &writer, unsigned channel)
+        : writer_(writer), channel_(channel)
+    {}
+
+    void
+    onCommand(DramCommand cmd, BankId bank, RowId row,
+              DramCycles now) override
+    {
+        writer_.recordCommand(channel_, cmd, bank, row, now);
+    }
+
+    void
+    onRefresh(DramCycles now) override
+    {
+        writer_.recordRefresh(channel_, now);
+    }
+
+  private:
+    ChromeTraceWriter &writer_;
+    unsigned channel_;
+};
+
+class ChromeTraceWriter::DrainTapImpl : public DrainTap
+{
+  public:
+    DrainTapImpl(ChromeTraceWriter &writer, unsigned channel)
+        : writer_(writer), channel_(channel)
+    {}
+
+    void
+    onDrainState(bool draining, bool emergency, unsigned bank,
+                 DramCycles now) override
+    {
+        writer_.recordDrain(channel_, draining, emergency, bank, now);
+    }
+
+  private:
+    ChromeTraceWriter &writer_;
+    unsigned channel_;
+};
+
+class ChromeTraceWriter::FairnessTapImpl : public FairnessModeTap
+{
+  public:
+    explicit FairnessTapImpl(ChromeTraceWriter &writer) : writer_(writer)
+    {}
+
+    void
+    onFairnessMode(bool active, ThreadId hot, double unfairness,
+                   DramCycles now) override
+    {
+        writer_.recordFairness(active, hot, unfairness, now);
+    }
+
+  private:
+    ChromeTraceWriter &writer_;
+};
+
+// Writer -------------------------------------------------------------
+
+ChromeTraceWriter::ChromeTraceWriter(const DramTiming &timing)
+    : timing_(timing)
+{}
+
+ChromeTraceWriter::~ChromeTraceWriter() = default;
+
+DramCommandObserver *
+ChromeTraceWriter::channelTap(unsigned channel)
+{
+    while (channelTaps_.size() <= channel)
+        channelTaps_.push_back(std::make_unique<ChannelTapImpl>(
+            *this, static_cast<unsigned>(channelTaps_.size())));
+    return channelTaps_[channel].get();
+}
+
+DrainTap *
+ChromeTraceWriter::drainTap(unsigned channel)
+{
+    while (drainTaps_.size() <= channel)
+        drainTaps_.push_back(std::make_unique<DrainTapImpl>(
+            *this, static_cast<unsigned>(drainTaps_.size())));
+    return drainTaps_[channel].get();
+}
+
+FairnessModeTap *
+ChromeTraceWriter::fairnessTap()
+{
+    if (!fairnessTap_)
+        fairnessTap_ = std::make_unique<FairnessTapImpl>(*this);
+    return fairnessTap_.get();
+}
+
+DramCycles
+ChromeTraceWriter::commandDuration(DramCommand cmd) const
+{
+    // The bank-visible engagement of each command: how long the lane
+    // should read as busy. Column commands include the data burst.
+    switch (cmd) {
+      case DramCommand::Activate:
+        return timing_.tRCD;
+      case DramCommand::Precharge:
+        return timing_.tRP;
+      case DramCommand::Read:
+        return timing_.tCL + timing_.burst;
+      case DramCommand::Write:
+        return timing_.tWL + timing_.burst;
+    }
+    return 1;
+}
+
+void
+ChromeTraceWriter::ensureChannelMeta(unsigned channel)
+{
+    if (channel < channelMetaDone_.size() && channelMetaDone_[channel])
+        return;
+    if (channel >= channelMetaDone_.size())
+        channelMetaDone_.resize(channel + 1, false);
+    channelMetaDone_[channel] = true;
+
+    Json meta = Json::object();
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", kChannelPidBase + channel);
+    Json args = Json::object();
+    args.set("name",
+             formatMessage("DRAM channel %u", channel));
+    meta.set("args", std::move(args));
+    metadata_.push_back(std::move(meta));
+}
+
+void
+ChromeTraceWriter::ensureLaneMeta(unsigned pid, unsigned tid,
+                                  const std::string &name)
+{
+    for (const auto &[p, t] : lanesSeen_) {
+        if (p == pid && t == tid)
+            return;
+    }
+    lanesSeen_.emplace_back(pid, tid);
+
+    Json meta = Json::object();
+    meta.set("name", "thread_name");
+    meta.set("ph", "M");
+    meta.set("pid", pid);
+    meta.set("tid", tid);
+    Json args = Json::object();
+    args.set("name", name);
+    meta.set("args", std::move(args));
+    metadata_.push_back(std::move(meta));
+}
+
+void
+ChromeTraceWriter::recordCommand(unsigned channel, DramCommand cmd,
+                                 BankId bank, RowId row, DramCycles now)
+{
+    ensureChannelMeta(channel);
+    const unsigned pid = kChannelPidBase + channel;
+    ensureLaneMeta(pid, bank, formatMessage("bank %u", bank));
+
+    Event ev;
+    ev.name = toString(cmd);
+    ev.phase = 'X';
+    ev.pid = pid;
+    ev.tid = bank;
+    ev.ts = now;
+    ev.dur = commandDuration(cmd);
+    if (cmd == DramCommand::Activate)
+        ev.args = formatMessage("row %u", row);
+    events_.push_back(std::move(ev));
+}
+
+void
+ChromeTraceWriter::recordRefresh(unsigned channel, DramCycles now)
+{
+    ensureChannelMeta(channel);
+    const unsigned pid = kChannelPidBase + channel;
+    ensureLaneMeta(pid, kDrainTid, "drain / maintenance");
+
+    Event ev;
+    ev.name = "Refresh";
+    ev.phase = 'X';
+    ev.pid = pid;
+    ev.tid = kDrainTid;
+    ev.ts = now;
+    ev.dur = timing_.tRFC;
+    events_.push_back(std::move(ev));
+}
+
+void
+ChromeTraceWriter::recordDrain(unsigned channel, bool draining,
+                               bool emergency, unsigned bank,
+                               DramCycles now)
+{
+    ensureChannelMeta(channel);
+    const unsigned pid = kChannelPidBase + channel;
+    ensureLaneMeta(pid, kDrainTid, "drain / maintenance");
+    if (channel >= drainOpen_.size())
+        drainOpen_.resize(channel + 1, 0);
+
+    // A batch handoff (draining -> draining, new bank) closes the
+    // previous span before opening the next.
+    if (drainOpen_[channel]) {
+        Event end;
+        end.name = "write-drain";
+        end.phase = 'E';
+        end.pid = pid;
+        end.tid = kDrainTid;
+        end.ts = now;
+        events_.push_back(std::move(end));
+        drainOpen_[channel] = 0;
+    }
+    if (draining) {
+        Event begin;
+        begin.name = "write-drain";
+        begin.phase = 'B';
+        begin.pid = pid;
+        begin.tid = kDrainTid;
+        begin.ts = now;
+        begin.args = formatMessage("bank %u%s", bank,
+                                   emergency ? " (emergency)" : "");
+        events_.push_back(std::move(begin));
+        drainOpen_[channel] = 1;
+    }
+    if (emergency) {
+        Event mark;
+        mark.name = "emergency";
+        mark.phase = 'i';
+        mark.pid = pid;
+        mark.tid = kDrainTid;
+        mark.ts = now;
+        events_.push_back(std::move(mark));
+    }
+}
+
+void
+ChromeTraceWriter::recordFairness(bool active, ThreadId hot,
+                                  double unfairness, DramCycles now)
+{
+    ensureLaneMeta(kSchedulerPid, kSchedulerTid, "fairness mode");
+
+    if (fairnessOpen_) {
+        Event end;
+        end.name = "fairness-mode";
+        end.phase = 'E';
+        end.pid = kSchedulerPid;
+        end.tid = kSchedulerTid;
+        end.ts = now;
+        events_.push_back(std::move(end));
+        fairnessOpen_ = false;
+    }
+    if (active) {
+        Event begin;
+        begin.name = "fairness-mode";
+        begin.phase = 'B';
+        begin.pid = kSchedulerPid;
+        begin.tid = kSchedulerTid;
+        begin.ts = now;
+        begin.args = formatMessage("hot t%u, unfairness %.3f",
+                                   hot, unfairness);
+        events_.push_back(std::move(begin));
+        fairnessOpen_ = true;
+    }
+}
+
+void
+ChromeTraceWriter::finalize(DramCycles end)
+{
+    if (fairnessOpen_)
+        recordFairness(false, kInvalidThread, 0.0, end);
+    for (std::size_t ch = 0; ch < drainOpen_.size(); ++ch) {
+        if (drainOpen_[ch])
+            recordDrain(static_cast<unsigned>(ch), false, false, 0, end);
+    }
+}
+
+Json
+ChromeTraceWriter::toJson() const
+{
+    Json doc = Json::object();
+    Json trace_events = Json::array();
+
+    // Scheduler process metadata first, then per-channel metadata.
+    {
+        Json meta = Json::object();
+        meta.set("name", "process_name");
+        meta.set("ph", "M");
+        meta.set("pid", kSchedulerPid);
+        Json args = Json::object();
+        args.set("name", "Scheduler");
+        meta.set("args", std::move(args));
+        trace_events.push(std::move(meta));
+    }
+    for (const Json &meta : metadata_)
+        trace_events.push(meta);
+
+    for (const Event &ev : events_) {
+        Json out = Json::object();
+        out.set("name", ev.name);
+        out.set("ph", std::string(1, ev.phase));
+        out.set("pid", ev.pid);
+        out.set("tid", ev.tid);
+        out.set("ts", static_cast<std::uint64_t>(ev.ts));
+        if (ev.phase == 'X')
+            out.set("dur", static_cast<std::uint64_t>(ev.dur));
+        if (ev.phase == 'i')
+            out.set("s", "t");
+        if (!ev.args.empty()) {
+            Json args = Json::object();
+            args.set("detail", ev.args);
+            out.set("args", std::move(args));
+        }
+        trace_events.push(std::move(out));
+    }
+
+    doc.set("traceEvents", std::move(trace_events));
+    doc.set("displayTimeUnit", "ms");
+    Json other = Json::object();
+    other.set("schema", "stfm-trace-v1");
+    other.set("clock", "dram-cycles (ts unit: 1 trace us = 1 DRAM "
+                       "cycle = 2.5 ns at DDR2-800)");
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+} // namespace stfm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Chrome trace_event exporter (Perfetto / about://tracing loadable).
+ *
+ * Three event families, documented in docs/TRACING.md:
+ *
+ *  - DRAM commands: one "X" (complete) event per command, one lane
+ *    per bank (pid = 100 + channel, tid = bank), duration derived
+ *    from the timing parameters the command engages;
+ *  - fairness-mode spans: "B"/"E" pairs on the scheduler lane
+ *    (pid = 1, tid = 0) opened when STFM's unfairness estimate
+ *    crosses alpha and closed when it falls back;
+ *  - write-drain spans: "B"/"E" pairs on a per-channel drain lane
+ *    (pid = 100 + channel, tid = 1000), one span per drained bank
+ *    batch, with an "i" (instant) marker on emergency entry.
+ *
+ * Timestamps are DRAM cycles presented as microseconds — trace
+ * viewers require a time unit, and 1 cycle == 1 "us" keeps the axis
+ * readable (the real scale, 2.5 ns/cycle for DDR2-800, is recorded in
+ * otherData.clock).
+ *
+ * The writer is fed through the same observer taps the integrity
+ * layer uses (`DramCommandObserver`, obs/taps.hh) and composes with
+ * the protocol checker: `DramChannel` now fans commands out to both.
+ */
+
+#ifndef STFM_OBS_TRACE_WRITER_HH
+#define STFM_OBS_TRACE_WRITER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/types.hh"
+#include "dram/channel.hh"
+#include "dram/timing.hh"
+#include "obs/taps.hh"
+
+namespace stfm
+{
+
+class ChromeTraceWriter
+{
+  public:
+    explicit ChromeTraceWriter(const DramTiming &timing);
+    ~ChromeTraceWriter();
+
+    /**
+     * The per-channel DRAM command tap to attach via
+     * `DramChannel::addObserver`. Owned by the writer.
+     */
+    DramCommandObserver *channelTap(unsigned channel);
+
+    /** The per-channel write-drain tap for
+     *  `MemoryController::setDrainTap`. Owned by the writer. */
+    DrainTap *drainTap(unsigned channel);
+
+    /** The scheduler fairness-mode tap for
+     *  `SchedulingPolicy::setFairnessTap`. */
+    FairnessModeTap *fairnessTap();
+
+    /** Close any spans still open at end of run. */
+    void finalize(DramCycles end);
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** The Chrome trace document: {"traceEvents": [...], ...}. */
+    Json toJson() const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        char phase;       ///< 'X', 'B', 'E' or 'i'.
+        unsigned pid;
+        unsigned tid;
+        DramCycles ts;
+        DramCycles dur;   ///< 'X' only.
+        std::string args; ///< Optional pre-rendered detail string.
+    };
+
+    class ChannelTapImpl;
+    class DrainTapImpl;
+    class FairnessTapImpl;
+
+    void recordCommand(unsigned channel, DramCommand cmd, BankId bank,
+                       RowId row, DramCycles now);
+    void recordRefresh(unsigned channel, DramCycles now);
+    void recordDrain(unsigned channel, bool draining, bool emergency,
+                     unsigned bank, DramCycles now);
+    void recordFairness(bool active, ThreadId hot, double unfairness,
+                        DramCycles now);
+
+    DramCycles commandDuration(DramCommand cmd) const;
+    void ensureChannelMeta(unsigned channel);
+    void ensureLaneMeta(unsigned pid, unsigned tid,
+                        const std::string &name);
+
+    const DramTiming timing_;
+    std::vector<Event> events_;
+    std::vector<Json> metadata_;
+    std::vector<std::unique_ptr<ChannelTapImpl>> channelTaps_;
+    std::vector<std::unique_ptr<DrainTapImpl>> drainTaps_;
+    std::unique_ptr<FairnessTapImpl> fairnessTap_;
+
+    std::vector<bool> channelMetaDone_;
+    std::vector<std::pair<unsigned, unsigned>> lanesSeen_;
+
+    bool fairnessOpen_ = false;
+    std::vector<char> drainOpen_; ///< Per channel.
+};
+
+} // namespace stfm
+
+#endif // STFM_OBS_TRACE_WRITER_HH

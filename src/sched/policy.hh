@@ -27,9 +27,12 @@
 #include "dram/timing.hh"
 #include "mem/occupancy.hh"
 #include "mem/request.hh"
+#include "obs/taps.hh"
 
 namespace stfm
 {
+
+class TelemetryRegistry;
 
 /** Read-only view of the system state passed to policy hooks. */
 struct SchedContext
@@ -171,6 +174,24 @@ class SchedulingPolicy
     {
         (void)foreign_fraction;
     }
+
+    /**
+     * Register this policy's observable state (slowdown estimates,
+     * mode flags, decision counters) into the telemetry registry.
+     * Called once at system construction when observability is on;
+     * the default policy exposes nothing.
+     */
+    virtual void registerTelemetry(TelemetryRegistry &) {}
+
+    /**
+     * Attach the fairness-mode span tap (trace exporter). Null by
+     * default and only ever consulted on mode *transitions*, so the
+     * disabled configuration costs nothing on the decision path.
+     */
+    void setFairnessTap(FairnessModeTap *tap) { fairnessTap_ = tap; }
+
+  protected:
+    FairnessModeTap *fairnessTap_ = nullptr;
 };
 
 /** Which scheduling algorithm to instantiate. */

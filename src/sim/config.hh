@@ -16,6 +16,7 @@
 
 #include "cpu/core.hh"
 #include "mem/memory_system.hh"
+#include "obs/telemetry_config.hh"
 #include "sched/policy.hh"
 
 namespace stfm
@@ -27,6 +28,10 @@ struct SimConfig
     CoreParams cpu;
     MemoryConfig memory;
     SchedulerConfig scheduler;
+    /** Observability: telemetry sampling and trace export (off by
+     *  default; the disabled configuration never constructs a session
+     *  and leaves the hot path untouched). */
+    TelemetryConfig telemetry;
 
     /** Instructions each thread must commit before its stats freeze. */
     std::uint64_t instructionBudget = 100000;

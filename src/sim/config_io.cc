@@ -90,6 +90,13 @@ class Fields
     }
 
     void
+    string(const std::string &key, std::string &out)
+    {
+        if (const Json *v = get(key))
+            out = v->asString(path(key));
+    }
+
+    void
     numberList(const std::string &key, std::vector<double> &out)
     {
         if (const Json *v = get(key)) {
@@ -420,6 +427,31 @@ applyJson(const Json &overrides, SchedulerConfig &out,
 }
 
 // --------------------------------------------------------------------
+// TelemetryConfig
+
+Json
+toJson(const TelemetryConfig &telemetry)
+{
+    Json out = Json::object();
+    out.set("enabled", telemetry.enabled);
+    out.set("epochCycles", telemetry.epochCycles);
+    out.set("output", telemetry.output);
+    out.set("trace", telemetry.trace);
+    return out;
+}
+
+void
+applyJson(const Json &overrides, TelemetryConfig &out,
+          const std::string &context)
+{
+    Fields fields(overrides, context);
+    fields.boolean("enabled", out.enabled);
+    fields.u64("epochCycles", out.epochCycles);
+    fields.string("output", out.output);
+    fields.string("trace", out.trace);
+}
+
+// --------------------------------------------------------------------
 // SimConfig
 
 Json
@@ -434,6 +466,7 @@ toJson(const SimConfig &config)
     out.set("cpu", toJson(config.cpu));
     out.set("memory", toJson(config.memory));
     out.set("scheduler", toJson(config.scheduler));
+    out.set("telemetry", toJson(config.telemetry));
     return out;
 }
 
@@ -453,6 +486,8 @@ applyJson(const Json &overrides, SimConfig &out,
         applyJson(*v, out.memory, fields.path("memory"));
     if (const Json *v = fields.get("scheduler"))
         applyJson(*v, out.scheduler, fields.path("scheduler"));
+    if (const Json *v = fields.get("telemetry"))
+        applyJson(*v, out.telemetry, fields.path("telemetry"));
 }
 
 SimConfig
@@ -655,6 +690,11 @@ validateConfig(const SimConfig &config)
             }
         }
     }
+
+    // Telemetry ------------------------------------------------------
+    check(problems, config.telemetry.epochCycles > 0,
+          "telemetry.epochCycles: must be positive (DRAM cycles "
+          "between samples)");
 
     return problems;
 }

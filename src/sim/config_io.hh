@@ -44,6 +44,7 @@ Json toJson(const IntegrityConfig &integrity);
 Json toJson(const ControllerParams &controller);
 Json toJson(const MemoryConfig &memory);
 Json toJson(const SchedulerConfig &scheduler);
+Json toJson(const TelemetryConfig &telemetry);
 Json toJson(const SimConfig &config);
 
 // Override layering --------------------------------------------------
@@ -62,6 +63,8 @@ void applyJson(const Json &overrides, MemoryConfig &out,
                const std::string &context = "memory");
 void applyJson(const Json &overrides, SchedulerConfig &out,
                const std::string &context = "scheduler");
+void applyJson(const Json &overrides, TelemetryConfig &out,
+               const std::string &context = "telemetry");
 void applyJson(const Json &overrides, SimConfig &out,
                const std::string &context = "config");
 

@@ -35,6 +35,14 @@ CmpSystem::CmpSystem(const SimConfig &config,
         // window no longer describes its state.
         coreWakeValid_[req.thread] = 0;
     });
+    if (config_.telemetry.collecting()) {
+        obs_ = std::make_unique<ObsSession>(config_.telemetry,
+                                            config_.memory.timing);
+        memory_.registerObservability(*obs_);
+        for (auto &core : cores_)
+            core->registerTelemetry(obs_->registry());
+        obs_->start(memory_.dramNow());
+    }
 }
 
 void
@@ -157,6 +165,8 @@ CmpSystem::run()
             for (unsigned t = 0; t < config_.cores; ++t)
                 stallSnapshot_[t] = cores_[t]->memStallCycles();
             memory_.tick(cpuNow_);
+            if (obs_)
+                obs_->onBoundary(memory_.dramNow());
         } else {
             memory_.syncCpuNow(cpuNow_);
         }
@@ -225,6 +235,11 @@ CmpSystem::run()
         }
         memory_.auditDrained();
     }
+    // Observability epilogue: closing samples and open-span closure
+    // happen after the drain so trace lanes cover the drained commands
+    // too. Never affects SimResult (results were computed above).
+    if (obs_)
+        obs_->finalize(memory_.dramNow());
     return result;
 }
 
@@ -286,6 +301,8 @@ CmpSystem::fastForward(Cycles now)
                                     (st ? c - now : 0);
             }
             memory_.quiescentDramTick(c);
+            if (obs_)
+                obs_->onBoundary(memory_.dramNow());
         }
     } else {
         memory_.skipDramTicks((wake - 1) / per - now / per);

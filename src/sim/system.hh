@@ -20,6 +20,7 @@
 
 #include "cpu/core.hh"
 #include "mem/memory_system.hh"
+#include "obs/session.hh"
 #include "sim/config.hh"
 #include "sim/results.hh"
 #include "trace/trace.hh"
@@ -43,6 +44,13 @@ class CmpSystem
 
     MemorySystem &memory() { return memory_; }
     const SimConfig &config() const { return config_; }
+
+    /**
+     * The observability session, or null when telemetry and tracing
+     * are both disabled. Documents are valid after run() returns
+     * (finalize happens in run's epilogue).
+     */
+    const ObsSession *obs() const { return obs_.get(); }
 
   private:
     /** Counter snapshot taken when a thread finishes its warmup. */
@@ -89,6 +97,9 @@ class CmpSystem
     std::vector<std::unique_ptr<TraceSource>> traces_;
     MemorySystem memory_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /** Null unless config_.telemetry.collecting() — the hot path pays
+     *  one null check per executed DRAM boundary when disabled. */
+    std::unique_ptr<ObsSession> obs_;
     std::vector<Cycles> stallSnapshot_;
     std::vector<bool> frozen_;
     std::vector<WarmSnapshot> warm_;

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Telemetry layer tests: registry registration semantics, epoch-sampler
+ * alignment, the stfm-telemetry-v1 document schema, catalog <->
+ * registration correspondence, config plumbing, and the headline
+ * invariant — enabling telemetry never changes simulation results.
+ */
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "common/logging.hh"
+#include "harness/env_overrides.hh"
+#include "obs/sampler.hh"
+#include "obs/telemetry.hh"
+#include "sim/config_io.hh"
+#include "sim/system.hh"
+#include "stats/histogram.hh"
+#include "trace/catalog.hh"
+
+namespace stfm
+{
+namespace
+{
+
+SimConfig
+telemetryConfig(unsigned cores, PolicyKind kind, bool enabled,
+                std::string trace = "")
+{
+    SimConfig config = SimConfig::baseline(cores);
+    config.instructionBudget = 6000;
+    config.warmupInstructions = 2000;
+    config.scheduler.kind = kind;
+    if (kind == PolicyKind::Stfm)
+        config.scheduler.alpha = 1.10;
+    config.telemetry.enabled = enabled;
+    config.telemetry.epochCycles = 5000;
+    config.telemetry.trace = std::move(trace);
+    return config;
+}
+
+SimResult
+runWorkload(CmpSystem &system)
+{
+    return system.run();
+}
+
+std::unique_ptr<CmpSystem>
+makeSystem(const SimConfig &config, const std::vector<std::string> &names)
+{
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (unsigned t = 0; t < names.size(); ++t) {
+        traces.push_back(makeBenchmarkTrace(findBenchmark(names[t]),
+                                            mapping, t, config.cores));
+    }
+    return std::make_unique<CmpSystem>(config, std::move(traces));
+}
+
+// Registry -----------------------------------------------------------
+
+TEST(TelemetryRegistry, RegistersCountersAndGauges)
+{
+    TelemetryRegistry registry;
+    double value = 0.0;
+    registry.counter("a.count", "items", "test", [&] { return value; });
+    registry.gauge("a.level", "items", "test", [&] { return 2 * value; });
+    ASSERT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.series()[0].name, "a.count");
+    EXPECT_EQ(registry.series()[0].kind, SeriesKind::Counter);
+    EXPECT_EQ(registry.series()[1].kind, SeriesKind::Gauge);
+    value = 21.0;
+    EXPECT_DOUBLE_EQ(registry.series()[1].sample(), 42.0);
+}
+
+TEST(TelemetryRegistry, DuplicateNamesThrow)
+{
+    TelemetryRegistry registry;
+    registry.counter("dup", "items", "test", [] { return 0.0; });
+    EXPECT_THROW(
+        registry.gauge("dup", "items", "test", [] { return 0.0; }),
+        SimError);
+}
+
+TEST(TelemetryRegistry, ResetDropsEverything)
+{
+    TelemetryRegistry registry;
+    registry.counter("x", "items", "test", [] { return 0.0; });
+    LatencyHistogram hist;
+    registry.histogram("h", "cycles", "test", &hist);
+    registry.reset();
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_TRUE(registry.histograms().empty());
+    // Names are free again after reset.
+    registry.counter("x", "items", "test", [] { return 0.0; });
+}
+
+TEST(Telemetry, NormalizeSeriesName)
+{
+    EXPECT_EQ(normalizeSeriesName("dram.ch0.reads"),
+              "dram.ch<n>.reads");
+    EXPECT_EQ(normalizeSeriesName("sched.stfm.slowdown.t12"),
+              "sched.stfm.slowdown.t<n>");
+    EXPECT_EQ(normalizeSeriesName("mem.ch3.readLatency.t0"),
+              "mem.ch<n>.readLatency.t<n>");
+    EXPECT_EQ(normalizeSeriesName("no.digits"), "no.digits");
+}
+
+// Epoch sampler ------------------------------------------------------
+
+TEST(EpochSampler, SamplesAtEpochEdgesAndRecordsActualCycles)
+{
+    TelemetryRegistry registry;
+    double value = 0.0;
+    registry.counter("v", "items", "test", [&] { return value; });
+
+    EpochSampler sampler(registry, 100);
+    // First executed boundary samples immediately (epoch edge 0).
+    value = 1.0;
+    sampler.onBoundary(0);
+    // Boundaries before the next edge are ignored.
+    value = 2.0;
+    sampler.onBoundary(50);
+    sampler.onBoundary(99);
+    // Fast-forward skipped cycle 100; the first boundary at or after
+    // the edge samples, and the *actual* cycle is recorded.
+    value = 3.0;
+    sampler.onBoundary(137);
+    sampler.onBoundary(150); // Re-armed at 200; ignored.
+    value = 4.0;
+    sampler.onBoundary(200);
+
+    ASSERT_EQ(sampler.sampleCount(), 3u);
+    EXPECT_EQ(sampler.cycles()[0], 0u);
+    EXPECT_EQ(sampler.cycles()[1], 137u);
+    EXPECT_EQ(sampler.cycles()[2], 200u);
+
+    sampler.finalize(260);
+    ASSERT_EQ(sampler.sampleCount(), 4u);
+    EXPECT_EQ(sampler.cycles()[3], 260u);
+
+    const Json doc = sampler.toJson();
+    const Json::Array &vals =
+        doc.at("samples", "doc").at("values", "doc").at("v", "doc")
+            .asArray("v");
+    ASSERT_EQ(vals.size(), 4u);
+    EXPECT_DOUBLE_EQ(vals[0].asDouble("v0"), 1.0);
+    EXPECT_DOUBLE_EQ(vals[1].asDouble("v1"), 3.0);
+    EXPECT_DOUBLE_EQ(vals[2].asDouble("v2"), 4.0);
+}
+
+TEST(EpochSampler, FinalizeDoesNotDuplicateLastSample)
+{
+    TelemetryRegistry registry;
+    registry.counter("v", "items", "test", [] { return 1.0; });
+    EpochSampler sampler(registry, 10);
+    sampler.onBoundary(0);
+    sampler.onBoundary(10);
+    sampler.finalize(10); // Already sampled at 10.
+    EXPECT_EQ(sampler.sampleCount(), 2u);
+}
+
+// Full-system document -----------------------------------------------
+
+TEST(Telemetry, DocumentMatchesSchemaV1)
+{
+    const SimConfig config =
+        telemetryConfig(2, PolicyKind::Stfm, true);
+    auto system = makeSystem(config, {"mcf", "h264ref"});
+    runWorkload(*system);
+
+    const ObsSession *obs = system->obs();
+    ASSERT_NE(obs, nullptr);
+    ASSERT_TRUE(obs->hasTelemetryDoc());
+    const Json doc = obs->telemetryJson();
+
+    EXPECT_EQ(doc.at("schema", "doc").asString("schema"),
+              "stfm-telemetry-v1");
+    EXPECT_EQ(doc.at("epochCycles", "doc").asUint("epochCycles"), 5000u);
+    EXPECT_FALSE(
+        doc.at("clock", "doc").asString("clock").empty());
+
+    const Json::Array &series =
+        doc.at("series", "doc").asArray("series");
+    ASSERT_FALSE(series.empty());
+    for (const Json &s : series) {
+        EXPECT_FALSE(s.at("name", "s").asString("name").empty());
+        const std::string kind = s.at("kind", "s").asString("kind");
+        EXPECT_TRUE(kind == "counter" || kind == "gauge");
+        EXPECT_FALSE(s.at("unit", "s").asString("unit").empty());
+        EXPECT_FALSE(
+            s.at("subsystem", "s").asString("subsystem").empty());
+    }
+
+    // Columnar samples: every series column has one value per cycle.
+    const Json &samples = doc.at("samples", "doc");
+    const std::size_t n =
+        samples.at("cycles", "samples").asArray("cycles").size();
+    ASSERT_GT(n, 1u);
+    for (const Json &s : series) {
+        const std::string name = s.at("name", "s").asString("name");
+        const Json::Array &column = samples.at("values", "samples")
+                                        .at(name, "values")
+                                        .asArray(name);
+        EXPECT_EQ(column.size(), n) << name;
+    }
+
+    // Monotonic time axis.
+    const Json::Array &cycles =
+        samples.at("cycles", "samples").asArray("cycles");
+    for (std::size_t i = 1; i < cycles.size(); ++i) {
+        EXPECT_LT(cycles[i - 1].asUint("c"), cycles[i].asUint("c"));
+    }
+
+    // End-of-run final values and histograms.
+    const Json &final_values = doc.at("final", "doc");
+    for (const Json &s : series) {
+        const std::string name = s.at("name", "s").asString("name");
+        EXPECT_NE(final_values.find(name), nullptr) << name;
+    }
+    const Json::Array &histograms =
+        doc.at("histograms", "doc").asArray("histograms");
+    ASSERT_FALSE(histograms.empty());
+    for (const Json &h : histograms) {
+        EXPECT_FALSE(h.at("name", "h").asString("name").empty());
+        EXPECT_GE(h.at("count", "h").asUint("count"), 0u);
+    }
+}
+
+TEST(Telemetry, EveryRegisteredSeriesIsInTheCatalog)
+{
+    const SimConfig config =
+        telemetryConfig(2, PolicyKind::Stfm, true);
+    auto system = makeSystem(config, {"mcf", "h264ref"});
+    runWorkload(*system);
+
+    std::set<std::string> patterns;
+    for (const TelemetryCatalogEntry &entry : telemetryCatalog())
+        patterns.insert(entry.pattern);
+
+    const ObsSession *obs = system->obs();
+    ASSERT_NE(obs, nullptr);
+    std::set<std::string> used;
+    for (const TelemetrySeries &s : obs->registry().series()) {
+        const std::string pattern = normalizeSeriesName(s.name);
+        EXPECT_TRUE(patterns.count(pattern))
+            << s.name << " normalizes to undocumented pattern "
+            << pattern;
+        used.insert(pattern);
+    }
+    for (const TelemetryHistogram &h : obs->registry().histograms()) {
+        const std::string pattern = normalizeSeriesName(h.name);
+        EXPECT_TRUE(patterns.count(pattern))
+            << h.name << " normalizes to undocumented pattern "
+            << pattern;
+        used.insert(pattern);
+    }
+
+    // ... and the other direction: an STFM run exercises the complete
+    // catalog, so a stale catalog row fails here.
+    for (const std::string &pattern : patterns) {
+        EXPECT_TRUE(used.count(pattern))
+            << "catalog pattern never registered: " << pattern;
+    }
+}
+
+TEST(Telemetry, EnablingTelemetryDoesNotChangeResults)
+{
+    const std::vector<std::string> workload = {"mcf", "lbm"};
+    for (const PolicyKind kind :
+         {PolicyKind::FrFcfs, PolicyKind::Stfm}) {
+        auto off = makeSystem(telemetryConfig(2, kind, false), workload);
+        auto on = makeSystem(
+            telemetryConfig(2, kind, true, "unused-trace-path.json"),
+            workload);
+        const SimResult a = runWorkload(*off);
+        const SimResult b = runWorkload(*on);
+
+        EXPECT_EQ(a.totalCycles, b.totalCycles);
+        ASSERT_EQ(a.threads.size(), b.threads.size());
+        for (std::size_t t = 0; t < a.threads.size(); ++t) {
+            EXPECT_EQ(a.threads[t].instructions,
+                      b.threads[t].instructions);
+            EXPECT_EQ(a.threads[t].cycles, b.threads[t].cycles);
+            EXPECT_EQ(a.threads[t].memStallCycles,
+                      b.threads[t].memStallCycles);
+            EXPECT_EQ(a.threads[t].dramReads, b.threads[t].dramReads);
+            EXPECT_EQ(a.threads[t].dramWrites, b.threads[t].dramWrites);
+            EXPECT_EQ(a.threads[t].rowHits, b.threads[t].rowHits);
+            EXPECT_EQ(a.threads[t].rowConflicts,
+                      b.threads[t].rowConflicts);
+        }
+    }
+}
+
+TEST(Telemetry, DisabledRunsConstructNoSession)
+{
+    auto system =
+        makeSystem(telemetryConfig(1, PolicyKind::FrFcfs, false),
+                   {"hmmer"});
+    EXPECT_EQ(system->obs(), nullptr);
+}
+
+// Config plumbing ----------------------------------------------------
+
+TEST(TelemetryConfigIo, RoundTripsThroughJson)
+{
+    TelemetryConfig telemetry;
+    telemetry.enabled = true;
+    telemetry.epochCycles = 2500;
+    telemetry.output = "out.json";
+    telemetry.trace = "out.trace.json";
+
+    TelemetryConfig parsed;
+    applyJson(toJson(telemetry), parsed, "telemetry");
+    EXPECT_TRUE(parsed.enabled);
+    EXPECT_EQ(parsed.epochCycles, 2500u);
+    EXPECT_EQ(parsed.output, "out.json");
+    EXPECT_EQ(parsed.trace, "out.trace.json");
+}
+
+TEST(TelemetryConfigIo, UnknownKeyNamesTelemetryPath)
+{
+    Json bad = Json::object();
+    bad.set("epochCycle", 100); // Typo.
+    TelemetryConfig out;
+    try {
+        applyJson(bad, out, "telemetry");
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("telemetry"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("epochCycle"),
+                  std::string::npos);
+    }
+}
+
+TEST(TelemetryConfigIo, ZeroEpochIsInvalid)
+{
+    SimConfig config = SimConfig::baseline(2);
+    config.telemetry.epochCycles = 0;
+    const std::vector<std::string> problems = validateConfig(config);
+    bool found = false;
+    for (const std::string &p : problems)
+        found = found || p.find("telemetry.epochCycles") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(TelemetryEnv, CaptureAndApply)
+{
+    setenv("STFM_TELEMETRY", "custom-out.json", 1);
+    setenv("STFM_TRACE", "custom.trace.json", 1);
+    const EnvOverrides env = EnvOverrides::capture();
+    unsetenv("STFM_TELEMETRY");
+    unsetenv("STFM_TRACE");
+
+    EXPECT_TRUE(env.telemetry);
+    EXPECT_EQ(env.telemetryOutput, "custom-out.json");
+    EXPECT_EQ(env.tracePath, "custom.trace.json");
+    EXPECT_TRUE(env.any());
+
+    SimConfig config = SimConfig::baseline(2);
+    env.apply(config);
+    EXPECT_TRUE(config.telemetry.enabled);
+    EXPECT_EQ(config.telemetry.output, "custom-out.json");
+    EXPECT_EQ(config.telemetry.trace, "custom.trace.json");
+
+    const Json echoed = env.toJson();
+    EXPECT_NE(echoed.find("STFM_TELEMETRY"), nullptr);
+    EXPECT_NE(echoed.find("STFM_TRACE"), nullptr);
+}
+
+TEST(TelemetryEnv, PlainFlagKeepsDefaultOutput)
+{
+    setenv("STFM_TELEMETRY", "1", 1);
+    const EnvOverrides env = EnvOverrides::capture();
+    unsetenv("STFM_TELEMETRY");
+    EXPECT_TRUE(env.telemetry);
+    EXPECT_TRUE(env.telemetryOutput.empty());
+}
+
+} // namespace
+} // namespace stfm

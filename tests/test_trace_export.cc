@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Chrome trace exporter tests: direct tap feeding, span pairing and
+ * finalize semantics, full-run trace well-formedness (monotonic
+ * timestamps per lane, balanced B/E spans), and composition with the
+ * integrity layer's protocol checker on the shared observer fan-out.
+ */
+
+#include <gtest/gtest.h>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_writer.hh"
+#include "sim/system.hh"
+#include "trace/catalog.hh"
+
+namespace stfm
+{
+namespace
+{
+
+DramTiming
+timing()
+{
+    return SimConfig::baseline(2).memory.timing;
+}
+
+/** Flatten {pid, tid, ph, ts} from a trace document's event list. */
+struct FlatEvent
+{
+    unsigned pid;
+    unsigned tid;
+    std::string phase;
+    std::uint64_t ts;
+};
+
+std::vector<FlatEvent>
+flatten(const Json &doc)
+{
+    std::vector<FlatEvent> out;
+    const Json::Array &events =
+        doc.at("traceEvents", "trace").asArray("traceEvents");
+    for (const Json &ev : events) {
+        const std::string phase = ev.at("ph", "ev").asString("ph");
+        if (phase == "M")
+            continue; // Metadata carries no timestamp.
+        FlatEvent flat;
+        flat.pid =
+            static_cast<unsigned>(ev.at("pid", "ev").asUint("pid"));
+        flat.tid =
+            static_cast<unsigned>(ev.at("tid", "ev").asUint("tid"));
+        flat.phase = phase;
+        flat.ts = ev.at("ts", "ev").asUint("ts");
+        out.push_back(flat);
+    }
+    return out;
+}
+
+SimConfig
+tracedConfig(unsigned cores, PolicyKind kind)
+{
+    SimConfig config = SimConfig::baseline(cores);
+    config.instructionBudget = 6000;
+    config.warmupInstructions = 2000;
+    config.scheduler.kind = kind;
+    if (kind == PolicyKind::Stfm)
+        config.scheduler.alpha = 1.10;
+    config.telemetry.trace = "unused-path.json";
+    return config;
+}
+
+std::unique_ptr<CmpSystem>
+makeSystem(const SimConfig &config, const std::vector<std::string> &names)
+{
+    AddressMapping mapping(config.memory.channels,
+                           config.memory.banksPerChannel,
+                           config.memory.rowBytes, config.memory.lineBytes,
+                           config.memory.rowsPerBank,
+                           config.memory.xorBankMapping);
+    std::vector<std::unique_ptr<TraceSource>> traces;
+    for (unsigned t = 0; t < names.size(); ++t) {
+        traces.push_back(makeBenchmarkTrace(findBenchmark(names[t]),
+                                            mapping, t, config.cores));
+    }
+    return std::make_unique<CmpSystem>(config, std::move(traces));
+}
+
+// Direct tap feeding -------------------------------------------------
+
+TEST(ChromeTraceWriter, RecordsCommandsAsCompleteEvents)
+{
+    ChromeTraceWriter writer(timing());
+    DramCommandObserver *tap = writer.channelTap(0);
+    ASSERT_NE(tap, nullptr);
+    tap->onCommand(DramCommand::Activate, 0, 17, 10);
+    tap->onCommand(DramCommand::Read, 0, 17, 25);
+    tap->onCommand(DramCommand::Precharge, 1, 3, 40);
+    tap->onRefresh(100);
+    writer.finalize(200);
+
+    const Json doc = writer.toJson();
+    const std::vector<FlatEvent> events = flatten(doc);
+    ASSERT_EQ(events.size(), 4u);
+    for (const FlatEvent &ev : events) {
+        EXPECT_EQ(ev.phase, "X");
+        EXPECT_EQ(ev.pid, 100u); // Channel 0 lane group.
+    }
+    EXPECT_EQ(events[0].tid, 0u);
+    EXPECT_EQ(events[2].tid, 1u); // Bank 1 gets its own lane.
+    EXPECT_EQ(events[0].ts, 10u);
+
+    // Complete events carry a positive duration from the timing model.
+    const Json::Array &raw =
+        doc.at("traceEvents", "trace").asArray("traceEvents");
+    for (const Json &ev : raw) {
+        if (ev.at("ph", "ev").asString("ph") == "X") {
+            EXPECT_GT(ev.at("dur", "ev").asUint("dur"), 0u);
+        }
+    }
+}
+
+TEST(ChromeTraceWriter, PairsFairnessSpans)
+{
+    ChromeTraceWriter writer(timing());
+    FairnessModeTap *tap = writer.fairnessTap();
+    ASSERT_NE(tap, nullptr);
+    tap->onFairnessMode(true, 1, 1.31, 50);
+    tap->onFairnessMode(false, kInvalidThread, 1.05, 80);
+    tap->onFairnessMode(true, 0, 1.22, 120);
+    writer.finalize(200);
+
+    const Json doc = writer.toJson();
+    unsigned begins = 0, ends = 0;
+    for (const FlatEvent &ev : flatten(doc)) {
+        EXPECT_EQ(ev.pid, 1u); // Scheduler lane.
+        if (ev.phase == "B")
+            ++begins;
+        if (ev.phase == "E")
+            ++ends;
+    }
+    EXPECT_EQ(begins, 2u);
+    // The span still open at end of run is closed by finalize.
+    EXPECT_EQ(ends, 2u);
+}
+
+TEST(ChromeTraceWriter, DrainSpansAndEmergencyInstants)
+{
+    ChromeTraceWriter writer(timing());
+    DrainTap *tap = writer.drainTap(0);
+    ASSERT_NE(tap, nullptr);
+    tap->onDrainState(true, false, 2, 100);
+    tap->onDrainState(true, true, 2, 130); // Emergency while draining.
+    tap->onDrainState(false, false, 0, 160);
+    writer.finalize(200);
+
+    unsigned begins = 0, ends = 0, instants = 0;
+    for (const FlatEvent &ev : flatten(writer.toJson())) {
+        EXPECT_EQ(ev.pid, 100u);
+        EXPECT_EQ(ev.tid, 1000u); // The per-channel drain lane.
+        if (ev.phase == "B")
+            ++begins;
+        if (ev.phase == "E")
+            ++ends;
+        if (ev.phase == "i")
+            ++instants;
+    }
+    EXPECT_GE(begins, 1u);
+    EXPECT_EQ(begins, ends);
+    EXPECT_EQ(instants, 1u);
+}
+
+TEST(ChromeTraceWriter, DocumentEnvelope)
+{
+    ChromeTraceWriter writer(timing());
+    writer.channelTap(0)->onCommand(DramCommand::Activate, 0, 0, 1);
+    writer.finalize(10);
+    const Json doc = writer.toJson();
+    EXPECT_EQ(doc.at("otherData", "doc")
+                  .at("schema", "otherData")
+                  .asString("schema"),
+              "stfm-trace-v1");
+    EXPECT_NE(doc.at("otherData", "doc").find("clock"), nullptr);
+
+    // Lane metadata is emitted for every lane that saw events.
+    bool channel_meta = false, lane_meta = false;
+    const Json::Array &events =
+        doc.at("traceEvents", "trace").asArray("traceEvents");
+    for (const Json &ev : events) {
+        if (ev.at("ph", "ev").asString("ph") != "M")
+            continue;
+        const std::string name = ev.at("name", "ev").asString("name");
+        channel_meta = channel_meta || name == "process_name";
+        lane_meta = lane_meta || name == "thread_name";
+    }
+    EXPECT_TRUE(channel_meta);
+    EXPECT_TRUE(lane_meta);
+}
+
+// Full-run traces ----------------------------------------------------
+
+TEST(TraceExport, FullRunTraceIsWellFormed)
+{
+    const SimConfig config = tracedConfig(2, PolicyKind::Stfm);
+    auto system = makeSystem(config, {"mcf", "lbm"});
+    system->run();
+
+    const ObsSession *obs = system->obs();
+    ASSERT_NE(obs, nullptr);
+    ASSERT_TRUE(obs->hasTraceDoc());
+    const Json doc = obs->traceJson();
+    const std::vector<FlatEvent> events = flatten(doc);
+    ASSERT_FALSE(events.empty());
+
+    // Timestamps are non-decreasing within each (pid, tid) lane, and
+    // B/E spans are balanced per lane.
+    std::map<std::pair<unsigned, unsigned>, std::uint64_t> last_ts;
+    std::map<std::pair<unsigned, unsigned>, int> open_spans;
+    unsigned complete = 0, begins = 0;
+    for (const FlatEvent &ev : events) {
+        const auto lane = std::make_pair(ev.pid, ev.tid);
+        const auto it = last_ts.find(lane);
+        if (it != last_ts.end()) {
+            EXPECT_GE(ev.ts, it->second)
+                << "lane " << ev.pid << ":" << ev.tid;
+        }
+        last_ts[lane] = ev.ts;
+        if (ev.phase == "X")
+            ++complete;
+        if (ev.phase == "B") {
+            ++begins;
+            ++open_spans[lane];
+        }
+        if (ev.phase == "E") {
+            --open_spans[lane];
+            EXPECT_GE(open_spans[lane], 0)
+                << "E without B on lane " << ev.pid << ":" << ev.tid;
+        }
+    }
+    EXPECT_GT(complete, 0u);   // DRAM commands were traced.
+    EXPECT_GT(begins, 0u);     // STFM entered fairness mode.
+    for (const auto &entry : open_spans)
+        EXPECT_EQ(entry.second, 0) << "unclosed span on lane "
+                                   << entry.first.first << ":"
+                                   << entry.first.second;
+}
+
+TEST(TraceExport, TracingDoesNotChangeResults)
+{
+    SimConfig off = tracedConfig(2, PolicyKind::FrFcfs);
+    off.telemetry.trace.clear();
+    const SimConfig on = tracedConfig(2, PolicyKind::FrFcfs);
+
+    auto a = makeSystem(off, {"mcf", "h264ref"});
+    auto b = makeSystem(on, {"mcf", "h264ref"});
+    const SimResult ra = a->run();
+    const SimResult rb = b->run();
+    EXPECT_EQ(ra.totalCycles, rb.totalCycles);
+    ASSERT_EQ(ra.threads.size(), rb.threads.size());
+    for (std::size_t t = 0; t < ra.threads.size(); ++t) {
+        EXPECT_EQ(ra.threads[t].cycles, rb.threads[t].cycles);
+        EXPECT_EQ(ra.threads[t].dramReads, rb.threads[t].dramReads);
+        EXPECT_EQ(ra.threads[t].rowHits, rb.threads[t].rowHits);
+    }
+}
+
+TEST(TraceExport, ComposesWithProtocolChecker)
+{
+    // The trace tap attaches via DramChannel::addObserver so it rides
+    // alongside the integrity layer's shadow protocol checker. Both
+    // must see every command: the checker validates the run (it throws
+    // on a protocol violation) while the trace still fills with
+    // command events.
+    SimConfig config = tracedConfig(2, PolicyKind::Stfm);
+    config.memory.controller.integrity.protocolCheck = true;
+    config.memory.controller.integrity.watchdog = true;
+
+    auto system = makeSystem(config, {"mcf", "omnetpp"});
+    ASSERT_NO_THROW(system->run());
+
+    const ObsSession *obs = system->obs();
+    ASSERT_NE(obs, nullptr);
+    ASSERT_TRUE(obs->hasTraceDoc());
+    unsigned complete = 0;
+    for (const FlatEvent &ev : flatten(obs->traceJson())) {
+        if (ev.phase == "X")
+            ++complete;
+    }
+    EXPECT_GT(complete, 0u);
+}
+
+} // namespace
+} // namespace stfm
