@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic worker fault injection.
+ *
+ * The robustness story of the fleet tier is proven, not asserted: the
+ * hook is compiled in always and armed only through the STFM_FAULT
+ * environment variable, so integration tests (and curious users) can
+ * make a worker misbehave at an exact, reproducible point:
+ *
+ *   STFM_FAULT=crash@K     exit with a nonzero code at shard K
+ *   STFM_FAULT=abort@K     raise SIGABRT at shard K (signal class)
+ *   STFM_FAULT=hang@K      go silent forever at shard K (no result,
+ *                          no heartbeats -> liveness kill)
+ *   STFM_FAULT=garbage@K   write junk bytes on the protocol stream,
+ *                          then exit 0 (protocol-garbage class)
+ *   STFM_FAULT=slow@K      stall 8 heartbeat periods before running
+ *                          shard K while heartbeats keep flowing (must
+ *                          NOT be classified as a hang)
+ *   STFM_FAULT=simfail@K   throw SimError from the first run attempt
+ *                          of shard K (exercises the in-worker
+ *                          reseeded-retry machinery, spec "attempts")
+ *
+ * Faults arm on process-level attempt 1 only: a supervisor retry of
+ * the same shard runs clean. That is what makes the retry/resume
+ * determinism tests meaningful — the replay must produce the result
+ * the faultless run would have.
+ */
+
+#ifndef STFM_FLEET_FAULT_HH
+#define STFM_FLEET_FAULT_HH
+
+#include <string>
+
+namespace stfm
+{
+namespace fleet
+{
+
+struct FaultPlan
+{
+    enum class Kind
+    {
+        None,
+        Crash,
+        Abort,
+        Hang,
+        Garbage,
+        Slow,
+        SimFail,
+    };
+
+    Kind kind = Kind::None;
+    unsigned shard = 0;
+
+    bool
+    armedFor(unsigned shard_index, unsigned attempt) const
+    {
+        return kind != Kind::None && shard == shard_index &&
+               attempt == 1;
+    }
+};
+
+/** Exit code of a Crash fault (recognizable in diagnostics). */
+inline constexpr int kCrashExitCode = 42;
+
+/** Parse "kind@shard". @throws SimError on a malformed value. */
+FaultPlan parseFaultPlan(const std::string &text);
+
+/** Parse STFM_FAULT from the environment; None when unset/empty. */
+FaultPlan faultPlanFromEnv();
+
+} // namespace fleet
+} // namespace stfm
+
+#endif // STFM_FLEET_FAULT_HH

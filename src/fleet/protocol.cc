@@ -1,0 +1,163 @@
+#include "fleet/protocol.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+namespace
+{
+
+/** Parse exactly 8 lowercase/uppercase hex digits; npos on garbage. */
+std::size_t
+parseHexLength(const char *digits)
+{
+    std::size_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        const char c = digits[i];
+        int nibble;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            nibble = c - 'A' + 10;
+        else
+            return static_cast<std::size_t>(-1);
+        value = (value << 4) | static_cast<std::size_t>(nibble);
+    }
+    return value;
+}
+
+} // namespace
+
+std::string
+encodeFrame(const Json &message)
+{
+    const std::string payload = message.dump();
+    STFM_ASSERT(payload.size() <= kMaxFrameBytes,
+                "fleet frame payload too large: %zu bytes",
+                payload.size());
+    char header[kFrameHeaderBytes + 1];
+    std::memcpy(header, kFrameMagic, sizeof(kFrameMagic));
+    std::snprintf(header + sizeof(kFrameMagic), 9, "%08zx",
+                  payload.size());
+    return std::string(header, kFrameHeaderBytes) + payload;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t size)
+{
+    if (!dead_)
+        buffer_.append(data, size);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(Json &out, std::string *error)
+{
+    if (dead_) {
+        if (error)
+            *error = deadReason_;
+        return Status::Garbage;
+    }
+    if (buffer_.size() < kFrameHeaderBytes)
+        return Status::NeedMore;
+
+    const auto die = [&](std::string reason) {
+        dead_ = true;
+        deadReason_ = std::move(reason);
+        if (error)
+            *error = deadReason_;
+        return Status::Garbage;
+    };
+
+    if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) !=
+        0) {
+        return die(formatMessage(
+            "bad frame magic (first bytes: %.4s)", buffer_.c_str()));
+    }
+    const std::size_t length =
+        parseHexLength(buffer_.data() + sizeof(kFrameMagic));
+    if (length == static_cast<std::size_t>(-1))
+        return die("unparsable frame length field");
+    if (length > kMaxFrameBytes) {
+        return die(
+            formatMessage("frame length %zu exceeds limit", length));
+    }
+    if (buffer_.size() < kFrameHeaderBytes + length)
+        return Status::NeedMore;
+
+    const std::string payload =
+        buffer_.substr(kFrameHeaderBytes, length);
+    buffer_.erase(0, kFrameHeaderBytes + length);
+    try {
+        out = Json::parse(payload);
+    } catch (const SimError &e) {
+        return die(formatMessage("frame payload is not JSON: %s",
+                                 e.what()));
+    }
+    return Status::Frame;
+}
+
+bool
+writeFrame(int fd, const Json &message)
+{
+    const std::string frame = encodeFrame(message);
+    std::size_t done = 0;
+    while (done < frame.size()) {
+        const ssize_t n =
+            ::write(fd, frame.data() + done, frame.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readFrame(int fd, Json &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    FrameDecoder decoder;
+    char chunk[4096];
+    for (;;) {
+        switch (decoder.next(out, error)) {
+        case FrameDecoder::Status::Frame:
+            return true;
+        case FrameDecoder::Status::Garbage:
+            return false;
+        case FrameDecoder::Status::NeedMore:
+            break;
+        }
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error) {
+                *error = formatMessage("read failed: %s",
+                                       std::strerror(errno));
+            }
+            return false;
+        }
+        if (n == 0) {
+            if (!decoder.idle() && error)
+                *error = "stream ended mid-frame";
+            return false;
+        }
+        decoder.feed(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace fleet
+} // namespace stfm

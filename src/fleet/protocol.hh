@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The fleet wire protocol: length-prefixed JSON frames.
+ *
+ * A supervisor and its `stfm worker` subprocesses exchange messages
+ * over plain pipes (worker stdin/stdout). Each message is one frame:
+ *
+ *   +------+----------------+------------------+
+ *   | STFM | 8 hex digits   | payload bytes    |
+ *   +------+----------------+------------------+
+ *     magic  payload length   compact JSON
+ *
+ * The fixed 12-byte header makes framing self-describing and makes
+ * corruption *classifiable*: a stream that does not start with the
+ * magic, carries an absurd length, or whose payload fails to parse is
+ * reported as protocol garbage (FrameDecoder::Status::Garbage) rather
+ * than silently misinterpreted — the supervisor turns that verdict
+ * into a retry with a "protocol garbage" diagnosis.
+ *
+ * Two consumption styles:
+ *   - FrameDecoder: incremental (supervisor side, fed from poll());
+ *   - readFrame(): blocking loop over a fd (worker side).
+ */
+
+#ifndef STFM_FLEET_PROTOCOL_HH
+#define STFM_FLEET_PROTOCOL_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/json.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+/** Frame header: 4 magic bytes + 8 lowercase-hex payload-length. */
+inline constexpr char kFrameMagic[4] = {'S', 'T', 'F', 'M'};
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+/** Upper bound on a sane payload (shard results are far smaller). */
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 30;
+
+/** Serialize @p message into one frame (header + compact JSON). */
+std::string encodeFrame(const Json &message);
+
+/**
+ * Incremental frame parser. feed() appends raw bytes; next() extracts
+ * the next complete frame, reporting malformed input as Garbage (the
+ * decoder does not attempt resynchronization — one garbage verdict
+ * poisons the stream, which is exactly the supervisor's failure
+ * semantics for a corrupted worker).
+ */
+class FrameDecoder
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< No complete frame buffered yet.
+        Frame,    ///< A frame was extracted into the out parameter.
+        Garbage,  ///< The stream is corrupt; @p error explains how.
+    };
+
+    void feed(const char *data, std::size_t size);
+
+    /** Extract the next frame. After Garbage the decoder stays dead. */
+    Status next(Json &out, std::string *error = nullptr);
+
+    /** True when no partial frame is pending (clean stream end). */
+    bool idle() const { return buffer_.empty() && !dead_; }
+
+  private:
+    std::string buffer_;
+    bool dead_ = false;
+    std::string deadReason_;
+};
+
+/**
+ * Write one frame to @p fd, looping over partial writes.
+ * @return false on any write error (EPIPE when the peer is gone).
+ */
+bool writeFrame(int fd, const Json &message);
+
+/**
+ * Blocking read of the next frame from @p fd.
+ * @return true on a frame; false on clean EOF (error empty) or on
+ *         garbage / read error / truncated frame (error set).
+ */
+bool readFrame(int fd, Json &out, std::string *error = nullptr);
+
+} // namespace fleet
+} // namespace stfm
+
+#endif // STFM_FLEET_PROTOCOL_HH

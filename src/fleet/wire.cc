@@ -1,0 +1,300 @@
+#include "fleet/wire.hh"
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+namespace
+{
+
+/** Required-member lookup with a dotted-context error. */
+const Json &
+member(const Json &json, const char *key, const std::string &context)
+{
+    return json.at(key, context);
+}
+
+double
+memberDouble(const Json &json, const char *key,
+             const std::string &context)
+{
+    return member(json, key, context).asDouble(context + "." + key);
+}
+
+std::uint64_t
+memberUint(const Json &json, const char *key, const std::string &context)
+{
+    return member(json, key, context).asUint(context + "." + key);
+}
+
+} // namespace
+
+Json
+toWire(const ThreadResult &thread)
+{
+    Json out = Json::object();
+    out.set("instructions", thread.instructions);
+    out.set("cycles", thread.cycles);
+    out.set("memStallCycles", thread.memStallCycles);
+    out.set("l2Misses", thread.l2Misses);
+    out.set("dramReads", thread.dramReads);
+    out.set("dramWrites", thread.dramWrites);
+    out.set("rowHits", thread.rowHits);
+    out.set("rowClosed", thread.rowClosed);
+    out.set("rowConflicts", thread.rowConflicts);
+    out.set("readLatencyMean", thread.readLatencyMean);
+    out.set("readLatencyP50", thread.readLatencyP50);
+    out.set("readLatencyP99", thread.readLatencyP99);
+    out.set("readLatencyMax", thread.readLatencyMax);
+    return out;
+}
+
+ThreadResult
+threadResultFromWire(const Json &json, const std::string &context)
+{
+    ThreadResult thread;
+    thread.instructions = memberUint(json, "instructions", context);
+    thread.cycles = memberUint(json, "cycles", context);
+    thread.memStallCycles = memberUint(json, "memStallCycles", context);
+    thread.l2Misses = memberUint(json, "l2Misses", context);
+    thread.dramReads = memberUint(json, "dramReads", context);
+    thread.dramWrites = memberUint(json, "dramWrites", context);
+    thread.rowHits = memberUint(json, "rowHits", context);
+    thread.rowClosed = memberUint(json, "rowClosed", context);
+    thread.rowConflicts = memberUint(json, "rowConflicts", context);
+    thread.readLatencyMean =
+        memberDouble(json, "readLatencyMean", context);
+    thread.readLatencyP50 = memberUint(json, "readLatencyP50", context);
+    thread.readLatencyP99 = memberUint(json, "readLatencyP99", context);
+    thread.readLatencyMax = memberUint(json, "readLatencyMax", context);
+    return thread;
+}
+
+Json
+toWire(const SimResult &result)
+{
+    Json out = Json::object();
+    Json threads = Json::array();
+    for (const ThreadResult &thread : result.threads)
+        threads.push(toWire(thread));
+    out.set("threads", std::move(threads));
+    out.set("totalCycles", result.totalCycles);
+    out.set("hitCycleLimit", result.hitCycleLimit);
+    return out;
+}
+
+SimResult
+simResultFromWire(const Json &json, const std::string &context)
+{
+    SimResult result;
+    const Json::Array &threads =
+        member(json, "threads", context)
+            .asArray(context + ".threads");
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        result.threads.push_back(threadResultFromWire(
+            threads[i],
+            formatMessage("%s.threads[%zu]", context.c_str(), i)));
+    }
+    result.totalCycles = memberUint(json, "totalCycles", context);
+    result.hitCycleLimit =
+        member(json, "hitCycleLimit", context)
+            .asBool(context + ".hitCycleLimit");
+    return result;
+}
+
+Json
+toWire(const MetricsReport &metrics)
+{
+    Json out = Json::object();
+    Json slowdowns = Json::array();
+    for (const double v : metrics.slowdowns)
+        slowdowns.push(Json(v));
+    out.set("slowdowns", std::move(slowdowns));
+    Json rel = Json::array();
+    for (const double v : metrics.relIpc)
+        rel.push(Json(v));
+    out.set("relIpc", std::move(rel));
+    out.set("unfairness", metrics.unfairness);
+    out.set("weightedSpeedup", metrics.weightedSpeedup);
+    out.set("hmeanSpeedup", metrics.hmeanSpeedup);
+    out.set("sumOfIpcs", metrics.sumOfIpcs);
+    return out;
+}
+
+MetricsReport
+metricsFromWire(const Json &json, const std::string &context)
+{
+    MetricsReport metrics;
+    for (const Json &v :
+         member(json, "slowdowns", context)
+             .asArray(context + ".slowdowns"))
+        metrics.slowdowns.push_back(
+            v.asDouble(context + ".slowdowns[]"));
+    for (const Json &v :
+         member(json, "relIpc", context).asArray(context + ".relIpc"))
+        metrics.relIpc.push_back(v.asDouble(context + ".relIpc[]"));
+    metrics.unfairness = memberDouble(json, "unfairness", context);
+    metrics.weightedSpeedup =
+        memberDouble(json, "weightedSpeedup", context);
+    metrics.hmeanSpeedup = memberDouble(json, "hmeanSpeedup", context);
+    metrics.sumOfIpcs = memberDouble(json, "sumOfIpcs", context);
+    return metrics;
+}
+
+Json
+toWire(const RunOutcome &outcome)
+{
+    Json out = Json::object();
+    out.set("policyName", outcome.policyName);
+    out.set("failed", outcome.failed);
+    out.set("attempts", outcome.attempts);
+    if (outcome.failed) {
+        out.set("error", outcome.error);
+        return out;
+    }
+    out.set("shared", toWire(outcome.shared));
+    out.set("metrics", toWire(outcome.metrics));
+    if (outcome.hasTelemetry())
+        out.set("telemetry", outcome.telemetry);
+    if (outcome.hasTrace())
+        out.set("trace", outcome.trace);
+    return out;
+}
+
+RunOutcome
+runOutcomeFromWire(const Json &json, const std::string &context)
+{
+    RunOutcome outcome;
+    outcome.policyName =
+        member(json, "policyName", context)
+            .asString(context + ".policyName");
+    outcome.failed =
+        member(json, "failed", context).asBool(context + ".failed");
+    outcome.attempts = static_cast<unsigned>(
+        memberUint(json, "attempts", context));
+    if (outcome.failed) {
+        outcome.error =
+            member(json, "error", context).asString(context + ".error");
+        return outcome;
+    }
+    outcome.shared = simResultFromWire(member(json, "shared", context),
+                                       context + ".shared");
+    outcome.metrics = metricsFromWire(member(json, "metrics", context),
+                                      context + ".metrics");
+    if (const Json *v = json.find("telemetry"))
+        outcome.telemetry = *v;
+    if (const Json *v = json.find("trace"))
+        outcome.trace = *v;
+    return outcome;
+}
+
+Json
+toWire(const WorkUnit &unit)
+{
+    Json out = Json::object();
+    out.set("type", "shard");
+    out.set("schema", kWorkUnitSchema);
+    out.set("shard", unit.shard);
+    out.set("attempt", unit.attempt);
+    out.set("beginJob", static_cast<std::uint64_t>(unit.beginJob));
+    out.set("endJob", static_cast<std::uint64_t>(unit.endJob));
+    out.set("heartbeatMs", unit.heartbeatMs);
+    out.set("spec", unit.spec);
+    Json alone = Json::object();
+    for (const auto &[key, result] : unit.alone)
+        alone.set(key, toWire(result));
+    out.set("alone", std::move(alone));
+    return out;
+}
+
+WorkUnit
+workUnitFromWire(const Json &json)
+{
+    const std::string context = "workunit";
+    const std::string schema =
+        member(json, "schema", context).asString(context + ".schema");
+    if (schema != kWorkUnitSchema) {
+        throw SimError(formatMessage(
+            "work unit schema mismatch: got '%s', expected '%s'",
+            schema.c_str(), kWorkUnitSchema));
+    }
+    WorkUnit unit;
+    unit.shard =
+        static_cast<unsigned>(memberUint(json, "shard", context));
+    unit.attempt =
+        static_cast<unsigned>(memberUint(json, "attempt", context));
+    unit.beginJob = memberUint(json, "beginJob", context);
+    unit.endJob = memberUint(json, "endJob", context);
+    unit.heartbeatMs =
+        static_cast<unsigned>(memberUint(json, "heartbeatMs", context));
+    unit.spec = member(json, "spec", context);
+    for (const auto &[key, value] :
+         member(json, "alone", context).asObject(context + ".alone")) {
+        unit.alone[key] =
+            threadResultFromWire(value, context + ".alone." + key);
+    }
+    return unit;
+}
+
+Json
+toWire(const ShardResult &result)
+{
+    Json out = Json::object();
+    out.set("type", "result");
+    out.set("schema", kShardResultSchema);
+    out.set("shard", result.shard);
+    Json outcomes = Json::array();
+    for (const RunOutcome &outcome : result.outcomes)
+        outcomes.push(toWire(outcome));
+    out.set("outcomes", std::move(outcomes));
+    Json alone = Json::object();
+    for (const auto &[key, thread] : result.alone)
+        alone.set(key, toWire(thread));
+    out.set("alone", std::move(alone));
+    return out;
+}
+
+ShardResult
+shardResultFromWire(const Json &json)
+{
+    const std::string context = "shardresult";
+    const std::string schema =
+        member(json, "schema", context).asString(context + ".schema");
+    if (schema != kShardResultSchema) {
+        throw SimError(formatMessage(
+            "shard result schema mismatch: got '%s', expected '%s'",
+            schema.c_str(), kShardResultSchema));
+    }
+    ShardResult result;
+    result.shard =
+        static_cast<unsigned>(memberUint(json, "shard", context));
+    const Json::Array &outcomes =
+        member(json, "outcomes", context)
+            .asArray(context + ".outcomes");
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        result.outcomes.push_back(runOutcomeFromWire(
+            outcomes[i],
+            formatMessage("%s.outcomes[%zu]", context.c_str(), i)));
+    }
+    for (const auto &[key, value] :
+         member(json, "alone", context).asObject(context + ".alone")) {
+        result.alone[key] =
+            threadResultFromWire(value, context + ".alone." + key);
+    }
+    return result;
+}
+
+Json
+heartbeatMessage(unsigned shard)
+{
+    Json out = Json::object();
+    out.set("type", "heartbeat");
+    out.set("shard", shard);
+    return out;
+}
+
+} // namespace fleet
+} // namespace stfm

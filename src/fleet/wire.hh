@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fleet message schemas: the work-unit a supervisor sends to a worker
+ * and the shard-result fragment a worker sends back, plus the exact
+ * JSON round-trip of the result structs they carry.
+ *
+ * Exactness matters: a resumed sweep replays completed shards out of
+ * the manifest instead of re-simulating them, and the acceptance bar
+ * is a merged stfm-results-v1 document *byte-identical* to an
+ * uninterrupted run. common/json preserves 64-bit integers exactly and
+ * prints doubles in their shortest round-trip form, so serializing the
+ * raw RunOutcome fields (not derived values) and re-parsing them
+ * reconstructs bit-equal structs — `tests/test_fleet.cc` pins this.
+ *
+ * Message schemas (all frames carry "type"):
+ *
+ *   work unit  (supervisor -> worker), "stfm-workunit-v1":
+ *     { "type": "shard", "schema": ..., "shard": k, "attempt": a,
+ *       "beginJob": i, "endJob": j, "heartbeatMs": h,
+ *       "spec": { canonical ExperimentSpec echo },
+ *       "alone": { "<cache key>": ThreadResult, ... } }
+ *
+ *   heartbeat  (worker -> supervisor):
+ *     { "type": "heartbeat", "shard": k }
+ *
+ *   result     (worker -> supervisor), "stfm-shardresult-v1":
+ *     { "type": "result", "schema": ..., "shard": k,
+ *       "outcomes": [ RunOutcome, ... ],      // jobs [beginJob, endJob)
+ *       "alone": { newly computed baselines } }
+ *
+ * The worker re-derives the job grid from the spec echo (the same
+ * planExperiment() the supervisor used), so a work unit only names a
+ * contiguous job range — the grid itself is never shipped.
+ */
+
+#ifndef STFM_FLEET_WIRE_HH
+#define STFM_FLEET_WIRE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/runner.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+inline constexpr const char *kWorkUnitSchema = "stfm-workunit-v1";
+inline constexpr const char *kShardResultSchema = "stfm-shardresult-v1";
+
+// Result-struct round trips ------------------------------------------
+
+Json toWire(const ThreadResult &thread);
+ThreadResult threadResultFromWire(const Json &json,
+                                  const std::string &context);
+
+Json toWire(const SimResult &result);
+SimResult simResultFromWire(const Json &json,
+                            const std::string &context);
+
+Json toWire(const MetricsReport &metrics);
+MetricsReport metricsFromWire(const Json &json,
+                              const std::string &context);
+
+Json toWire(const RunOutcome &outcome);
+RunOutcome runOutcomeFromWire(const Json &json,
+                              const std::string &context);
+
+// Messages -----------------------------------------------------------
+
+/** One shard assignment: a contiguous job range of the spec's grid. */
+struct WorkUnit
+{
+    unsigned shard = 0;
+    /** Process-level attempt, 1-based. Retries replay with the same
+     *  seeds (crash-class faults are environmental); the in-run
+     *  reseeded retries stay inside the worker per spec "attempts". */
+    unsigned attempt = 1;
+    std::size_t beginJob = 0;
+    std::size_t endJob = 0;
+    unsigned heartbeatMs = 250;
+    Json spec = Json::object();
+    /** Alone-baseline cache entries already known fleet-wide. */
+    std::map<std::string, ThreadResult> alone;
+};
+
+/** A worker's answer for one shard. */
+struct ShardResult
+{
+    unsigned shard = 0;
+    std::vector<RunOutcome> outcomes;
+    /** Baselines this worker computed that were not in the unit. */
+    std::map<std::string, ThreadResult> alone;
+};
+
+Json toWire(const WorkUnit &unit);
+WorkUnit workUnitFromWire(const Json &json);
+
+Json toWire(const ShardResult &result);
+ShardResult shardResultFromWire(const Json &json);
+
+Json heartbeatMessage(unsigned shard);
+
+} // namespace fleet
+} // namespace stfm
+
+#endif // STFM_FLEET_WIRE_HH

@@ -1,0 +1,249 @@
+#include "fleet/worker.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include <csignal>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "fleet/fault.hh"
+#include "fleet/protocol.hh"
+#include "harness/experiment.hh"
+#include "harness/spec.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+namespace
+{
+
+/**
+ * Emits one heartbeat frame per period while a shard runs. Frame
+ * writes share @p write_mutex with the result write so a heartbeat
+ * can never interleave mid-frame with a result.
+ */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(int fd, std::mutex &write_mutex, unsigned shard,
+                    unsigned period_ms)
+        : fd_(fd), writeMutex_(write_mutex), shard_(shard),
+          periodMs_(period_ms > 0 ? period_ms : 250)
+    {
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~HeartbeatThread() { stop(); }
+
+    void
+    stop()
+    {
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            if (stopped_)
+                return;
+            stopped_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            cv_.wait_for(lock,
+                         std::chrono::milliseconds(periodMs_),
+                         [this] { return stopped_; });
+            if (stopped_)
+                return;
+            lock.unlock();
+            {
+                std::lock_guard<std::mutex> guard(writeMutex_);
+                // A failed write means the supervisor is gone; the
+                // result write will notice and end the worker.
+                (void)writeFrame(fd_, heartbeatMessage(shard_));
+            }
+            lock.lock();
+        }
+    }
+
+    int fd_;
+    std::mutex &writeMutex_;
+    unsigned shard_;
+    unsigned periodMs_;
+    std::thread thread_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopped_ = false;
+};
+
+/** Act out the process-level faults (never returns). */
+[[noreturn]] void
+performProcessFault(FaultPlan::Kind kind, int out_fd)
+{
+    switch (kind) {
+    case FaultPlan::Kind::Crash:
+        std::_Exit(kCrashExitCode);
+    case FaultPlan::Kind::Abort:
+        std::abort();
+    case FaultPlan::Kind::Hang:
+        // Silent forever: no result, no heartbeats. The supervisor's
+        // liveness deadline is the only way out.
+        for (;;)
+            ::pause();
+    case FaultPlan::Kind::Garbage: {
+        const char junk[] =
+            "not a frame: deadbeef deadbeef deadbeef deadbeef\n";
+        (void)!::write(out_fd, junk, sizeof(junk) - 1);
+        std::_Exit(0);
+    }
+    default:
+        STFM_PANIC("not a process-level fault kind");
+    }
+}
+
+} // namespace
+
+ShardResult
+executeWorkUnit(const WorkUnit &unit)
+{
+    const ExperimentSpec spec = specFromJson(unit.spec);
+    const ExperimentPlan plan = planExperiment(spec);
+    if (unit.beginJob > unit.endJob ||
+        unit.endJob > plan.jobs.size()) {
+        throw SimError(formatMessage(
+            "work unit job range [%zu, %zu) exceeds the spec's grid "
+            "(%zu jobs)",
+            unit.beginJob, unit.endJob, plan.jobs.size()));
+    }
+
+    ExperimentRunner runner(plan.base);
+    configureRunner(runner, plan);
+    for (const auto &[key, baseline] : unit.alone)
+        runner.seedAloneBaseline(key, baseline);
+
+    const FaultPlan fault = faultPlanFromEnv();
+    if (fault.armedFor(unit.shard, unit.attempt) &&
+        fault.kind == FaultPlan::Kind::SimFail) {
+        // Fail every first run attempt in the shard: the runner's
+        // reseeded-retry machinery (spec "attempts") must recover it
+        // with the documented salt rule, base + attempt - 1.
+        runner.setAttemptHook([](const Workload &, unsigned attempt) {
+            if (attempt == 1) {
+                throw SimError(
+                    "injected simulation fault (STFM_FAULT=simfail)");
+            }
+        });
+    }
+
+    const std::vector<RunJob> slice(
+        plan.jobs.begin() +
+            static_cast<std::ptrdiff_t>(unit.beginJob),
+        plan.jobs.begin() + static_cast<std::ptrdiff_t>(unit.endJob));
+    // Sequential on purpose: worker processes are the fleet's
+    // parallelism unit, and one thread per worker keeps a shard's
+    // CPU footprint predictable for the supervisor's sizing.
+    ShardResult result;
+    result.shard = unit.shard;
+    result.outcomes = runner.runMany(slice, 1);
+    for (const auto &[key, baseline] : runner.aloneSnapshot()) {
+        if (unit.alone.find(key) == unit.alone.end())
+            result.alone[key] = baseline;
+    }
+    return result;
+}
+
+int
+workerLoop(int in_fd, int out_fd)
+{
+    FaultPlan fault;
+    try {
+        fault = faultPlanFromEnv();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "stfm worker: %s\n", e.what());
+        return 64;
+    }
+
+    std::mutex write_mutex;
+    for (;;) {
+        Json message;
+        std::string error;
+        if (!readFrame(in_fd, message, &error)) {
+            if (error.empty())
+                return 0; // Clean EOF: the supervisor is done with us.
+            std::fprintf(stderr, "stfm worker: bad input stream: %s\n",
+                         error.c_str());
+            return 65;
+        }
+
+        WorkUnit unit;
+        try {
+            unit = workUnitFromWire(message);
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "stfm worker: bad work unit: %s\n",
+                         e.what());
+            return 65;
+        }
+
+        if (fault.armedFor(unit.shard, unit.attempt)) {
+            switch (fault.kind) {
+            case FaultPlan::Kind::Crash:
+            case FaultPlan::Kind::Abort:
+            case FaultPlan::Kind::Hang:
+            case FaultPlan::Kind::Garbage:
+                performProcessFault(fault.kind, out_fd);
+            default:
+                break; // Slow/SimFail act inside the shard execution.
+            }
+        }
+
+        HeartbeatThread heartbeat(out_fd, write_mutex, unit.shard,
+                                  unit.heartbeatMs);
+
+        if (fault.armedFor(unit.shard, unit.attempt) &&
+            fault.kind == FaultPlan::Kind::Slow) {
+            // Stall well past the liveness window while heartbeats
+            // keep flowing: the supervisor must NOT call this a hang.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(8 * unit.heartbeatMs));
+        }
+
+        ShardResult result;
+        try {
+            result = executeWorkUnit(unit);
+        } catch (const SimError &e) {
+            heartbeat.stop();
+            std::fprintf(stderr,
+                         "stfm worker: shard %u unit rejected: %s\n",
+                         unit.shard, e.what());
+            return 66;
+        }
+        heartbeat.stop();
+
+        std::lock_guard<std::mutex> guard(write_mutex);
+        if (!writeFrame(out_fd, toWire(result)))
+            return 67; // Supervisor went away mid-result.
+    }
+}
+
+int
+workerMain()
+{
+    // An orphaned worker must die on its own terms (result write
+    // failure), not from an async SIGPIPE mid-simulation.
+    std::signal(SIGPIPE, SIG_IGN);
+    return workerLoop(STDIN_FILENO, STDOUT_FILENO);
+}
+
+} // namespace fleet
+} // namespace stfm

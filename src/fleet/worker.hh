@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The `stfm worker` subcommand: a shard executor on stdin/stdout.
+ *
+ * A worker is a loop: read one work-unit frame from stdin, execute the
+ * named job range of the spec's grid in-process (the same
+ * planExperiment/ExperimentRunner path runExperiment uses, with the
+ * supervisor's alone-baseline cache pre-seeded), write one
+ * shard-result frame to stdout, repeat until EOF. While a shard runs,
+ * a background thread emits heartbeat frames so the supervisor can
+ * distinguish "slow" from "hung".
+ *
+ * The worker is deliberately thin: everything that decides *what* to
+ * run lives in the spec echo, and everything that decides *what to do
+ * about failures* lives in the supervisor. Simulation-level failures
+ * (SimError/CheckFailure) never escape a shard — they are FAILED
+ * outcome rows, exactly as in-process runMany reports them; only
+ * process-level calamities (crash, hang, a corrupted stream) are the
+ * supervisor's business. STFM_FAULT (fleet/fault.hh) manufactures
+ * those calamities on demand.
+ */
+
+#ifndef STFM_FLEET_WORKER_HH
+#define STFM_FLEET_WORKER_HH
+
+#include "fleet/wire.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+/**
+ * Run the worker protocol loop over @p in_fd / @p out_fd until EOF.
+ * @return the process exit code (0 = clean end of stream).
+ */
+int workerLoop(int in_fd, int out_fd);
+
+/** Entry point of `stfm worker` (stdin/stdout). */
+int workerMain();
+
+/**
+ * Execute one work unit in-process (no protocol, no heartbeats): the
+ * exact computation a worker performs for a shard. Exposed so tests
+ * can pin worker-vs-runExperiment equivalence without subprocesses.
+ * @throws SimError on an invalid unit (bad spec, bad job range).
+ */
+ShardResult executeWorkUnit(const WorkUnit &unit);
+
+} // namespace fleet
+} // namespace stfm
+
+#endif // STFM_FLEET_WORKER_HH

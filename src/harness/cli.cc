@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "fleet/supervisor.hh"
+#include "fleet/worker.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "harness/spec.hh"
@@ -29,6 +31,8 @@ printUsage(std::ostream &os)
           "commands:\n"
           "  run <spec.json> [flags]   execute a declarative experiment\n"
           "  validate <spec.json>      parse, resolve and validate only\n"
+          "  worker                    shard executor (fleet-internal;\n"
+          "                            speaks frames on stdin/stdout)\n"
           "  list schedulers           scheduling policies and knobs\n"
           "  list workloads            the named workload catalog\n"
           "  list figures              registered paper figures\n"
@@ -44,7 +48,18 @@ printUsage(std::ostream &os)
           "  --instructions N  per-thread instruction-budget override\n"
           "  --telemetry       sample epoch telemetry (docs/METRICS.md)\n"
           "  --trace PATH      export a Chrome trace (docs/TRACING.md)\n"
-          "  --full            full-size sweep (sampled figures)\n";
+          "  --full            full-size sweep (sampled figures)\n"
+          "\n"
+          "fleet flags (run only; any of them engages the supervised\n"
+          "worker-process pool, see docs/ARCHITECTURE.md):\n"
+          "  --shards N        shard count (default: one per result row)\n"
+          "  --workers N       concurrent worker processes\n"
+          "  --retries N       process-level retries per shard (default 2)\n"
+          "  --timeout SEC     per-shard wall-clock timeout (default 600)\n"
+          "  --checkpoint DIR  append completed shards to DIR/manifest.jsonl\n"
+          "  --resume          replay checkpointed shards, run the rest\n"
+          "  --strict          exit 2 when any shard is merged as FAILED\n"
+          "  --quiet           suppress per-shard progress/ETA on stderr\n";
 }
 
 std::string
@@ -63,7 +78,36 @@ struct RunFlags
 {
     std::string specPath;
     std::string jsonPath;
+    /** Any fleet flag was given: run through the worker pool. */
+    bool fleetMode = false;
+    /** FAILED shards make the exit code nonzero. */
+    bool strict = false;
+    fleet::FleetOptions fleetOptions;
 };
+
+unsigned
+parseUnsignedFlag(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(value, &end, 10);
+    if (end == value || *end != '\0') {
+        throw SimError("flag " + flag + " needs an unsigned integer, "
+                       "got '" + value + "'");
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+double
+parseSecondsFlag(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || parsed < 0) {
+        throw SimError("flag " + flag + " needs a non-negative number "
+                       "of seconds, got '" + value + "'");
+    }
+    return parsed;
+}
 
 RunFlags
 parseRunFlags(const char *command, int argc, char **argv, int first)
@@ -73,6 +117,33 @@ parseRunFlags(const char *command, int argc, char **argv, int first)
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             flags.jsonPath = argv[++i];
+        } else if (arg == "--shards" && i + 1 < argc) {
+            flags.fleetOptions.shards =
+                parseUnsignedFlag(arg, argv[++i]);
+            flags.fleetMode = true;
+        } else if (arg == "--workers" && i + 1 < argc) {
+            flags.fleetOptions.workers =
+                parseUnsignedFlag(arg, argv[++i]);
+            flags.fleetMode = true;
+        } else if (arg == "--retries" && i + 1 < argc) {
+            flags.fleetOptions.retries =
+                parseUnsignedFlag(arg, argv[++i]);
+            flags.fleetMode = true;
+        } else if (arg == "--timeout" && i + 1 < argc) {
+            flags.fleetOptions.timeoutSec =
+                parseSecondsFlag(arg, argv[++i]);
+            flags.fleetMode = true;
+        } else if (arg == "--checkpoint" && i + 1 < argc) {
+            flags.fleetOptions.checkpoint = argv[++i];
+            flags.fleetMode = true;
+        } else if (arg == "--resume") {
+            flags.fleetOptions.resume = true;
+            flags.fleetMode = true;
+        } else if (arg == "--strict") {
+            flags.strict = true;
+            flags.fleetMode = true;
+        } else if (arg == "--quiet") {
+            flags.fleetOptions.quiet = true;
         } else if (arg == "--check") {
             setenv("STFM_CHECK", "1", 1);
         } else if (arg == "--reference") {
@@ -102,11 +173,8 @@ parseRunFlags(const char *command, int argc, char **argv, int first)
 }
 
 int
-commandRun(int argc, char **argv)
+finishRun(const ExperimentResult &result, const RunFlags &flags)
 {
-    const RunFlags flags = parseRunFlags("run", argc, argv, 2);
-    const ExperimentSpec spec = specFromText(readFile(flags.specPath));
-    const ExperimentResult result = runExperiment(spec);
     printExperiment(result);
     if (!flags.jsonPath.empty()) {
         writeResultsJson(result, flags.jsonPath);
@@ -115,6 +183,41 @@ commandRun(int argc, char **argv)
     for (const std::string &path : writeObsArtifacts(result))
         std::cout << "observability artifact written to " << path << "\n";
     return 0;
+}
+
+int
+commandRun(int argc, char **argv)
+{
+    const RunFlags flags = parseRunFlags("run", argc, argv, 2);
+    const ExperimentSpec spec = specFromText(readFile(flags.specPath));
+    if (!flags.fleetMode) {
+        const ExperimentResult result = runExperiment(spec);
+        return finishRun(result, flags);
+    }
+
+    const fleet::FleetOutcome outcome =
+        fleet::runShardedExperiment(spec, flags.fleetOptions);
+    if (outcome.interrupted) {
+        std::cerr << "stfm run: interrupted before the sweep completed"
+                  << (flags.fleetOptions.checkpoint.empty()
+                          ? ""
+                          : "; completed shards are checkpointed — "
+                            "rerun with --resume")
+                  << "\n";
+        return 130;
+    }
+    const int code = finishRun(outcome.result, flags);
+    if (outcome.anyFailed()) {
+        std::cerr << "stfm run: " << outcome.failedShards.size()
+                  << " shard(s) FAILED after retries; their rows are "
+                     "marked failed in the report"
+                  << (flags.strict ? "" : " (pass --strict to make "
+                                          "this exit nonzero)")
+                  << "\n";
+        if (flags.strict)
+            return 2;
+    }
+    return code;
 }
 
 int
@@ -227,6 +330,8 @@ cliMain(int argc, char **argv)
     try {
         if (command == "run")
             return commandRun(argc, argv);
+        if (command == "worker")
+            return fleet::workerMain();
         if (command == "validate")
             return commandValidate(argc, argv);
         if (command == "list")

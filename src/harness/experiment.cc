@@ -195,28 +195,28 @@ resolveConfig(const ExperimentSpec &spec, const EnvOverrides &env)
     return base;
 }
 
-ExperimentResult
-runExperiment(const ExperimentSpec &spec)
+ExperimentPlan
+planExperiment(const ExperimentSpec &spec)
 {
-    ExperimentResult result;
-    result.spec = spec;
-    result.env = EnvOverrides::capture();
-    result.workloads = resolveWorkloads(spec);
-    result.schedulers =
+    ExperimentPlan plan;
+    plan.spec = spec;
+    plan.env = EnvOverrides::capture();
+    plan.workloads = resolveWorkloads(spec);
+    plan.schedulers =
         spec.schedulers.empty() ? paperEntries() : spec.schedulers;
-    result.base = resolveConfig(spec, result.env);
+    plan.base = resolveConfig(spec, plan.env);
 
     // Validate every (workload size, scheduler) pairing the grid will
     // produce — per-thread weight/share lists must fit each core count.
     std::set<std::size_t> sizes;
-    for (const Workload &w : result.workloads) {
+    for (const Workload &w : plan.workloads) {
         if (w.empty())
             throw SimError("spec contains an empty workload");
         sizes.insert(w.size());
     }
     for (const std::size_t size : sizes) {
-        for (const SchedulerEntry &entry : result.schedulers) {
-            SimConfig probe = result.base;
+        for (const SchedulerEntry &entry : plan.schedulers) {
+            SimConfig probe = plan.base;
             probe.cores = static_cast<unsigned>(size);
             probe.scheduler = entry.config;
             const std::vector<std::string> problems =
@@ -229,24 +229,40 @@ runExperiment(const ExperimentSpec &spec)
         }
     }
 
-    ExperimentRunner runner(result.base);
-    runner.setMaxAttempts(spec.attempts);
-    for (const auto &[name, profile] : spec.benchmarks)
-        runner.addBenchmark(name, profile);
-
-    std::vector<RunJob> jobs;
-    jobs.reserve(result.rows() * result.schedulers.size());
-    for (const Workload &workload : result.workloads) {
+    plan.jobs.reserve(plan.rows() * plan.schedulers.size());
+    for (const Workload &workload : plan.workloads) {
         for (unsigned rep = 0; rep < spec.repeat; ++rep) {
-            for (const SchedulerEntry &entry : result.schedulers)
-                jobs.push_back(
+            for (const SchedulerEntry &entry : plan.schedulers)
+                plan.jobs.push_back(
                     {workload, entry.config, spec.seed + rep});
         }
     }
-    result.outcomes = runner.runMany(jobs, spec.jobs);
+    return plan;
+}
 
-    // Per-scheduler aggregates in job order (failures excluded), the
-    // exact accumulation the legacy sweep performed.
+ExperimentResult
+resultFromPlan(const ExperimentPlan &plan)
+{
+    ExperimentResult result;
+    result.spec = plan.spec;
+    result.env = plan.env;
+    result.workloads = plan.workloads;
+    result.schedulers = plan.schedulers;
+    result.base = plan.base;
+    return result;
+}
+
+void
+configureRunner(ExperimentRunner &runner, const ExperimentPlan &plan)
+{
+    runner.setMaxAttempts(plan.spec.attempts);
+    for (const auto &[name, profile] : plan.spec.benchmarks)
+        runner.addBenchmark(name, profile);
+}
+
+void
+aggregateOutcomes(ExperimentResult &result)
+{
     result.aggregates.assign(result.schedulers.size(), SweepResult{});
     for (std::size_t s = 0; s < result.schedulers.size(); ++s)
         result.aggregates[s].policyName = result.schedulers[s].label;
@@ -262,6 +278,21 @@ runExperiment(const ExperimentSpec &spec)
             result.aggregates[s].summary.add(outcome.metrics);
         }
     }
+}
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec)
+{
+    const ExperimentPlan plan = planExperiment(spec);
+    ExperimentResult result = resultFromPlan(plan);
+
+    ExperimentRunner runner(plan.base);
+    configureRunner(runner, plan);
+    result.outcomes = runner.runMany(plan.jobs, spec.jobs);
+
+    // Per-scheduler aggregates in job order (failures excluded), the
+    // exact accumulation the legacy sweep performed.
+    aggregateOutcomes(result);
     return result;
 }
 

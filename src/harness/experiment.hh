@@ -88,6 +88,53 @@ enum class ReportStyle
     CaseStudy,
 };
 
+/**
+ * The fully resolved execution plan of a spec: everything derived and
+ * validated, nothing yet run. The plan is a pure function of the spec
+ * plus the captured environment, so two processes resolving the same
+ * spec under the same environment derive byte-identical job grids —
+ * the contract the fleet tier (src/fleet/) builds on: a supervisor
+ * ships only a job *range* and the worker re-derives the grid.
+ */
+struct ExperimentPlan
+{
+    ExperimentSpec spec;
+    std::vector<Workload> workloads;
+    std::vector<SchedulerEntry> schedulers;
+    SimConfig base;
+    EnvOverrides env;
+    /** Workload-major, repeat-mid, scheduler-minor (see above). */
+    std::vector<RunJob> jobs;
+
+    std::size_t rows() const { return workloads.size() * spec.repeat; }
+    /** Jobs per result row (= scheduler count). */
+    std::size_t jobsPerRow() const { return schedulers.size(); }
+};
+
+/**
+ * Resolve and validate @p spec into its execution plan. @throws
+ * SimError on spec-level problems (unknown workloads, invalid
+ * configuration, scheduler/core-count mismatches).
+ */
+ExperimentPlan planExperiment(const ExperimentSpec &spec);
+
+/** An ExperimentResult shell for @p plan (outcomes still empty). */
+ExperimentResult resultFromPlan(const ExperimentPlan &plan);
+
+/**
+ * Configure @p runner (constructed over plan.base) exactly as
+ * runExperiment would: spec attempts and inline benchmarks.
+ */
+void configureRunner(ExperimentRunner &runner,
+                     const ExperimentPlan &plan);
+
+/**
+ * (Re)compute @p result.aggregates from its outcomes, in job order
+ * with failures excluded — the exact accumulation the legacy sweep
+ * performed, shared by the in-process and fleet merge paths.
+ */
+void aggregateOutcomes(ExperimentResult &result);
+
 /** Expand the spec's workload list (explicit + sampled). */
 std::vector<Workload> resolveWorkloads(const ExperimentSpec &spec);
 

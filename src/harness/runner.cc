@@ -57,15 +57,22 @@ void
 ExperimentRunner::addBenchmark(const std::string &name,
                                const BenchmarkProfile &profile)
 {
+    // Same-mutex rule as the alone cache: registration and lookup are
+    // serialized, so concurrent runMany() workers can never observe a
+    // half-inserted map node (runner.hh's catalog contract).
+    std::lock_guard<std::mutex> guard(catalogMutex_);
     customBenchmarks_[name] = profile;
 }
 
 const BenchmarkProfile &
 ExperimentRunner::profileFor(const std::string &name) const
 {
-    const auto it = customBenchmarks_.find(name);
-    if (it != customBenchmarks_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> guard(catalogMutex_);
+        const auto it = customBenchmarks_.find(name);
+        if (it != customBenchmarks_.end())
+            return it->second;
+    }
     return findBenchmark(name);
 }
 
@@ -115,11 +122,35 @@ ExperimentRunner::aloneResult(const std::string &benchmark)
     return aloneCache_.emplace(key, result.threads[0]).first->second;
 }
 
+void
+ExperimentRunner::seedAloneBaseline(const std::string &key,
+                                    const ThreadResult &result)
+{
+    std::lock_guard<std::mutex> guard(aloneMutex_);
+    aloneCache_.emplace(key, result);
+}
+
+std::map<std::string, ThreadResult>
+ExperimentRunner::aloneSnapshot() const
+{
+    std::lock_guard<std::mutex> guard(aloneMutex_);
+    return aloneCache_;
+}
+
+void
+ExperimentRunner::setAttemptHook(
+    std::function<void(const Workload &, unsigned)> hook)
+{
+    attemptHook_ = std::move(hook);
+}
+
 RunOutcome
 ExperimentRunner::attemptRun(const Workload &workload,
                              const SchedulerConfig &scheduler,
-                             std::uint64_t seed_salt)
+                             std::uint64_t seed_salt, unsigned attempt)
 {
+    if (attemptHook_)
+        attemptHook_(workload, attempt);
     const SimConfig config = configFor(workload, scheduler);
 
     AddressMapping mapping(config.memory.channels,
@@ -165,7 +196,7 @@ ExperimentRunner::run(const Workload &workload,
             // The base salt on the first attempt (0 = the canonical
             // trace streams); retries reseed on top of it.
             outcome = attemptRun(workload, scheduler,
-                                 seed_salt + (attempt - 1));
+                                 seed_salt + (attempt - 1), attempt);
             outcome.attempts = attempt;
             return outcome;
         } catch (const SimError &e) {

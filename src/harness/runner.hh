@@ -14,6 +14,7 @@
 #ifndef STFM_HARNESS_RUNNER_HH
 #define STFM_HARNESS_RUNNER_HH
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -97,8 +98,9 @@ class ExperimentRunner
      * catalog entry of the same name for this runner's workloads and
      * alone baselines. Lets experiment specs define inline synthetic
      * profiles (e.g. the malicious-DoS hog) without touching the global
-     * catalog. Not thread-safe against concurrent runMany(): register
-     * everything before running.
+     * catalog. Thread-safe: registration and lookup share a mutex, so
+     * registering mid-runMany() is safe (runs already in flight resolve
+     * against the catalog as it was when they looked up each name).
      */
     void addBenchmark(const std::string &name,
                       const BenchmarkProfile &profile);
@@ -110,6 +112,18 @@ class ExperimentRunner
      *         a failed outcome).
      */
     const ThreadResult &aloneResult(const std::string &benchmark);
+
+    /**
+     * Pre-seed the alone-baseline cache with an already computed
+     * result under its exact cache key (see aloneSnapshot()). The
+     * fleet tier shares baselines across worker processes through the
+     * sweep manifest instead of recomputing them per worker.
+     */
+    void seedAloneBaseline(const std::string &key,
+                           const ThreadResult &result);
+
+    /** Snapshot of the alone cache (key -> baseline), for sharing. */
+    std::map<std::string, ThreadResult> aloneSnapshot() const;
 
     /** Run every scheduler in @p schedulers on @p workload. */
     std::vector<RunOutcome> runAll(
@@ -150,6 +164,17 @@ class ExperimentRunner
     void setMaxAttempts(unsigned attempts);
     unsigned maxAttempts() const { return maxAttempts_; }
 
+    /**
+     * Testing/fault-injection seam: invoked at the top of every run
+     * attempt with the workload and the 1-based attempt number. A hook
+     * that throws SimError fails that attempt exactly as a simulation
+     * failure would, driving the bounded-retry machinery (and its
+     * seed-derivation rule, base + attempt - 1) deterministically.
+     * Not for production use; see src/fleet/fault.hh.
+     */
+    void setAttemptHook(
+        std::function<void(const Workload &, unsigned attempt)> hook);
+
     /** The five evaluation policies in the paper's presentation order. */
     static std::vector<SchedulerConfig> paperSchedulers();
 
@@ -172,12 +197,20 @@ class ExperimentRunner
     /** One attempt; throws SimError/CheckFailure on failure. */
     RunOutcome attemptRun(const Workload &workload,
                           const SchedulerConfig &scheduler,
-                          std::uint64_t seed_salt);
+                          std::uint64_t seed_salt, unsigned attempt);
 
     SimConfig base_;
     unsigned maxAttempts_ = 1;
-    /** Spec-registered inline benchmarks (see addBenchmark()). */
+    std::function<void(const Workload &, unsigned)> attemptHook_;
+    /**
+     * Spec-registered inline benchmarks (see addBenchmark()).
+     * catalogMutex_ guards registration against concurrent lookup from
+     * runMany() workers; returned references stay valid because
+     * std::map nodes are address-stable and entries are overwritten,
+     * never erased.
+     */
     std::map<std::string, BenchmarkProfile> customBenchmarks_;
+    mutable std::mutex catalogMutex_;
     /**
      * Memoized alone-run baselines, shared by concurrent runMany()
      * workers. aloneMutex_ is held for the whole lookup-or-compute:
@@ -188,7 +221,7 @@ class ExperimentRunner
      * entry is never mutated again.
      */
     std::map<std::string, ThreadResult> aloneCache_;
-    std::mutex aloneMutex_;
+    mutable std::mutex aloneMutex_;
 };
 
 } // namespace stfm

@@ -146,6 +146,30 @@ telemetryCatalog()
          "instructions committed"},
         {"core.t<n>.llcMisses", "counter", "requests", "core",
          "L2 (last-level cache) misses; DRAM demand accesses"},
+        // Fleet supervisor (process-pool tier; registered by
+        // registerFleetTelemetry over FleetStats, not by a simulated
+        // run — written to <checkpoint>/fleet_counters.json).
+        {"fleet.shards.completed", "counter", "shards", "fleet",
+         "shards executed to success by worker processes this run"},
+        {"fleet.shards.resumed", "counter", "shards", "fleet",
+         "shards replayed from the checkpoint manifest"},
+        {"fleet.shards.failed", "counter", "shards", "fleet",
+         "shards that exhausted their process-level retries (merged "
+         "as FAILED rows)"},
+        {"fleet.retries", "counter", "attempts", "fleet",
+         "shard attempts after the first (bounded retry machinery)"},
+        {"fleet.timeouts", "counter", "events", "fleet",
+         "workers killed for exceeding the per-shard wall-clock "
+         "timeout"},
+        {"fleet.hangs", "counter", "events", "fleet",
+         "workers killed for missing the heartbeat liveness window"},
+        {"fleet.crashes", "counter", "events", "fleet",
+         "workers that exited nonzero or died to a signal mid-shard"},
+        {"fleet.garbage", "counter", "events", "fleet",
+         "shard attempts abandoned for protocol garbage on the "
+         "worker stream"},
+        {"fleet.heartbeats", "counter", "frames", "fleet",
+         "heartbeat frames received from busy workers"},
     };
     return catalog;
 }

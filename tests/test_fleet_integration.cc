@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Integration tests for supervised sharded execution: real `stfm
+ * worker` subprocesses (the built CLI, named by the STFM_CLI
+ * environment variable) run under runShardedExperiment, with STFM_FAULT
+ * making them misbehave at exact points. The recurring assertion is
+ * the tentpole acceptance bar: whatever goes wrong mid-sweep, the
+ * merged stfm-results-v1 document is byte-identical to an
+ * uninterrupted in-process run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "common/logging.hh"
+#include "fleet/fault.hh"
+#include "fleet/supervisor.hh"
+#include "harness/experiment.hh"
+#include "harness/spec.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+namespace
+{
+
+constexpr const char *kSpecText = R"({
+    "name": "fleet_it",
+    "workloads": [["mcf", "hmmer"]],
+    "schedulers": ["FR-FCFS", "STFM"],
+    "budget": 4000
+})";
+
+/** Worker argv for the built CLI, or empty when STFM_CLI is unset. */
+std::vector<std::string>
+workerArgv()
+{
+    const char *cli = std::getenv("STFM_CLI");
+    if (!cli || !*cli)
+        return {};
+    return {cli, "worker"};
+}
+
+#define REQUIRE_CLI(argv)                                               \
+    if ((argv).empty())                                                 \
+        GTEST_SKIP() << "STFM_CLI is not set (run via ctest)";
+
+/** Sets STFM_FAULT for spawned workers; always cleans up. */
+class FaultGuard
+{
+  public:
+    explicit FaultGuard(const char *plan)
+    {
+        setenv("STFM_FAULT", plan, 1);
+    }
+    ~FaultGuard() { unsetenv("STFM_FAULT"); }
+};
+
+/** A fresh checkpoint directory under the gtest temp dir. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &name)
+        : path_(std::string(::testing::TempDir()) + name)
+    {
+        removeAll();
+        ::mkdir(path_.c_str(), 0755);
+    }
+    ~TempDir() { removeAll(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    void
+    removeAll()
+    {
+        std::remove((path_ + "/manifest.jsonl").c_str());
+        std::remove((path_ + "/fleet_counters.json").c_str());
+        ::rmdir(path_.c_str());
+    }
+    std::string path_;
+};
+
+FleetOptions
+baseOptions()
+{
+    FleetOptions options;
+    options.workerArgv = workerArgv();
+    options.quiet = true;
+    options.backoffSec = 0.01; // Tests should not sleep for real.
+    options.heartbeatMs = 50;
+    return options;
+}
+
+std::string
+referenceBytes(const ExperimentSpec &spec)
+{
+    return resultsJson(runExperiment(spec)).dump();
+}
+
+TEST(FleetIntegration, CleanShardedRunIsByteIdenticalToInProcess)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    options.workers = 2;
+
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.interrupted);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_EQ(outcome.stats.shardsCompleted, 2u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, CrashIsRetriedToAnIdenticalResult)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+
+    FaultGuard fault("crash@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.crashes, 1u);
+    EXPECT_GE(outcome.stats.retries, 1u);
+    // The replay runs with identical seeds: environmental faults must
+    // not perturb the simulated bytes.
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, SignalDeathIsClassifiedAndRetried)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+
+    FaultGuard fault("abort@1");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.crashes, 1u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, GarbageOnTheStreamIsClassifiedAndRetried)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+
+    FaultGuard fault("garbage@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.protocolErrors, 1u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, HangIsKilledByTheLivenessWindowAndRetried)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    options.livenessSec = 0.3;
+
+    FaultGuard fault("hang@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.hangs, 1u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, TimeoutIsEnforcedAndRetried)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    // Generous enough that a *clean* shard always finishes inside it,
+    // even under the sanitizers (~0.5 s measured under ASan); the
+    // hanging first attempt still trips it because a hang never ends.
+    options.timeoutSec = 5.0;
+    options.livenessSec = 60.0; // The deadline must win, not liveness.
+
+    FaultGuard fault("hang@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.timeouts, 1u);
+    EXPECT_EQ(outcome.stats.hangs, 0u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, SlowShardWithHeartbeatsIsNotKilled)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    // The slow fault stalls 8 heartbeat periods (0.4 s), well past
+    // this window; flowing heartbeats must keep the worker alive.
+    options.livenessSec = 0.3;
+
+    FaultGuard fault("slow@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_EQ(outcome.stats.hangs, 0u);
+    EXPECT_EQ(outcome.stats.retries, 0u);
+    EXPECT_GE(outcome.stats.heartbeats, 1u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, ExhaustedRetriesDegradeToFailedRows)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    options.retries = 0;
+
+    FaultGuard fault("crash@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    ASSERT_EQ(outcome.failedShards,
+              (std::vector<unsigned>{0}));
+    EXPECT_EQ(outcome.stats.shardsFailed, 1u);
+    EXPECT_EQ(outcome.stats.shardsCompleted, 1u);
+    EXPECT_FALSE(outcome.interrupted);
+
+    // Shard 0 is job 0: FAILED with structured diagnostics. The rest
+    // of the sweep completed and aggregated.
+    const RunOutcome &failed = outcome.result.outcomes[0];
+    EXPECT_TRUE(failed.failed);
+    EXPECT_EQ(failed.attempts, 1u);
+    EXPECT_NE(failed.error.find("exited with code 42"),
+              std::string::npos);
+    EXPECT_FALSE(outcome.result.outcomes[1].failed);
+    EXPECT_EQ(outcome.result.aggregates.size(),
+              outcome.result.schedulers.size());
+}
+
+TEST(FleetIntegration, InterruptedRunResumesToByteIdenticalOutput)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    TempDir checkpoint("fleet_it_resume");
+    options.shards = 2;
+    options.workers = 1;
+    options.checkpoint = checkpoint.path();
+    options.stopAfter = 1; // As if the supervisor were killed here.
+
+    const FleetOutcome first = runShardedExperiment(spec, options);
+    EXPECT_TRUE(first.interrupted);
+    EXPECT_EQ(first.stats.shardsCompleted, 1u);
+
+    FleetOptions resume = options;
+    resume.stopAfter = 0;
+    resume.resume = true;
+    const FleetOutcome second = runShardedExperiment(spec, resume);
+    EXPECT_FALSE(second.interrupted);
+    EXPECT_EQ(second.stats.shardsResumed, 1u);
+    EXPECT_EQ(second.stats.shardsCompleted, 1u);
+    EXPECT_EQ(resultsJson(second.result).dump(),
+              referenceBytes(spec));
+
+    // Resuming a fully checkpointed sweep re-simulates nothing.
+    const FleetOutcome third = runShardedExperiment(spec, resume);
+    EXPECT_EQ(third.stats.shardsResumed, 2u);
+    EXPECT_EQ(third.stats.shardsCompleted, 0u);
+    EXPECT_EQ(resultsJson(third.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, ResumeRejectsADifferentExperiment)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    TempDir checkpoint("fleet_it_foreign");
+    options.checkpoint = checkpoint.path();
+    options.shards = 2;
+
+    const ExperimentSpec spec = specFromText(kSpecText);
+    const FleetOutcome seeded = runShardedExperiment(spec, options);
+    EXPECT_FALSE(seeded.anyFailed());
+
+    ExperimentSpec other = spec;
+    other.budget = 5000; // A different experiment entirely.
+    FleetOptions resume = options;
+    resume.resume = true;
+    EXPECT_THROW(runShardedExperiment(other, resume), SimError);
+}
+
+TEST(FleetIntegration, AloneBaselinesAreSharedThroughTheManifest)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    TempDir checkpoint("fleet_it_alone");
+    options.checkpoint = checkpoint.path();
+    options.shards = 2;
+    options.workers = 1;
+    options.stopAfter = 1;
+
+    // Shard one computes the baselines and checkpoints them; the
+    // resumed shard receives them through the manifest.
+    (void)runShardedExperiment(spec, options);
+    FleetOptions resume = options;
+    resume.stopAfter = 0;
+    resume.resume = true;
+    const FleetOutcome second = runShardedExperiment(spec, resume);
+    EXPECT_EQ(resultsJson(second.result).dump(),
+              referenceBytes(spec));
+
+    std::FILE *manifest = std::fopen(
+        (checkpoint.path() + "/manifest.jsonl").c_str(), "rb");
+    ASSERT_NE(manifest, nullptr);
+    std::string text(1 << 20, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), manifest));
+    std::fclose(manifest);
+    EXPECT_NE(text.find("\"type\":\"alone\""), std::string::npos)
+        << "baselines should be checkpointed for cross-shard reuse";
+}
+
+} // namespace
+} // namespace fleet
+} // namespace stfm
