@@ -2,17 +2,17 @@
  * @file
  * Engineering benchmarks, two layers:
  *
- * Default mode — wall-clock throughput benchmark: run the Figure 9
- * sweep (4-core category-balanced workloads under all five
- * schedulers) twice, once on the cycle-by-cycle reference path and
- * once with fast-forwarding enabled, verify the two produce
- * bit-identical SimResults, and emit the timings (host seconds per
- * figure run, simulated DRAM cycles per host second, speedup) as JSON
- * so the perf trajectory is tracked across PRs. Output path:
- * STFM_BENCH_OUT if set, else `BENCH_perf.json` in the working
- * directory — run from the repo root to update the committed
- * artifact. Scale knobs: STFM_INSTRUCTIONS (per-thread budget),
- * STFM_BENCH_WORKLOADS (sweep width, default 32 = fig09's sample).
+ * Default mode — wall-clock throughput benchmark: delegates to
+ * runPerfBench (harness/perfbench.hh), which runs the Figure 9 sweep
+ * on the reference and fast-forwarding paths, verifies bit-exactness,
+ * and appends an entry to the perf trajectory file (STFM_BENCH_OUT if
+ * set, else `BENCH_perf.json` in the working directory — run from the
+ * repo root to update the committed artifact). Scale knobs:
+ * STFM_INSTRUCTIONS (per-thread budget), STFM_BENCH_WORKLOADS (sweep
+ * width, default 32 = fig09's sample), STFM_BENCH_LABEL (trajectory
+ * entry label), STFM_BENCH_SCALING (comma-separated worker counts for
+ * thread-scaling points). The `stfm bench` CLI subcommand fronts the
+ * same implementation.
  *
  * `--micro` mode — google-benchmark micro suite: the per-DRAM-cycle
  * cost of each scheduling policy's priority comparison and of a full
@@ -23,20 +23,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
-#include "common/json.hh"
-#include "common/logging.hh"
 #include "common/rng.hh"
-#include "harness/runner.hh"
-#include "harness/workloads.hh"
+#include "harness/perfbench.hh"
 #include "mem/controller.hh"
 #include "mem/occupancy.hh"
 #include "sched/policy.hh"
@@ -115,187 +106,6 @@ void BM_FrFcfsCap(benchmark::State &s) { controllerTick(s, "cap"); }
 void BM_Nfq(benchmark::State &s) { controllerTick(s, "nfq"); }
 void BM_Stfm(benchmark::State &s) { controllerTick(s, "stfm"); }
 
-// ---------------------------------------------------------------------
-// Wall-clock throughput benchmark (default mode).
-
-/** One timed pass over the sweep. */
-struct SweepTiming
-{
-    double aloneSeconds = 0;  ///< Alone-baseline prewarm (shared work).
-    double sweepSeconds = 0;  ///< The 5-scheduler sweep proper.
-    std::uint64_t dramCycles = 0; ///< Simulated DRAM cycles in the sweep.
-    std::vector<RunOutcome> outcomes;
-};
-
-double
-seconds(std::chrono::steady_clock::time_point a,
-        std::chrono::steady_clock::time_point b)
-{
-    return std::chrono::duration<double>(b - a).count();
-}
-
-SweepTiming
-timedSweep(const std::vector<Workload> &workload_list,
-           std::uint64_t budget, bool fast_forward)
-{
-    SimConfig base;
-    base.instructionBudget = budget;
-    base.fastForward = fast_forward;
-    ExperimentRunner runner(base);
-
-    std::vector<RunJob> jobs;
-    for (const Workload &w : workload_list)
-        for (const SchedulerConfig &s : ExperimentRunner::paperSchedulers())
-            jobs.push_back({w, s});
-
-    // Prewarm the alone-baseline cache outside the sweep timing so
-    // cycles-per-second relates wall time to exactly the runs whose
-    // cycles are counted; the prewarm is reported separately (it is
-    // part of a figure run's wall time).
-    std::set<std::string> benchmarks;
-    for (const Workload &w : workload_list)
-        benchmarks.insert(w.begin(), w.end());
-    const auto t0 = std::chrono::steady_clock::now();
-    for (const std::string &b : benchmarks)
-        runner.aloneResult(b);
-    const auto t1 = std::chrono::steady_clock::now();
-    SweepTiming timing;
-    timing.outcomes = runner.runMany(jobs);
-    const auto t2 = std::chrono::steady_clock::now();
-
-    timing.aloneSeconds = seconds(t0, t1);
-    timing.sweepSeconds = seconds(t1, t2);
-    const Cycles per = base.memory.cpuPerDram();
-    for (const RunOutcome &o : timing.outcomes)
-        if (!o.failed)
-            timing.dramCycles += o.shared.totalCycles / per;
-    return timing;
-}
-
-bool
-sameResult(const SimResult &a, const SimResult &b)
-{
-    if (a.totalCycles != b.totalCycles ||
-        a.hitCycleLimit != b.hitCycleLimit ||
-        a.threads.size() != b.threads.size())
-        return false;
-    for (std::size_t t = 0; t < a.threads.size(); ++t) {
-        const ThreadResult &x = a.threads[t];
-        const ThreadResult &y = b.threads[t];
-        if (x.instructions != y.instructions || x.cycles != y.cycles ||
-            x.memStallCycles != y.memStallCycles ||
-            x.l2Misses != y.l2Misses || x.dramReads != y.dramReads ||
-            x.dramWrites != y.dramWrites || x.rowHits != y.rowHits ||
-            x.rowClosed != y.rowClosed ||
-            x.rowConflicts != y.rowConflicts ||
-            x.readLatencyMean != y.readLatencyMean ||
-            x.readLatencyP50 != y.readLatencyP50 ||
-            x.readLatencyP99 != y.readLatencyP99 ||
-            x.readLatencyMax != y.readLatencyMax)
-            return false;
-    }
-    return true;
-}
-
-/** Round for presentation: timings don't carry 17 digits of signal. */
-double
-rounded(double value, double scale)
-{
-    return std::round(value * scale) / scale;
-}
-
-Json
-timingJson(const SweepTiming &t)
-{
-    Json out = Json::object();
-    out.set("figure_host_seconds",
-            rounded(t.aloneSeconds + t.sweepSeconds, 1000));
-    out.set("sweep_host_seconds", rounded(t.sweepSeconds, 1000));
-    out.set("alone_baseline_host_seconds",
-            rounded(t.aloneSeconds, 1000));
-    out.set("sweep_dram_cycles", t.dramCycles);
-    out.set("dram_cycles_per_host_second",
-            std::round(static_cast<double>(t.dramCycles) /
-                       t.sweepSeconds));
-    return out;
-}
-
-Json
-perfJson(unsigned workload_count, std::uint64_t budget, unsigned jobs,
-         const SweepTiming &ref, const SweepTiming &opt, bool bit_exact)
-{
-    Json out = Json::object();
-    out.set("benchmark",
-            formatMessage("fig09_four_core_avg sweep (4 cores x %u "
-                          "workloads x 5 schedulers)",
-                          workload_count));
-    out.set("instruction_budget", budget);
-    out.set("worker_threads", jobs);
-    out.set("reference", timingJson(ref));
-    out.set("optimized", timingJson(opt));
-    out.set("speedup_wall_clock",
-            rounded((ref.aloneSeconds + ref.sweepSeconds) /
-                        (opt.aloneSeconds + opt.sweepSeconds),
-                    100));
-    out.set("bit_exact", bit_exact);
-    return out;
-}
-
-int
-runThroughputBench()
-{
-    unsigned count = 32;
-    if (const char *env = std::getenv("STFM_BENCH_WORKLOADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            count = static_cast<unsigned>(v);
-    }
-    const std::uint64_t budget = ExperimentRunner::budgetFromEnv(50000);
-    const unsigned jobs = ExperimentRunner::defaultJobs();
-    const std::vector<Workload> workload_list =
-        sampleWorkloads(4, count, /*seed=*/0x5174f09);
-
-    std::printf("throughput benchmark: fig09 sweep, %u workloads x 5 "
-                "schedulers, budget %llu, %u worker thread(s)\n",
-                count, static_cast<unsigned long long>(budget), jobs);
-
-    std::printf("reference path (STFM_REFERENCE-equivalent)...\n");
-    const SweepTiming ref =
-        timedSweep(workload_list, budget, /*fast_forward=*/false);
-    std::printf("  %.3f s (%.3f s alone baselines + %.3f s sweep)\n",
-                ref.aloneSeconds + ref.sweepSeconds, ref.aloneSeconds,
-                ref.sweepSeconds);
-    std::printf("optimized path (fast-forwarding on)...\n");
-    const SweepTiming opt =
-        timedSweep(workload_list, budget, /*fast_forward=*/true);
-    std::printf("  %.3f s (%.3f s alone baselines + %.3f s sweep)\n",
-                opt.aloneSeconds + opt.sweepSeconds, opt.aloneSeconds,
-                opt.sweepSeconds);
-
-    bool bit_exact = ref.outcomes.size() == opt.outcomes.size();
-    for (std::size_t i = 0; bit_exact && i < ref.outcomes.size(); ++i) {
-        const RunOutcome &a = ref.outcomes[i];
-        const RunOutcome &b = opt.outcomes[i];
-        bit_exact = a.failed == b.failed &&
-                    (a.failed || sameResult(a.shared, b.shared));
-    }
-
-    const char *out = std::getenv("STFM_BENCH_OUT");
-    const std::string path = out ? out : "BENCH_perf.json";
-    try {
-        writeJsonFile(perfJson(count, budget, jobs, ref, opt, bit_exact),
-                      path);
-    } catch (const SimError &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 1;
-    }
-    std::printf("speedup %.2fx, bit_exact %s -> %s\n",
-                (ref.aloneSeconds + ref.sweepSeconds) /
-                    (opt.aloneSeconds + opt.sweepSeconds),
-                bit_exact ? "true" : "false", path.c_str());
-    return bit_exact ? 0 : 1;
-}
-
 } // namespace
 
 BENCHMARK(BM_FrFcfs)->Arg(8)->Arg(32)->Arg(96);
@@ -316,5 +126,5 @@ main(int argc, char **argv)
             return 0;
         }
     }
-    return runThroughputBench();
+    return runPerfBench(perfBenchOptionsFromEnv());
 }

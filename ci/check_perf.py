@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression gate (see EXPERIMENTS.md, "Performance
+methodology").
+
+Usage: check_perf.py <trajectory.json> [--max-regression FRAC]
+
+The trajectory file is a `stfm-perf-trajectory-v1` document whose last
+entry is the one the current CI run just appended (via `stfm bench`).
+The gate:
+
+  * the new entry must be bit_exact (a non-bit-exact timing is
+    meaningless, and the bench already exited non-zero);
+  * the new entry's optimized.dram_cycles_per_host_second must not
+    fall more than --max-regression (default 0.10) below the previous
+    entry's — the last *committed* trajectory point.
+
+The first entry of a fresh trajectory passes trivially (nothing to
+compare against). Exit codes: 0 pass, 1 regression or malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_perf: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trajectory")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="allowed fractional drop in optimized "
+                             "dram_cycles_per_host_second (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.trajectory) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "stfm-perf-trajectory-v1":
+        return fail(f"unexpected schema {doc.get('schema')!r}")
+    entries = doc.get("entries", [])
+    if not entries:
+        return fail("trajectory has no entries")
+
+    new = entries[-1]
+    label = new.get("label", "<unlabeled>")
+    if not new.get("bit_exact"):
+        return fail(f"entry {label!r} is not bit_exact — "
+                    "timings are meaningless")
+    new_tp = new["optimized"]["dram_cycles_per_host_second"]
+
+    if len(entries) == 1:
+        print(f"check_perf: OK: first trajectory entry {label!r} "
+              f"({new_tp:.0f} DRAM cycles/s optimized), nothing to "
+              "compare against")
+        return 0
+
+    base = entries[-2]
+    base_tp = base["optimized"]["dram_cycles_per_host_second"]
+    floor = (1.0 - args.max_regression) * base_tp
+    verdict = (f"optimized {new_tp:.0f} DRAM cycles/s vs "
+               f"{base_tp:.0f} in {base.get('label', '<unlabeled>')!r} "
+               f"(floor {floor:.0f}, -{args.max_regression:.0%} allowed)")
+    if new_tp < floor:
+        return fail(f"entry {label!r} regressed: {verdict}")
+    print(f"check_perf: OK: entry {label!r}: {verdict}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -67,14 +67,19 @@ Core::tick(Cycles now)
 }
 
 Cycles
-Core::nextEventCycle(Cycles now, bool &stalls) const
+Core::nextEventCycle(Cycles now, bool &stalls,
+                     bool &waits_capacity) const
 {
     stalls = false;
+    waits_capacity = false;
 
     // Writeback drain would hand a write to the controller.
-    if (!pendingWritebacks_.empty() &&
-        memory_.canAcceptWrite(pendingWritebacks_.front())) {
-        return now + 1;
+    if (!pendingWritebacks_.empty()) {
+        if (memory_.canAcceptWrite(pendingWritebacks_.front()))
+            return now + 1;
+        // The blocked drain resumes when the controller frees write
+        // capacity — a memory-side event this core must be woken for.
+        waits_capacity = true;
     }
 
     Cycles wake = kNever;
@@ -124,15 +129,23 @@ Core::nextEventCycle(Cycles now, bool &stalls) const
     if (is_store) {
         if (l2_.probe(line) || mshr_.has(line))
             return now + 1;
-        if (mshr_.full() || !memory_.canAcceptRead(line))
-            return wake; // Structural stall; frees only externally.
+        if (mshr_.full() || !memory_.canAcceptRead(line)) {
+            // Structural stall; frees only externally (a column issue
+            // frees buffer capacity, a completion frees an MSHR).
+            waits_capacity = true;
+            return wake;
+        }
         return now + 1;
     }
     // Load path.
     if (l1_.probe(line) || l2_.probe(line) || mshr_.has(line))
         return now + 1;
-    if (mshr_.full())
-        return wake; // Structural stall; frees only when data returns.
+    if (mshr_.full()) {
+        // Frees when own data returns; flagged anyway — a spurious
+        // capacity wake is sound, a missed wake would not be.
+        waits_capacity = true;
+        return wake;
+    }
     // A load locked out of a full request buffer retries every cycle
     // *with* a policy side effect (noteEnqueueBlocked); it must not be
     // skipped. A load that can issue is progress outright.
@@ -309,7 +322,6 @@ Core::onReadComplete(Addr line_addr, Cycles now)
         // The fixed controller/interconnect overhead is charged on the
         // return path.
         e.readyAt = now + params_.dramOverhead;
-        missReadyAt_ = std::max(missReadyAt_, e.readyAt);
     }
 }
 
@@ -329,17 +341,17 @@ Core::handleFill(Addr line_addr, bool dirty, Cycles now)
 Cycles
 Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
 {
-    // Eligibility, all O(1): no outstanding miss (rules out memWait
-    // entries, completions targeting this core, and MSHR merges), no
-    // buffered writeback (rules out drain traffic), no memory-blocked
-    // fetch retry (that path has a per-cycle policy side effect,
-    // noteEnqueueBlocked), and every DRAM return-path latency already
-    // paid (rules out commit blocking on an l2Miss-flagged entry, the
-    // one blocked-head case that accrues memory stall). Entries merely
-    // waiting out a cache latency don't block entry: they are
-    // core-local, deterministic, and stall-free when blocking commit.
-    if (mshr_.inUse() != 0 || !pendingWritebacks_.empty() ||
-        fetchBlockedByMemory_ || now < missReadyAt_ ||
+    // Eligibility, all O(1): no buffered writeback (drain traffic
+    // interacts with controller write capacity every cycle), no
+    // memory-blocked fetch retry (that path has a per-cycle policy
+    // side effect, noteEnqueueBlocked), and a fetch width the slot-undo
+    // buffer can hold. Outstanding misses do NOT disqualify: executing
+    // in their shadow is core-local as long as every burst cycle stays
+    // stall-free (checked per cycle below) and no completion can land
+    // inside the burst — which the caller guarantees by capping @p end
+    // at the memory system's next interesting cycle while
+    // mshrInUse() != 0 (see the header contract).
+    if (!pendingWritebacks_.empty() || fetchBlockedByMemory_ ||
         params_.fetchWidth > kMaxBurstFetch)
         return now;
 
@@ -349,6 +361,16 @@ Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
     // never fire early off run-ahead state; the crossing cycle itself
     // runs through the normal tick() path.
     while (c < end && committed_ + params_.commitWidth < commit_cap) {
+        // Stall cycles stay outside bursts: when the oldest instruction
+        // is a blocked L2 miss (in flight, merged, or still paying its
+        // DRAM return-path overhead), this cycle would increment the
+        // memory-stall counter — hand it back to the normal tick()
+        // path, whose quiescence machinery accounts it exactly.
+        if (head_ != tail_) {
+            const WindowEntry &h = window_[head_ & windowMask_];
+            if (h.l2Miss && (h.memWait || h.readyAt > c))
+                return c;
+        }
         // Steady-state ALU stretch: with symmetric widths, a window
         // holding exactly F entries that all commit this cycle, and >= F
         // banked ALU credits, the next n cycles each commit F entries
@@ -400,8 +422,8 @@ Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
         const std::uint64_t tail0 = tail_;
         const std::uint64_t committed0 = committed_;
 
-        // Commit replica. memWait entries are impossible (no misses),
-        // and a blocked entry is never an L2 miss, so — unlike
+        // Commit replica. The head is never a blocked L2 miss (checked
+        // at the top of the cycle; memWait implies l2Miss), so — unlike
         // commit() — no memory stall can accrue.
         for (unsigned n = 0; n < params_.commitWidth; ++n) {
             if (head_ == tail_ ||
@@ -426,6 +448,7 @@ Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
         // leaving only the ALU slots (at most fetchWidth per cycle).
         bool aborted = false;
         bool mem_op_fetched = false;
+        std::uint64_t dep_block = ~0ULL;
         unsigned alu_taken = 0;
         WindowEntry slot_undo[kMaxBurstFetch];
         for (unsigned n = 0; n < params_.fetchWidth; ++n) {
@@ -450,18 +473,33 @@ Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
             if (mem_op_fetched)
                 break; // At most one memory operation per cycle.
             if (pendingOp_.dependsOnPrev && lastMissPos_ != ~0ULL &&
-                lastMissPos_ >= head_ && !entryDone(lastMissPos_, c))
+                lastMissPos_ >= head_ && !entryDone(lastMissPos_, c)) {
+                dep_block = lastMissPos_;
                 break; // Wait for the producer (no memory touch).
+            }
 
             const Addr line =
                 pendingOp_.addr & ~(params_.l1.lineBytes - 1);
             if (pendingOp_.kind == TraceOp::Kind::Store) {
-                if (pendingOp_.nonTemporal || !l2_.probe(line)) {
-                    aborted = true; // Write or store fill: leaves core.
+                if (pendingOp_.nonTemporal) {
+                    aborted = true; // Streaming write: leaves the core.
                     break;
                 }
-                l2_.access(line, /*is_store=*/true);
-                l1_.access(line, /*is_store=*/false); // Keep LRU warm.
+                if (l2_.probe(line)) {
+                    l2_.access(line, /*is_store=*/true);
+                    l1_.access(line, /*is_store=*/false); // LRU warm.
+                } else if (mshr_.has(line)) {
+                    // Store fill coalescing into an outstanding miss
+                    // stays core-local: issueMemOp() sends no request
+                    // on a merge, the entry just turns dirty. Replay
+                    // its exact access sequence (the L2 miss counts).
+                    l2_.access(line, /*is_store=*/true);
+                    mshr_.allocate(line, MshrFile::kNoWaiter,
+                                   /*dirty_fill=*/true);
+                } else {
+                    aborted = true; // New store fill: leaves the core.
+                    break;
+                }
                 WindowEntry &e = window_[tail_ & windowMask_];
                 e.readyAt = c + 1;
                 e.memWait = false;
@@ -472,23 +510,38 @@ Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
                 // access sequence of issueMemOp() so hit/miss counters
                 // match a cycle-by-cycle run. The aborted case bumps
                 // nothing here — the rerun through tick() bumps once.
-                Cycles ready;
+                WindowEntry &e = window_[tail_ & windowMask_];
                 if (l1_.probe(line)) {
                     l1_.access(line, /*is_store=*/false);
-                    ready = c + params_.l1.latency;
+                    e.readyAt = c + params_.l1.latency;
+                    e.memWait = false;
+                    e.l2Miss = false;
                 } else if (l2_.probe(line)) {
                     l1_.access(line, /*is_store=*/false); // Miss count.
                     l2_.access(line, /*is_store=*/false);
-                    ready = c + params_.l1.latency + params_.l2.latency;
+                    e.readyAt =
+                        c + params_.l1.latency + params_.l2.latency;
+                    e.memWait = false;
+                    e.l2Miss = false;
                     l1_.fill(line, /*dirty=*/false);
+                } else if (mshr_.has(line)) {
+                    // Merged load: coalesces into the outstanding miss
+                    // without touching the memory system — exactly
+                    // issueMemOp()'s merge path (both cache misses
+                    // count; allocate() adds this waiter and bumps no
+                    // allocation). Woken by the eventual completion,
+                    // which the end cap keeps outside this burst.
+                    l1_.access(line, /*is_store=*/false);
+                    l2_.access(line, /*is_store=*/false);
+                    mshr_.allocate(line, tail_, /*dirty_fill=*/false);
+                    e.memWait = true;
+                    e.l2Miss = true;
+                    e.readyAt = kNever;
+                    lastMissPos_ = tail_;
                 } else {
-                    aborted = true; // L2 miss: needs DRAM.
+                    aborted = true; // New L2 miss: needs DRAM.
                     break;
                 }
-                WindowEntry &e = window_[tail_ & windowMask_];
-                e.readyAt = ready;
-                e.memWait = false;
-                e.l2Miss = false;
                 lastLoadPos_ = tail_;
             }
             ++tail_;
@@ -497,6 +550,8 @@ Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
         }
 
         if (aborted) {
+            // Only ALU slots can precede the aborting memory op (a
+            // merge never aborts, so no MSHR state needs undoing).
             while (alu_taken > 0) {
                 --alu_taken;
                 --tail_;
@@ -507,6 +562,31 @@ Core::runAhead(Cycles now, Cycles end, std::uint64_t commit_cap)
             tail_ = tail0;
             committed_ = committed0;
             return c;
+        }
+
+        if (committed_ == committed0 && tail_ == tail0) {
+            // Idle cycle: nothing commits or fetches until some
+            // readyAt arrives, and idle cycles in a burst are
+            // stall-free no-ops (a stalling head ended the burst
+            // above). Jump straight to the earliest unblocking time;
+            // if every blocker waits on DRAM, end the burst — only an
+            // external completion can revive the core.
+            Cycles unblock = kNever;
+            if (head_ != tail_) {
+                const WindowEntry &h = window_[head_ & windowMask_];
+                if (!h.memWait)
+                    unblock = h.readyAt;
+            }
+            if (dep_block != ~0ULL) {
+                const WindowEntry &p =
+                    window_[dep_block & windowMask_];
+                if (!p.memWait)
+                    unblock = std::min(unblock, p.readyAt);
+            }
+            if (unblock == kNever)
+                return c;
+            c = std::min(unblock, end);
+            continue;
         }
         ++c;
     }

@@ -86,32 +86,50 @@ class Core
      * state (after tick(now)). Returns kNever when only an external
      * event can make the core progress. Sets @p stalls to whether every
      * skipped cycle increments the memory-stall counter (apply with
-     * skipStalledCycles). The prediction errs early, never late: a
-     * premature wake costs a spurious tick, a late one would diverge.
+     * skipStalledCycles). Sets @p waits_capacity when the predicted
+     * sleep depends on memory-system capacity (request buffer or write
+     * path) — such a sleep must be cut short when the controller frees
+     * capacity (a column issue), whereas a purely core-local or
+     * completion-bound sleep need not be. The prediction errs early,
+     * never late: a premature wake costs a spurious tick, a late one
+     * would diverge.
      */
-    Cycles nextEventCycle(Cycles now, bool &stalls) const;
+    Cycles nextEventCycle(Cycles now, bool &stalls,
+                          bool &waits_capacity) const;
 
     /** Account @p n skipped cycles of pure memory stall. */
     void skipStalledCycles(Cycles n) { memStall_ += n; }
 
     /**
-     * Burst execution ahead of the global clock. While a core has no
-     * outstanding L2 miss, no buffered writeback, and no window entry
-     * still paying a DRAM return-path latency, its cycle-by-cycle
-     * behavior is a closed function of its own state: it neither
-     * observes nor affects the memory system (cache hits stay
-     * core-local), no external event can target it (a completion needs
-     * an outstanding miss), and its memory-stall counter cannot
-     * advance (stall accrues only on L2-miss commits or memory-blocked
-     * fetch, both impossible here). This executes
-     * cycles [@p now, ...) in a tight loop, stopping *before* the first
-     * cycle that would touch the memory system (an L2 miss, a store
-     * fill, a non-temporal store), before any cycle that could push the
-     * committed-instruction count to @p commit_cap (so the caller's
-     * per-cycle snapshot/freeze scan still fires on the exact cycle),
-     * and at @p end. A cycle that turns out to touch memory is rolled
-     * back untouched and re-executed later through the normal tick()
-     * path at the correct global cycle.
+     * Burst execution ahead of the global clock. A core's cycle-by-cycle
+     * behavior is a closed function of its own state as long as no
+     * cycle touches the memory system and no external event targets it:
+     * cache hits stay core-local, and even in the shadow of outstanding
+     * L2 misses, loads and store fills that coalesce into an existing
+     * MSHR entry never leave the core. This executes cycles
+     * [@p now, ...) in a tight loop — batching steady ALU stretches in
+     * closed form and jumping idle (dependence- or latency-blocked)
+     * stretches analytically — stopping *before* the first cycle that
+     * would touch the memory system (a new L2 miss, a new store fill, a
+     * non-temporal store), before the first *stall* cycle (the oldest
+     * instruction a blocked L2 miss — the cycle a completion matters
+     * and the stall counter must advance), before any cycle that could
+     * push the committed-instruction count to @p commit_cap (so the
+     * caller's per-cycle snapshot/freeze scan still fires on the exact
+     * cycle), and at @p end. A cycle that turns out to touch memory is
+     * rolled back untouched and re-executed later through the normal
+     * tick() path at the correct global cycle.
+     *
+     * When mshrInUse() != 0 the caller MUST cap @p end at the earliest
+     * cycle a completion for this thread could be *observed*
+     * (MemorySystem::nextCompletionEffectCpuCycle): an in-flight miss
+     * makes this core a completion target, and a completion becoming
+     * visible inside an executed burst would rewrite history. Data
+     * delivered at boundary B is observable from B + 1 (the reference
+     * ticks the core before the memory at B), so a burst may cover the
+     * delivery cycle itself. With no miss in flight no external event
+     * can target the core and no merge can occur, so @p end needs no
+     * cap.
      *
      * @return the first cycle NOT executed; == @p now when the core is
      * ineligible or the very next cycle needs the memory system. After
@@ -205,17 +223,6 @@ class Core
      *  cycle; with an empty window this still counts as memory stall
      *  (the machine is drained waiting on outstanding misses). */
     bool fetchBlockedByMemory_ = false;
-
-    /** Monotone upper bound on the largest readyAt among live window
-     *  entries still flagged l2Miss — completed DRAM returns paying
-     *  their return-path overhead, the only non-memWait entries that
-     *  accrue memory stall when blocking commit. `now >= missReadyAt_`
-     *  makes that case impossible inside a runAhead() burst without a
-     *  window scan; entries merely waiting out a cache latency don't
-     *  gate entry (they are core-local, deterministic, and stall-free).
-     *  Staleness only delays burst entry, never admits a stalling
-     *  window. */
-    Cycles missReadyAt_ = 0;
 
     std::uint64_t committed_ = 0;
     Cycles memStall_ = 0;

@@ -100,8 +100,29 @@ struct ShardState
     Clock::time_point notBefore{};
     /** Final diagnosis once Failed. */
     std::string error;
+    /** First dispatch instant; anchor for the wall-clock record. */
+    Clock::time_point firstDispatch{};
+    bool dispatched = false;
+    /**
+     * Wall-clock seconds from first dispatch to terminal status
+     * (retries and backoff included — this is what the sweep actually
+     * paid for the shard). 0 for resumed/never-dispatched shards.
+     * Recorded per shard in fleet_counters.json so sharded sweeps can
+     * feed the same throughput tooling as the perf trajectory.
+     */
+    double wallSeconds = 0;
 
     std::size_t jobs() const { return end - begin; }
+
+    void
+    settleWallClock()
+    {
+        if (dispatched) {
+            wallSeconds = std::chrono::duration<double>(
+                              Clock::now() - firstDispatch)
+                              .count();
+        }
+    }
 };
 
 struct WorkerProc
@@ -361,6 +382,10 @@ class Supervisor
                 return; // Pool saturated; poll until a slot frees up.
 
             ++shard.attempts;
+            if (!shard.dispatched) {
+                shard.dispatched = true;
+                shard.firstDispatch = now;
+            }
             WorkUnit unit;
             unit.shard = static_cast<unsigned>(i);
             unit.attempt = shard.attempts;
@@ -625,6 +650,7 @@ class Supervisor
         }
 
         shard.status = ShardStatus::Done;
+        shard.settleWallClock();
         ++stats().shardsCompleted;
         worker.busy = false;
         noteProgress(static_cast<unsigned>(worker.shard), "done",
@@ -638,6 +664,7 @@ class Supervisor
         shard.status = ShardStatus::Pending;
         if (shard.attempts >= 1 + options_.retries) {
             shard.status = ShardStatus::Failed;
+            shard.settleWallClock();
             shard.error = formatMessage(
                 "shard %zu failed after %u attempt%s: %s", index,
                 shard.attempts, shard.attempts == 1 ? "" : "s",
@@ -793,10 +820,34 @@ class Supervisor
             counters.set(series.name, static_cast<std::uint64_t>(
                                           series.sample()));
         }
+        // Per-shard wall-clock records: what the sweep actually paid
+        // per shard (first dispatch to terminal status, retries and
+        // backoff included). Resumed shards ran in an earlier process
+        // and record 0; interrupted runs leave in-flight shards as
+        // "pending". These feed the same throughput tooling as the
+        // perf trajectory (EXPERIMENTS.md, "Performance methodology").
+        Json shard_records = Json::array();
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const ShardState &shard = shards_[i];
+            Json record = Json::object();
+            record.set("shard", static_cast<std::uint64_t>(i));
+            record.set("status",
+                       shard.status == ShardStatus::Failed ? "failed"
+                       : shard.status != ShardStatus::Done ? "pending"
+                       : shard.attempts == 0                ? "resumed"
+                                                            : "done");
+            record.set("jobs", static_cast<std::uint64_t>(shard.jobs()));
+            record.set("attempts", shard.attempts);
+            record.set("wall_seconds",
+                       std::round(shard.wallSeconds * 1000.0) / 1000.0);
+            shard_records.push(std::move(record));
+        }
+
         Json document = Json::object();
         document.set("schema", "stfm-fleet-counters-v1");
         document.set("interrupted", outcome_.interrupted);
         document.set("counters", std::move(counters));
+        document.set("shards", std::move(shard_records));
         try {
             writeJsonFile(document, options_.checkpoint +
                                         "/fleet_counters.json");

@@ -13,6 +13,7 @@
 #include "fleet/worker.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
+#include "harness/perfbench.hh"
 #include "harness/spec.hh"
 #include "obs/telemetry.hh"
 #include "sim/config_io.hh"
@@ -37,6 +38,9 @@ printUsage(std::ostream &os)
           "  list workloads            the named workload catalog\n"
           "  list figures              registered paper figures\n"
           "  list telemetry            the telemetry series catalog\n"
+          "  bench [flags]             time the fig09 sweep on both\n"
+          "                            paths, append a perf-trajectory\n"
+          "                            entry to BENCH_perf.json\n"
           "  <figure> [flags]          run a figure (fig09, table5, ...)\n"
           "  help                      this message\n"
           "\n"
@@ -49,6 +53,14 @@ printUsage(std::ostream &os)
           "  --telemetry       sample epoch telemetry (docs/METRICS.md)\n"
           "  --trace PATH      export a Chrome trace (docs/TRACING.md)\n"
           "  --full            full-size sweep (sampled figures)\n"
+          "\n"
+          "flags (bench; docs/EXPERIMENTS.md, perf methodology):\n"
+          "  --label NAME      trajectory entry label (default: local)\n"
+          "  --out PATH        trajectory file (default: BENCH_perf.json)\n"
+          "  --workloads N     sweep width (default 32 = fig09 sample)\n"
+          "  --scaling LIST    thread-scaling points, e.g. 1,2,4\n"
+          "  --jobs N          worker-pool width for the main sweeps\n"
+          "  --instructions N  per-thread instruction-budget override\n"
           "\n"
           "fleet flags (run only; any of them engages the supervised\n"
           "worker-process pool, see docs/ARCHITECTURE.md):\n"
@@ -221,6 +233,38 @@ commandRun(int argc, char **argv)
 }
 
 int
+commandBench(int argc, char **argv)
+{
+    // Environment first (STFM_BENCH_*), explicit flags override — the
+    // same layering the run/figure commands use for STFM_JOBS et al.
+    PerfBenchOptions options = perfBenchOptionsFromEnv();
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--label" && i + 1 < argc) {
+            options.label = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            options.outPath = argv[++i];
+        } else if (arg == "--workloads" && i + 1 < argc) {
+            options.workloads = parseUnsignedFlag(arg, argv[++i]);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            options.jobs = parseUnsignedFlag(arg, argv[++i]);
+        } else if (arg == "--instructions" && i + 1 < argc) {
+            options.budget = parseUnsignedFlag(arg, argv[++i]);
+        } else if (arg == "--scaling" && i + 1 < argc) {
+            options.scalingJobs.clear();
+            std::istringstream list(argv[++i]);
+            std::string item;
+            while (std::getline(list, item, ','))
+                options.scalingJobs.push_back(
+                    parseUnsignedFlag(arg, item.c_str()));
+        } else {
+            throw SimError("unknown flag '" + arg + "' for stfm bench");
+        }
+    }
+    return runPerfBench(options);
+}
+
+int
 commandValidate(int argc, char **argv)
 {
     const RunFlags flags = parseRunFlags("validate", argc, argv, 2);
@@ -334,6 +378,8 @@ cliMain(int argc, char **argv)
             return fleet::workerMain();
         if (command == "validate")
             return commandValidate(argc, argv);
+        if (command == "bench")
+            return commandBench(argc, argv);
         if (command == "list")
             return commandList(argc, argv);
         if (findFigure(command)) {

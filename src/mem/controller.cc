@@ -21,8 +21,9 @@ MemoryController::MemoryController(ChannelId channel_id, unsigned num_banks,
               params.writeBufferEntries),
       drain_(std::min(params.writeDrainHigh, params.writeBufferEntries),
              params.writeBufferEntries),
-      threadStats_(num_threads), readLatency_(num_threads),
-      bankReadyCache_(num_banks, 0)
+      readCompletionMin_(num_threads, kNeverDram),
+      queuedReads_(num_threads, 0), threadStats_(num_threads),
+      readLatency_(num_threads), bankReadyCache_(num_banks, 0)
 {
     STFM_ASSERT(num_banks <= 64,
                 "bankReadyDirty_ is a 64-bit mask (%u banks requested)",
@@ -152,7 +153,11 @@ MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
         req->finishAt = dram_now + 1;
         if (auditor_)
             auditor_->onForward(req->id, thread, coords.bank, dram_now);
+        completionMin_ = std::min(completionMin_, req->finishAt);
+        readCompletionMin_[thread] =
+            std::min(readCompletionMin_[thread], req->finishAt);
         forwarded_.push_back(std::move(req));
+        ++stateGen_;
         quietUntil_ = 0; // The forward completes next tick.
         return;
     }
@@ -171,7 +176,9 @@ MemoryController::enqueueRead(Addr addr, const AddrDecode &coords,
     if (auditor_)
         auditor_->onEnqueue(req.id, thread, coords.bank, false, dram_now);
     bankReadyDirty_ |= std::uint64_t{1} << coords.bank;
+    ++stateGen_;
     quietUntil_ = 0;
+    ++queuedReads_[thread];
     buffer_.add(req);
     occupancy_.onArrive(thread,
                         channelId_ * channel_.numBanks() + coords.bank,
@@ -204,6 +211,7 @@ MemoryController::enqueueWrite(Addr addr, const AddrDecode &coords,
     if (auditor_)
         auditor_->onEnqueue(req.id, thread, coords.bank, true, dram_now);
     bankReadyDirty_ |= std::uint64_t{1} << coords.bank;
+    ++stateGen_;
     quietUntil_ = 0;
     buffer_.add(req);
 }
@@ -315,6 +323,7 @@ MemoryController::issueCommand(const Candidate &winner,
     // skipped issuable command. Only the issued bank — whose row state
     // and local timing actually changed — must be re-derived.
     bankReadyDirty_ |= std::uint64_t{1} << bank;
+    ++stateGen_;
     quietUntil_ = 0;
 
     if (checker_)
@@ -369,6 +378,12 @@ MemoryController::issueCommand(const Candidate &winner,
     req->finishAt = finish;
     req->serviceState = service_state;
     ++columnIssues_;
+    completionMin_ = std::min(completionMin_, finish);
+    if (!req->isWrite) {
+        readCompletionMin_[req->thread] =
+            std::min(readCompletionMin_[req->thread], finish);
+        --queuedReads_[req->thread];
+    }
 
     ControllerThreadStats &stats = threadStats_[req->thread];
     if (req->isWrite) {
@@ -408,6 +423,18 @@ MemoryController::issueCommand(const Candidate &winner,
 void
 MemoryController::deliverCompletions(const SchedContext &ctx)
 {
+    // Nothing can finish yet: completionMin_ is the exact min finishAt
+    // over both lists, so skipping the scans loses no delivery.
+    if (completionMin_ > ctx.dramNow)
+        return;
+    ++stateGen_; // At least one entry is due: state will change.
+    // Rebuild both mins from the surviving entries as the scans walk
+    // them (the callback never enqueues — cores buffer writebacks and
+    // retry reads through their own tick — so no entry appears
+    // mid-scan).
+    completionMin_ = kNeverDram;
+    std::fill(readCompletionMin_.begin(), readCompletionMin_.end(),
+              kNeverDram);
     for (std::size_t i = 0; i < inFlight_.size();) {
         if (inFlight_[i]->finishAt <= ctx.dramNow) {
             std::unique_ptr<Request> req = std::move(inFlight_[i]);
@@ -428,6 +455,12 @@ MemoryController::deliverCompletions(const SchedContext &ctx)
                 policy_.onRequestCompleted(*req, ctx);
             }
         } else {
+            const Request &keep = *inFlight_[i];
+            completionMin_ = std::min(completionMin_, keep.finishAt);
+            if (!keep.isWrite) {
+                readCompletionMin_[keep.thread] = std::min(
+                    readCompletionMin_[keep.thread], keep.finishAt);
+            }
             ++i;
         }
     }
@@ -441,6 +474,10 @@ MemoryController::deliverCompletions(const SchedContext &ctx)
             if (readCallback_)
                 readCallback_(*req);
         } else {
+            const Request &keep = *forwarded_[i];
+            completionMin_ = std::min(completionMin_, keep.finishAt);
+            readCompletionMin_[keep.thread] = std::min(
+                readCompletionMin_[keep.thread], keep.finishAt);
             ++i;
         }
     }
@@ -521,11 +558,7 @@ MemoryController::nextInterestingCycle(DramCycles now) const
         // path: a cycle-by-cycle run skips update() on empty ticks too.
         return now + 1;
     }
-    DramCycles wake = kNeverDram;
-    for (const auto &req : inFlight_)
-        wake = std::min(wake, req->finishAt);
-    for (const auto &req : forwarded_)
-        wake = std::min(wake, req->finishAt);
+    DramCycles wake = completionMin_;
     if (params_.refreshEnabled) {
         // While refresh housekeeping is active every cycle matters
         // (maintenance precharges bypass the request scheduler).
@@ -546,17 +579,22 @@ MemoryController::nextInterestingCycle(DramCycles now) const
     // A command that is ready *now* but lost arbitration (or was held
     // back by gating) keeps the next cycle interesting; never report a
     // wake in the past.
-    return wake == kNeverDram ? wake : std::max(wake, now + 1);
+    if (wake != kNeverDram)
+        wake = std::max(wake, now + 1);
+    // The tick-time predictor is strictly stronger than the per-bank
+    // readiness sweep above: it ran the full candidate scan (write
+    // gating, row protection, policy arbitration) and proved every
+    // cycle before quietUntil_ a no-op. Events that could create
+    // earlier work reset it to 0. Without this, a bank whose readiness
+    // cycle passed without an issue — its command gated or outvoted —
+    // pins the sweep at now + 1 for the rest of its wait.
+    return std::max(wake, quietUntil_);
 }
 
 DramCycles
 MemoryController::quietBound(DramCycles now, DramCycles issue_bound) const
 {
-    DramCycles q = issue_bound;
-    for (const auto &req : inFlight_)
-        q = std::min(q, req->finishAt);
-    for (const auto &req : forwarded_)
-        q = std::min(q, req->finishAt);
+    DramCycles q = std::min(issue_bound, completionMin_);
     if (params_.refreshEnabled)
         q = std::min(q, nextRefreshAt_);
     if (auditor_ && params_.integrity.progressCheckStride > 0) {
@@ -586,6 +624,7 @@ MemoryController::tick(const SchedContext &ctx)
     if (handleRefresh(ctx)) {
         // Refresh housekeeping may precharge banks or refresh the rank.
         bankReadyDirty_ = ~std::uint64_t{0};
+        ++stateGen_;
         return;
     }
 
@@ -598,7 +637,7 @@ MemoryController::tick(const SchedContext &ctx)
     // schedulable during a drain episode (see WriteDrainControl), which
     // also starts early when the read queues are empty. All write
     // service is bank-batched so row disturbance stays contained.
-    if (drainTap_) {
+    {
         const bool was_draining = drain_.draining();
         const bool was_emergency = drain_.emergency();
         const BankId was_bank = drain_.drainBank();
@@ -606,12 +645,18 @@ MemoryController::tick(const SchedContext &ctx)
         if (drain_.draining() != was_draining ||
             drain_.emergency() != was_emergency ||
             (drain_.draining() && drain_.drainBank() != was_bank)) {
-            drainTap_->onDrainState(drain_.draining(),
-                                    drain_.emergency(),
-                                    drain_.drainBank(), ctx.dramNow);
+            // A drain transition changes what is schedulable: cached
+            // readiness bounds may now be too late (a write-only bank
+            // caches kNever outside an episode, and becomes issuable
+            // the moment one starts).
+            bankReadyDirty_ = ~std::uint64_t{0};
+            ++stateGen_;
+            if (drainTap_) {
+                drainTap_->onDrainState(drain_.draining(),
+                                        drain_.emergency(),
+                                        drain_.drainBank(), ctx.dramNow);
+            }
         }
-    } else {
-        drain_.update(buffer_);
     }
 
     Candidate best;
@@ -640,6 +685,20 @@ MemoryController::tick(const SchedContext &ctx)
         const Candidate cand = pickBankCandidate(
             b, allow_writes, allow_reads, ctx, oldest_row_seq, next_try);
         if (!cand.valid()) {
+            // The scan proved nothing in this bank can issue before
+            // next_try under the *current* gating and protection state
+            // — a strictly stronger fact than the class-readiness
+            // bound, so promote it into the cache. Without this, a
+            // bank whose readiness cycle passed while its commands
+            // were gated (a write below the drain threshold, a
+            // protected precharge) pins every readiness sweep at
+            // now + 1 until the bank finally issues. Anything that
+            // could create earlier work re-derives it: enqueues dirty
+            // the bank, drain transitions dirty all banks, shared
+            // timing only ever moves later, and time-varying
+            // priorities fold now + 1 into next_try themselves.
+            bankReadyCache_[b] = next_try;
+            bankReadyDirty_ &= ~(std::uint64_t{1} << b);
             issue_bound = std::min(issue_bound, next_try);
             continue;
         }

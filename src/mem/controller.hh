@@ -166,6 +166,41 @@ class MemoryController
      */
     std::uint64_t columnIssues() const { return columnIssues_; }
 
+    /**
+     * Exact minimum finishAt over thread @p t's in-flight and forwarded
+     * reads — the DRAM cycle whose boundary tick will invoke the read
+     * callback for this thread next, assuming no earlier-finishing read
+     * issues in the meantime. kNeverDram when none is pending.
+     * Maintained incrementally (see completionMin_), always exact.
+     */
+    DramCycles readCompletionMin(ThreadId t) const
+    {
+        return readCompletionMin_[t];
+    }
+
+    /**
+     * Demand reads of thread @p t sitting in the request buffer, not
+     * yet column-issued. While nonzero, a read for @p t with a
+     * currently *unknown* finish time exists: its earliest conceivable
+     * completion is bounded only by "issue at the next tick, finish
+     * strictly later" (see MemorySystem::nextCompletionEffectCpuCycle).
+     */
+    unsigned queuedReads(ThreadId t) const { return queuedReads_[t]; }
+
+    /**
+     * Generation counter for scheduler-visible controller state: bumps
+     * on every event after which a previously computed
+     * nextInterestingCycle() bound could move *earlier* — an enqueue, a
+     * command issue, a completion delivery, refresh housekeeping, or a
+     * write-drain state transition. While it is unchanged, a cached
+     * bound stays valid until the bound's own cycle executes (quiet
+     * ticks prove no-ops; they never create earlier work), which is
+     * what lets the simulation loop cache the readiness sweep across
+     * the long runs of quiet boundaries instead of re-sweeping every
+     * DRAM window.
+     */
+    std::uint64_t stateGen() const { return stateGen_; }
+
     /** Shadow protocol checker, or null when disabled. */
     const ProtocolChecker *protocolChecker() const
     {
@@ -267,12 +302,27 @@ class MemoryController
     WriteDrainControl drain_;
     std::vector<std::unique_ptr<Request>> inFlight_;
     std::vector<std::unique_ptr<Request>> forwarded_;
+    /**
+     * Exact min finishAt over *all* inFlight_ + forwarded_ entries
+     * (reads and writes): while completionMin_ > now, deliverCompletions
+     * is a provable no-op and skips both list scans. Lowered on insert;
+     * recomputed for free inside the delivery scan it gates (the scan
+     * visits every surviving entry anyway). readCompletionMin_ is the
+     * same min per thread over reads only — the completion events a
+     * core's run-ahead burst must end before.
+     */
+    DramCycles completionMin_ = kNeverDram;
+    std::vector<DramCycles> readCompletionMin_;
+    /** Per-thread demand reads queued but not yet column-issued. */
+    std::vector<unsigned> queuedReads_;
     std::vector<ControllerThreadStats> threadStats_;
     std::vector<LatencyHistogram> readLatency_;
     ReadCallback readCallback_;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextId_ = 0;
     std::uint64_t columnIssues_ = 0;
+    /** See stateGen(). */
+    std::uint64_t stateGen_ = 0;
 
     /** bankReadyCached() memo; per-bank dirty bits (bit b set = entry b
      *  must be re-derived). Banks are capped at 64 per channel by this

@@ -46,7 +46,6 @@ MemorySystem::canAcceptWrite(Addr addr) const
 void
 MemorySystem::issueRead(Addr addr, ThreadId thread, bool blocking)
 {
-    wakeCacheValid_ = false;
     const AddrDecode coords = mapping_.decode(addr);
     controllers_[coords.channel]->enqueueRead(addr, coords, thread,
                                               blocking, cpuNow_,
@@ -56,7 +55,6 @@ MemorySystem::issueRead(Addr addr, ThreadId thread, bool blocking)
 void
 MemorySystem::issueWrite(Addr addr, ThreadId thread)
 {
-    wakeCacheValid_ = false;
     const AddrDecode coords = mapping_.decode(addr);
     controllers_[coords.channel]->enqueueWrite(addr, coords, thread,
                                                cpuNow_, dramNow_);
@@ -105,47 +103,100 @@ MemorySystem::tick(Cycles cpu_now)
     cpuNow_ = cpu_now;
     if (cpu_now % config_.cpuPerDram() != 0)
         return;
-    wakeCacheValid_ = false;
+    boundaryTick(cpu_now);
+}
+
+void
+MemorySystem::boundaryTick(Cycles cpu_now)
+{
+    cpuNow_ = cpu_now;
     ++dramNow_;
-    policy_->beginCycle(makeContext(0, cpu_now));
-    for (ChannelId c = 0; c < controllers_.size(); ++c)
-        controllers_[c]->tick(makeContext(c, cpu_now));
+    SchedContext ctx = makeContext(0, cpu_now);
+    policy_->beginCycle(ctx);
+    for (ChannelId c = 0; c < controllers_.size(); ++c) {
+        ctx.channel = c;
+        controllers_[c]->tick(ctx);
+    }
 }
 
 void
 MemorySystem::quiescentDramTick(Cycles cpu_now)
 {
     cpuNow_ = cpu_now;
-    wakeCacheValid_ = false;
     ++dramNow_;
     policy_->beginCycle(makeContext(0, cpu_now));
+}
+
+void
+MemorySystem::refreshWakeCache() const
+{
+    std::uint64_t gen = 0;
+    for (const auto &controller : controllers_)
+        gen += controller->stateGen();
+    // Re-sweep when a scheduler-visible event occurred, or once the
+    // cached bound's own cycle has executed (that tick either bumped
+    // the generation by doing work, or proved itself a spurious wake —
+    // in which case the fresh sweep lands strictly later).
+    if (!wakeValid_ || gen != wakeGen_ ||
+        (wakeDram_ != MemoryController::kNeverDram &&
+         wakeDram_ <= dramNow_)) {
+        DramCycles wake = MemoryController::kNeverDram;
+        for (const auto &controller : controllers_) {
+            wake = std::min(wake,
+                            controller->nextInterestingCycle(dramNow_));
+        }
+        wakeDram_ = wake;
+        wakeGen_ = gen;
+        wakeValid_ = true;
+    }
 }
 
 Cycles
 MemorySystem::nextInterestingCpuCycle(Cycles now) const
 {
-    if (wakeCacheValid_)
-        return wakeCache_;
-    DramCycles wake = MemoryController::kNeverDram;
-    for (const auto &controller : controllers_)
-        wake = std::min(wake, controller->nextInterestingCycle(dramNow_));
+    refreshWakeCache();
     // DRAM cycle W (> dramNow_) is reached at the (W - dramNow_)'th
     // DRAM boundary after the most recent one at or before `now`.
+    if (wakeDram_ == MemoryController::kNeverDram)
+        return kNever;
     const Cycles per = config_.cpuPerDram();
     const Cycles last_boundary = now / per * per;
-    Cycles result = kNever;
-    if (wake != MemoryController::kNeverDram) {
-        const DramCycles ahead = wake - dramNow_;
-        result = ahead > (kNever - last_boundary) / per
-                     ? kNever // Saturate instead of overflowing.
-                     : last_boundary + ahead * per;
+    const DramCycles ahead = wakeDram_ - dramNow_;
+    return ahead > (kNever - last_boundary) / per
+               ? kNever // Saturate instead of overflowing.
+               : last_boundary + ahead * per;
+}
+
+Cycles
+MemorySystem::nextCompletionEffectCpuCycle(ThreadId t,
+                                           Cycles first_boundary) const
+{
+    DramCycles finish = MemoryController::kNeverDram;
+    bool queued = false;
+    for (const auto &controller : controllers_) {
+        finish = std::min(finish, controller->readCompletionMin(t));
+        queued |= controller->queuedReads(t) != 0;
     }
-    // Valid for the rest of this DRAM window: invalidated by boundary
-    // ticks and enqueues, and last_boundary can only change across a
-    // boundary tick.
-    wakeCache_ = result;
-    wakeCacheValid_ = true;
-    return result;
+    const Cycles per = config_.cpuPerDram();
+    // Queued reads: earliest issue is the tick at first_boundary, and
+    // finishAt strictly exceeds the issuing tick's DRAM cycle, so the
+    // delivery boundary is at least the one after it.
+    Cycles bound = queued ? first_boundary + per + 1 : kNever;
+    if (finish != MemoryController::kNeverDram) {
+        STFM_ASSERT(finish > dramNow_,
+                    "pending completion overdue (finishAt %llu <= "
+                    "dramNow %llu)",
+                    static_cast<unsigned long long>(finish),
+                    static_cast<unsigned long long>(dramNow_));
+        const DramCycles ahead = finish - dramNow_ - 1;
+        const Cycles delivery =
+            ahead > (kNever - first_boundary) / per
+                ? kNever // Saturate instead of overflowing.
+                : first_boundary + ahead * per;
+        if (delivery != kNever)
+            bound = std::min(bound, delivery + 1);
+    }
+    return bound;
 }
 
 ControllerThreadStats

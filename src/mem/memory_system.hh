@@ -79,6 +79,13 @@ class MemorySystem : public MemoryPort
     void tick(Cycles cpu_now);
 
     /**
+     * tick() for a @p cpu_now the caller already knows is a DRAM
+     * boundary — skips the clock-ratio check. The fast-forward loop
+     * tracks boundaries incrementally and calls this on its hot path.
+     */
+    void boundaryTick(Cycles cpu_now);
+
+    /**
      * Earliest CPU cycle > @p now at which a DRAM-domain tick could
      * perform observable work (deliver data, issue a command, run
      * refresh or watchdog housekeeping). Every DRAM boundary strictly
@@ -87,6 +94,33 @@ class MemorySystem : public MemoryPort
      * all channels are fully idle. The bound may be early, never late.
      */
     Cycles nextInterestingCpuCycle(Cycles now) const;
+
+    /**
+     * Earliest CPU cycle at which a read completion could *affect*
+     * thread @p t's core — i.e. the first cycle whose core tick can
+     * observe data delivered by a boundary memory tick (completions
+     * fire at boundary B after the core's own cycle-B tick, so their
+     * effect starts at B + 1). @p first_boundary is the CPU cycle of
+     * the first DRAM boundary whose memory tick has NOT yet executed
+     * (the caller knows tick ordering; this object does not). The
+     * bound may be early, never late — it is what caps a run-ahead
+     * burst for a core with misses in flight:
+     *
+     *  - an in-flight or forwarded read finishing at DRAM cycle F is
+     *    delivered at the boundary executing F, whose CPU cycle is
+     *    first_boundary + (F - dramNow() - 1) * cpuPerDram
+     *    (boundary ticks execute DRAM cycles dramNow()+1, +2, ... in
+     *    order, and F > dramNow() always: quiet windows and tick skips
+     *    never cross a pending finishAt);
+     *  - a queued, not-yet-issued read can issue no earlier than the
+     *    tick at first_boundary and finishes strictly after it, so its
+     *    delivery is at least one full boundary later.
+     *
+     * Returns kNever when thread @p t has no reads outstanding
+     * anywhere (no queued, in-flight, or forwarded read).
+     */
+    Cycles nextCompletionEffectCpuCycle(ThreadId t,
+                                        Cycles first_boundary) const;
 
     /**
      * True when the policy's beginCycle must run at every DRAM
@@ -112,14 +146,29 @@ class MemorySystem : public MemoryPort
      * nextInterestingCpuCycle, which also never skips past a watchdog
      * stride cycle).
      */
-    void skipDramTicks(std::uint64_t count)
-    {
-        dramNow_ += count;
-        wakeCacheValid_ = false;
-    }
+    void skipDramTicks(std::uint64_t count) { dramNow_ += count; }
 
     /** Re-align the CPU-domain timestamp after a fast-forward. */
     void syncCpuNow(Cycles cpu_now) { cpuNow_ = cpu_now; }
+
+    /**
+     * True when the next boundary tick — the one that will execute
+     * DRAM cycle dramNow() + 1 — is provably a no-op for every
+     * controller: nothing completes, issues, or transitions. The
+     * simulation loop then advances the DRAM clock without building a
+     * context or entering the controllers at all (the dominant case:
+     * cores are awake nearly every window, but the memory system only
+     * does real work in a small fraction of them). Exact complement of
+     * work, not a heuristic: derived from the same readiness sweep as
+     * nextInterestingCpuCycle.
+     */
+    bool
+    nextBoundaryQuiet() const
+    {
+        refreshWakeCache();
+        return wakeDram_ == MemoryController::kNeverDram ||
+               wakeDram_ > dramNow_ + 1;
+    }
 
     /**
      * Change-detection generation for core-visible memory state. The
@@ -197,6 +246,9 @@ class MemorySystem : public MemoryPort
   private:
     SchedContext makeContext(ChannelId channel, Cycles cpu_now) const;
 
+    /** Re-sweep the memoized wake bound if stale (see wakeDram_). */
+    void refreshWakeCache() const;
+
     MemoryConfig config_;
     unsigned numThreads_;
     AddressMapping mapping_;
@@ -208,14 +260,18 @@ class MemorySystem : public MemoryPort
     Cycles cpuNow_ = 0;
 
     /**
-     * Memoized nextInterestingCpuCycle result. Controller state only
-     * changes at DRAM-boundary ticks and on enqueues, so between those
-     * the full readiness sweep would recompute the same value for every
-     * CPU cycle of the same DRAM window; the cache collapses that to
-     * one sweep per window.
+     * Memoized readiness sweep, kept in the DRAM domain and keyed on
+     * the controllers' summed stateGen(): quiet boundary ticks change
+     * nothing scheduler-visible (the generation holds still), so the
+     * cached bound survives whole runs of them and only real events —
+     * enqueues, issues, deliveries, refresh work, drain transitions —
+     * or the bound's own cycle executing force a re-sweep. The CPU-
+     * domain conversion is recomputed per query (it shifts with the
+     * caller's clock).
      */
-    mutable Cycles wakeCache_ = 0;
-    mutable bool wakeCacheValid_ = false;
+    mutable DramCycles wakeDram_ = 0;
+    mutable std::uint64_t wakeGen_ = 0;
+    mutable bool wakeValid_ = false;
 };
 
 } // namespace stfm

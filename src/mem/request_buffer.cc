@@ -25,6 +25,7 @@ RequestBuffer::add(const Request &req)
                     writeCount_, writeCapacity_);
         ++writeCount_;
         ++bankWrites_[req.coords.bank];
+        busiestWriteDirty_ = true;
     } else {
         STFM_ASSERT(canAcceptRead(),
                     "request buffer overflow: %u/%u entries used",
@@ -74,6 +75,7 @@ RequestBuffer::extract(Request *req)
     if (owned->isWrite) {
         --writeCount_;
         --bankWrites_[owned->coords.bank];
+        busiestWriteDirty_ = true;
     } else {
         --readCount_;
         --threadReads_[owned->thread];
@@ -109,12 +111,17 @@ RequestBuffer::extract(Request *req)
 BankId
 RequestBuffer::busiestWriteBank() const
 {
-    BankId best = 0;
-    for (BankId b = 1; b < static_cast<BankId>(bankWrites_.size()); ++b) {
-        if (bankWrites_[b] > bankWrites_[best])
-            best = b;
+    if (busiestWriteDirty_) {
+        BankId best = 0;
+        for (BankId b = 1; b < static_cast<BankId>(bankWrites_.size());
+             ++b) {
+            if (bankWrites_[b] > bankWrites_[best])
+                best = b;
+        }
+        busiestWrite_ = best;
+        busiestWriteDirty_ = false;
     }
-    return best;
+    return busiestWrite_;
 }
 
 BankId

@@ -93,7 +93,9 @@ class RequestBuffer
     unsigned writeCount() const { return writeCount_; }
     /** Queued writes destined for @p bank. */
     unsigned writeCount(BankId bank) const { return bankWrites_[bank]; }
-    /** Bank with the most queued writes (ties to the lowest id). */
+    /** Bank with the most queued writes (ties to the lowest id).
+     *  Memoized: the drain controller polls this every tick, while the
+     *  per-bank write counts only move on a write add/extract. */
     BankId busiestWriteBank() const;
     /** Bank holding the oldest queued write (FIFO-fair drain target). */
     BankId oldestWriteBank() const;
@@ -108,6 +110,8 @@ class RequestBuffer
     unsigned readCount_ = 0;
     unsigned writeCount_ = 0;
     std::vector<unsigned> bankWrites_;
+    mutable BankId busiestWrite_ = 0;
+    mutable bool busiestWriteDirty_ = false;
     std::vector<unsigned> threadReads_;
     std::vector<std::vector<std::unique_ptr<Request>>> queues_;
     struct RowEntry

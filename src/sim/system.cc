@@ -12,9 +12,8 @@ CmpSystem::CmpSystem(const SimConfig &config,
     : config_(config), traces_(std::move(traces)),
       memory_(config.memory, config.scheduler, config.cores),
       stallSnapshot_(config.cores, 0), frozen_(config.cores, false),
-      warm_(config.cores), coreWake_(config.cores, 0),
-      coreStalls_(config.cores, 0), coreWakeValid_(config.cores, 0),
-      coreAheadUntil_(config.cores, 0)
+      warm_(config.cores), coreStalls_(config.cores, 0),
+      coreWaitsCap_(config.cores, 0), stallAnchor_(config.cores, 0)
 {
     STFM_ASSERT(traces_.size() == config.cores,
                 "one trace per core required (%zu traces, %u cores)",
@@ -29,11 +28,26 @@ CmpSystem::CmpSystem(const SimConfig &config,
         cores_.back()->prewarmCaches(footprint);
     }
     memory_.setStallCounters(&stallSnapshot_);
+    wake_.reset(config_.cores);
     memory_.setReadCallback([this](const Request &req) {
-        cores_[req.thread]->onReadComplete(req.addr, cpuNow_);
-        // The completion mutated the core; its cached quiescence
-        // window no longer describes its state.
-        coreWakeValid_[req.thread] = 0;
+        const unsigned t = req.thread;
+        // Completions fire during the boundary memory tick, after the
+        // core's (possibly virtual) tick this cycle: settle the lazy
+        // stall owed through cpuNow_ with the pre-completion stall
+        // state, then re-arm the core — the completion mutated it, so
+        // its cached wake no longer describes its state. A run-ahead
+        // burst may have covered cpuNow_ itself but never cpuNow_ + 1
+        // (bursts with misses in flight end before the completion's
+        // first *observable* cycle), and every due <= cpuNow_ was
+        // drained before this tick, so the re-arm below only ever
+        // moves the core's wake earlier.
+        if (coreStalls_[t]) {
+            cores_[t]->skipStalledCycles(cpuNow_ - stallAnchor_[t]);
+            coreStalls_[t] = 0;
+        }
+        stallAnchor_[t] = cpuNow_;
+        cores_[t]->onReadComplete(req.addr, cpuNow_);
+        wake_.setDue(t, cpuNow_ + 1);
     });
     if (config_.telemetry.collecting()) {
         obs_ = std::make_unique<ObsSession>(config_.telemetry,
@@ -90,70 +104,98 @@ CmpSystem::run()
 
     unsigned active = config_.cores;
     const Cycles cpu_per_dram = config_.memory.cpuPerDram();
+    // Only STFM consumes the per-boundary stall snapshots (through
+    // SchedContext::stallCycles); skip refreshing them for the other
+    // policies — they are pure overhead on every executed boundary.
+    const bool stall_snapshots = memory_.policyNeedsPerCycleAccounting();
 
     // Next DRAM-boundary cycle, tracked incrementally so the hot loop
-    // carries no divisions. Re-derived after every fast-forward jump.
+    // carries no divisions. Re-derived after every event jump.
     Cycles next_boundary = 0;
 
-    for (cpuNow_ = 0; active > 0 && cpuNow_ < config_.maxCycles;
-         ++cpuNow_) {
+    wake_.reset(config_.cores);
+    std::fill(coreStalls_.begin(), coreStalls_.end(), 0);
+    std::fill(coreWaitsCap_.begin(), coreWaitsCap_.end(), 0);
+    std::fill(stallAnchor_.begin(), stallAnchor_.end(), 0);
+
+    cpuNow_ = 0;
+    while (active > 0 && cpuNow_ < config_.maxCycles) {
         const bool boundary = cpuNow_ == next_boundary;
         if (boundary)
             next_boundary += cpu_per_dram;
 
-        bool any_active = false;
         // Cores whose tick() ran this cycle. Only a tick can push a
         // core across a snapshot/freeze threshold: runAhead() stops
-        // strictly below commitCap(), cached-window skips and ahead
-        // cores commit nothing, so the threshold scan below covers
-        // exactly these cores. 32 cores max (asserted by MemorySystem).
+        // strictly below commitCap() and sleeping cores commit
+        // nothing, so the threshold scan below covers exactly these
+        // cores. 32 cores max (asserted by MemorySystem).
         std::uint32_t ticked = 0;
         if (config_.fastForward) {
-            // Per-core lazy ticks: a run-ahead core already executed
-            // this cycle (see coreAheadUntil_); a core inside its
-            // cached quiescence window would tick as a no-op except for
-            // (possibly) one stall-counter increment — apply that
-            // directly. Anyone else first attempts a run-ahead burst,
-            // then ticks for real; a tick that made progress is assumed
-            // active again next cycle (sound: early wakes are
-            // harmless), so the exact wake is only computed on the
-            // first progress-free tick.
-            refreshCoreEventGen();
-            for (unsigned t = 0; t < config_.cores; ++t) {
-                if (cpuNow_ < coreAheadUntil_[t])
-                    continue;
-                if (coreWakeValid_[t] && cpuNow_ < coreWake_[t]) {
-                    if (coreStalls_[t])
-                        cores_[t]->skipStalledCycles(1);
-                    continue;
+            // Visit exactly the cores due this cycle, in thread order
+            // (the heap tie-breaks on the index, preserving the
+            // reference's core-to-memory enqueue order). Each visit
+            // settles the core's lazy stall debt, then either bursts
+            // ahead (the whole burst is stall-free and pre-executed) or
+            // ticks for real; a progressing tick is assumed active
+            // again next cycle (sound: early wakes are harmless), so
+            // the exact wake is only computed on the first
+            // progress-free tick.
+            while (wake_.minDue() <= cpuNow_) {
+                const unsigned t = wake_.minThread();
+                if (coreStalls_[t]) {
+                    cores_[t]->skipStalledCycles(cpuNow_ - 1 -
+                                                 stallAnchor_[t]);
+                    coreStalls_[t] = 0;
                 }
+                coreWaitsCap_[t] = 0;
                 // Horizon-bounded so a never-missing (typically
                 // frozen) core doesn't burn host time running all the
                 // way to maxCycles when the run will end much sooner;
                 // re-entry is O(1), so long streaks just chain bursts.
-                const Cycles horizon = std::min(
-                    config_.maxCycles, cpuNow_ + kRunAheadChunk);
-                const Cycles ahead = cores_[t]->runAhead(
-                    cpuNow_, horizon, commitCap(t));
+                Cycles horizon = std::min(config_.maxCycles,
+                                          cpuNow_ + kRunAheadChunk);
+                if (cores_[t]->mshrInUse() != 0) {
+                    // In-flight misses make this core a completion
+                    // target: the burst must end before the first
+                    // cycle that could *observe* a completion for this
+                    // thread. Data delivered at boundary B lands after
+                    // the core's own cycle-B tick (same order as the
+                    // reference), so the burst may cover B itself; and
+                    // every due <= cpuNow_ is drained before this
+                    // cycle's memory tick, so a callback at B only
+                    // ever moves this core's wake earlier, never into
+                    // already-executed cycles.
+                    horizon = std::min(
+                        horizon,
+                        memory_.nextCompletionEffectCpuCycle(
+                            t, boundary ? cpuNow_ : next_boundary));
+                }
+                const Cycles ahead =
+                    horizon > cpuNow_
+                        ? cores_[t]->runAhead(cpuNow_, horizon,
+                                              commitCap(t))
+                        : cpuNow_;
                 if (ahead != cpuNow_) {
-                    coreAheadUntil_[t] = ahead;
-                    coreWakeValid_[t] = 0;
+                    // Cycles [cpuNow_, ahead) are executed and
+                    // stall-free; the core next needs the clock (and
+                    // is next allowed to be visited) at `ahead`.
+                    wake_.setDue(t, ahead);
+                    stallAnchor_[t] = ahead;
                     continue;
                 }
                 ticked |= 1u << t;
+                stallAnchor_[t] = cpuNow_;
                 if (cores_[t]->tick(cpuNow_)) {
-                    coreWake_[t] = cpuNow_ + 1;
-                    coreStalls_[t] = 0;
-                    any_active = true;
+                    wake_.setDue(t, cpuNow_ + 1);
                 } else {
                     bool stalling = false;
-                    coreWake_[t] =
-                        cores_[t]->nextEventCycle(cpuNow_, stalling);
+                    bool waits_cap = false;
+                    wake_.setDue(t,
+                                 cores_[t]->nextEventCycle(
+                                     cpuNow_, stalling, waits_cap));
                     coreStalls_[t] = stalling ? 1 : 0;
-                    any_active = any_active ||
-                                 coreWake_[t] <= cpuNow_ + 1;
+                    coreWaitsCap_[t] = waits_cap ? 1 : 0;
                 }
-                coreWakeValid_[t] = 1;
             }
         } else {
             for (auto &core : cores_)
@@ -162,11 +204,52 @@ CmpSystem::run()
         }
 
         if (boundary) {
-            for (unsigned t = 0; t < config_.cores; ++t)
-                stallSnapshot_[t] = cores_[t]->memStallCycles();
-            memory_.tick(cpuNow_);
-            if (obs_)
-                obs_->onBoundary(memory_.dramNow());
+            if (config_.fastForward && memory_.nextBoundaryQuiet()) {
+                // This boundary's controller ticks are provably no-ops
+                // (cores are awake most windows, but the memory system
+                // does real work in only a few percent of them): skip
+                // straight past the context build and controller entry.
+                // STFM still integrates interference off the same stall
+                // snapshot a full tick would have seen; the other
+                // policies' beginCycle is a no-op, letting the DRAM
+                // clock advance bare. No column command can issue on a
+                // quiet boundary, so the capacity-wake generation check
+                // below is not needed here.
+                if (stall_snapshots) {
+                    for (unsigned t = 0; t < config_.cores; ++t)
+                        stallSnapshot_[t] = stallAt(t, cpuNow_);
+                    memory_.quiescentDramTick(cpuNow_);
+                } else {
+                    memory_.skipDramTicks(1);
+                    memory_.syncCpuNow(cpuNow_);
+                }
+                if (obs_)
+                    obs_->onBoundary(memory_.dramNow());
+            } else {
+                if (stall_snapshots) {
+                    for (unsigned t = 0; t < config_.cores; ++t)
+                        stallSnapshot_[t] = stallAt(t, cpuNow_);
+                }
+                // next_boundary tracking makes the clock-ratio check
+                // inside tick() redundant on this path.
+                memory_.boundaryTick(cpuNow_);
+                if (obs_)
+                    obs_->onBoundary(memory_.dramNow());
+                if (config_.fastForward) {
+                    // A column issue during the tick freed
+                    // request-buffer capacity: cut short every sleep
+                    // that depends on it. (Completions re-armed their
+                    // cores directly from the read callback.)
+                    const std::uint64_t gen = memory_.coreEventGen();
+                    if (gen != coreEventGenSeen_) {
+                        coreEventGenSeen_ = gen;
+                        for (unsigned t = 0; t < config_.cores; ++t) {
+                            if (coreWaitsCap_[t])
+                                wake_.setDue(t, cpuNow_ + 1);
+                        }
+                    }
+                }
+            }
         } else {
             memory_.syncCpuNow(cpuNow_);
         }
@@ -190,18 +273,59 @@ CmpSystem::run()
             }
         }
 
-        // Event-driven fast-forwarding: from post-tick state, skip
-        // straight to the next cycle where anything can happen. Guarded
-        // on active > 0 so the exit value of cpuNow_ (and thus
-        // totalCycles) matches the cycle-by-cycle reference exactly;
-        // skipped outright when a core just made progress (its wake is
-        // now + 1, so no window can open).
-        if (config_.fastForward && active > 0 && !any_active) {
-            const Cycles jumped = fastForward(cpuNow_);
-            if (jumped != cpuNow_) {
-                cpuNow_ = jumped;
-                next_boundary =
-                    (cpuNow_ / cpu_per_dram + 1) * cpu_per_dram;
+        // Advance to the next event: the earliest core due cycle or
+        // the next interesting DRAM cycle, whichever comes first.
+        // Guarded on active > 0 so the exit value of cpuNow_ (and thus
+        // totalCycles) matches the cycle-by-cycle reference exactly.
+        if (!config_.fastForward || active == 0) {
+            ++cpuNow_;
+            continue;
+        }
+        Cycles target = std::min(wake_.minDue(), config_.maxCycles);
+        if (target > cpuNow_ + 1) {
+            target = std::min(target,
+                              memory_.nextInterestingCpuCycle(cpuNow_));
+        }
+        if (target <= cpuNow_ + 1) {
+            ++cpuNow_;
+            continue;
+        }
+        // Jump. Every core sleeps through (cpuNow_, target) — stall
+        // accrual is settled lazily from the anchors — and every DRAM
+        // boundary inside the window is proven uninteresting; replay
+        // only the per-cycle effects a cycle-by-cycle run would have
+        // had (STFM integrates interference every DRAM cycle off the
+        // stall snapshot; the other policies' beginCycle is a no-op,
+        // letting the DRAM clock jump wholesale).
+        if (memory_.policyNeedsPerCycleAccounting()) {
+            for (Cycles c = (cpuNow_ / cpu_per_dram + 1) * cpu_per_dram;
+                 c < target; c += cpu_per_dram) {
+                for (unsigned t = 0; t < config_.cores; ++t)
+                    stallSnapshot_[t] = stallAt(t, c);
+                memory_.quiescentDramTick(c);
+                if (obs_)
+                    obs_->onBoundary(memory_.dramNow());
+            }
+        } else {
+            memory_.skipDramTicks((target - 1) / cpu_per_dram -
+                                  cpuNow_ / cpu_per_dram);
+        }
+        memory_.syncCpuNow(target - 1);
+        cpuNow_ = target;
+        next_boundary = target / cpu_per_dram * cpu_per_dram;
+        if (next_boundary < target)
+            next_boundary += cpu_per_dram;
+    }
+
+    // Settle every core's remaining lazy stall debt: the run's last
+    // executed cycle is cpuNow_ - 1, and sleeping cores accrued
+    // through it.
+    if (config_.fastForward) {
+        for (unsigned t = 0; t < config_.cores; ++t) {
+            if (coreStalls_[t]) {
+                cores_[t]->skipStalledCycles(cpuNow_ - 1 -
+                                             stallAnchor_[t]);
+                coreStalls_[t] = 0;
             }
         }
     }
@@ -241,78 +365,6 @@ CmpSystem::run()
     if (obs_)
         obs_->finalize(memory_.dramNow());
     return result;
-}
-
-Cycles
-CmpSystem::fastForward(Cycles now)
-{
-    // A skip window (now, wake) is legal when every core is quiescent
-    // (its ticks reduce to at most a stall-counter increment) and no
-    // DRAM boundary inside it can deliver data, issue a command, or
-    // run refresh/watchdog housekeeping. All wake bounds err early,
-    // never late, so at worst we wake spuriously and re-evaluate.
-    // Core checks run first: they are cheap and usually decide (an
-    // actively executing core ends the attempt immediately). Cached
-    // windows from the lazy-tick pass are reused; only cores whose
-    // cache was invalidated this cycle (a completion fired or a column
-    // issued during the memory tick) recompute. The memory-side bound
-    // — a full readiness sweep — runs last, and only when every core
-    // turned out quiescent.
-    refreshCoreEventGen();
-    Cycles wake = config_.maxCycles;
-    for (unsigned t = 0; t < config_.cores; ++t) {
-        if (now < coreAheadUntil_[t]) {
-            // Run-ahead core: already executed (stall-free) up to its
-            // horizon; it next needs the global clock at that cycle.
-            wake = std::min(wake, coreAheadUntil_[t]);
-        } else {
-            if (!coreWakeValid_[t]) {
-                bool stalling = false;
-                coreWake_[t] = cores_[t]->nextEventCycle(now, stalling);
-                coreStalls_[t] = stalling ? 1 : 0;
-                coreWakeValid_[t] = 1;
-            }
-            wake = std::min(wake, coreWake_[t]);
-        }
-        if (wake <= now + 1)
-            return now;
-    }
-    wake = std::min(wake, memory_.nextInterestingCpuCycle(now));
-    if (wake <= now + 1)
-        return now;
-
-    // Replay the per-cycle effects a cycle-by-cycle run would have had
-    // over (now, wake - 1]: stall accounting on the cores, and on each
-    // DRAM boundary the stall snapshot plus the policy's per-cycle
-    // accounting (STFM integrates interference every DRAM cycle; the
-    // other policies' beginCycle is a no-op, letting the DRAM clock
-    // jump wholesale).
-    const Cycles skipped = wake - 1 - now;
-    const Cycles per = config_.memory.cpuPerDram();
-    if (memory_.policyNeedsPerCycleAccounting()) {
-        for (Cycles c = (now / per + 1) * per; c < wake; c += per) {
-            for (unsigned t = 0; t < config_.cores; ++t) {
-                // Run-ahead cores accrued no stall over their horizon
-                // (which covers this whole window), so their counter is
-                // already the per-boundary value.
-                const bool st =
-                    now >= coreAheadUntil_[t] && coreStalls_[t];
-                stallSnapshot_[t] = cores_[t]->memStallCycles() +
-                                    (st ? c - now : 0);
-            }
-            memory_.quiescentDramTick(c);
-            if (obs_)
-                obs_->onBoundary(memory_.dramNow());
-        }
-    } else {
-        memory_.skipDramTicks((wake - 1) / per - now / per);
-    }
-    for (unsigned t = 0; t < config_.cores; ++t) {
-        if (now >= coreAheadUntil_[t] && coreStalls_[t])
-            cores_[t]->skipStalledCycles(skipped);
-    }
-    memory_.syncCpuNow(wake - 1);
-    return wake - 1;
 }
 
 } // namespace stfm

@@ -28,6 +28,101 @@
 namespace stfm
 {
 
+/**
+ * Indexed binary min-heap of per-core due cycles. Keyed on
+ * (due, thread): ties break toward the lower thread index so that
+ * cores waking on the same cycle are processed in the exact order the
+ * cycle-by-cycle reference ticks them (core-to-memory enqueue order is
+ * architecturally visible through the request buffer).
+ */
+class WakeHeap
+{
+  public:
+    /** (Re)build the heap with @p n cores, all due at cycle 0. */
+    void
+    reset(unsigned n)
+    {
+        heap_.resize(n);
+        pos_.resize(n);
+        for (unsigned t = 0; t < n; ++t) {
+            heap_[t] = {0, t};
+            pos_[t] = t;
+        }
+    }
+
+    Cycles minDue() const { return heap_[0].due; }
+    unsigned minThread() const { return heap_[0].thread; }
+
+    /** Move core @p t's due cycle (either direction). */
+    void
+    setDue(unsigned t, Cycles due)
+    {
+        unsigned i = pos_[t];
+        const Cycles old = heap_[i].due;
+        heap_[i].due = due;
+        if (due < old)
+            siftUp(i);
+        else if (due > old)
+            siftDown(i);
+    }
+
+  private:
+    struct Slot
+    {
+        Cycles due;
+        unsigned thread;
+    };
+
+    bool
+    before(const Slot &a, const Slot &b) const
+    {
+        return a.due != b.due ? a.due < b.due : a.thread < b.thread;
+    }
+
+    void
+    place(unsigned i, Slot s)
+    {
+        heap_[i] = s;
+        pos_[s.thread] = i;
+    }
+
+    void
+    siftUp(unsigned i)
+    {
+        const Slot s = heap_[i];
+        while (i > 0) {
+            const unsigned parent = (i - 1) / 2;
+            if (!before(s, heap_[parent]))
+                break;
+            place(i, heap_[parent]);
+            i = parent;
+        }
+        place(i, s);
+    }
+
+    void
+    siftDown(unsigned i)
+    {
+        const Slot s = heap_[i];
+        const unsigned n = static_cast<unsigned>(heap_.size());
+        for (;;) {
+            unsigned child = 2 * i + 1;
+            if (child >= n)
+                break;
+            if (child + 1 < n && before(heap_[child + 1], heap_[child]))
+                ++child;
+            if (!before(heap_[child], s))
+                break;
+            place(i, heap_[child]);
+            i = child;
+        }
+        place(i, s);
+    }
+
+    std::vector<Slot> heap_;
+    std::vector<unsigned> pos_; ///< thread -> heap index
+};
+
 class CmpSystem
 {
   public:
@@ -68,29 +163,18 @@ class CmpSystem
     void freezeThread(unsigned t, Cycles now, SimResult &result);
 
     /**
-     * Fast-forward from post-tick state at @p now: if every core is
-     * quiescent and no DRAM cycle is interesting before some wake
-     * cycle, advance straight to it — replaying only the per-cycle
-     * effects a cycle-by-cycle run would have had (stall counters,
-     * DRAM-boundary policy accounting). @return the last cycle whose
-     * effects are applied (the loop resumes at the cycle after it);
-     * @p now itself when nothing can be skipped.
+     * The cumulative memory-stall counter core @p t would show after a
+     * cycle-by-cycle run ticked it at cycle @p c. Stall accrual is
+     * lazy: a sleeping, stalling core's counter is materialized only
+     * when visited (see stallAnchor_), so reads in between — the
+     * per-boundary stall snapshot STFM consumes — extrapolate from the
+     * anchor instead.
      */
-    Cycles fastForward(Cycles now);
-
-    /**
-     * Drop every cached core quiescence window if memory state a core
-     * can observe changed since the caches were computed (column issue
-     * = request-buffer capacity freed). Read completions invalidate the
-     * affected core directly from the read callback.
-     */
-    void refreshCoreEventGen()
+    Cycles
+    stallAt(unsigned t, Cycles c) const
     {
-        const std::uint64_t gen = memory_.coreEventGen();
-        if (gen != coreEventGenSeen_) {
-            coreEventGenSeen_ = gen;
-            std::fill(coreWakeValid_.begin(), coreWakeValid_.end(), 0);
-        }
+        return cores_[t]->memStallCycles() +
+               (coreStalls_[t] ? c - stallAnchor_[t] : 0);
     }
 
     SimConfig config_;
@@ -104,24 +188,30 @@ class CmpSystem
     std::vector<bool> frozen_;
     std::vector<WarmSnapshot> warm_;
     /**
-     * Per-core quiescence cache: until coreWake_[t], core t's ticks are
-     * no-ops except a stall-counter increment when coreStalls_[t] is
-     * set, so the loop applies that increment directly instead of
-     * ticking. Entries are invalidated by the core's own tick, its read
-     * completions, and memory capacity events (see refreshCoreEventGen).
+     * The event model: each core sleeps until its due cycle. due = the
+     * core's exact quiescence wake (Core::nextEventCycle) after a
+     * progress-free tick, now + 1 after a progressing tick, or the end
+     * of a Core::runAhead() burst (those cycles already executed).
+     * Sleeps are cut short by the core's own read completions (the
+     * callback re-arms the core for the next cycle) and — for cores
+     * whose sleep depends on memory capacity (coreWaitsCap_) — by a
+     * column issue during a boundary tick (coreEventGenSeen_). The
+     * global clock jumps to min(heap, memory's next interesting cycle).
      */
-    std::vector<Cycles> coreWake_;
+    WakeHeap wake_;
+    /** Sleeping core t accrues one stall cycle per slept cycle. */
     std::vector<char> coreStalls_;
-    std::vector<char> coreWakeValid_;
-    std::uint64_t coreEventGenSeen_ = 0;
+    /** Core t's sleep must end early if controller capacity frees. */
+    std::vector<char> coreWaitsCap_;
     /**
-     * Run-ahead horizon: core t already executed every cycle below
-     * coreAheadUntil_[t] via Core::runAhead() and accrued no stall
-     * doing so. Until then it must not be ticked again and is immune to
-     * cache invalidation (a run-ahead core has no outstanding request,
-     * so no external event can be aimed at it).
+     * Lazy stall accrual: core t's memStallCycles() is accurate as of
+     * its post-tick state at cycle stallAnchor_[t]; each later slept
+     * cycle owes one stall iff coreStalls_[t]. Materialized when the
+     * core is next visited, when a completion callback fires, and at
+     * loop exit. stallAt() reads the counter without materializing.
      */
-    std::vector<Cycles> coreAheadUntil_;
+    std::vector<Cycles> stallAnchor_;
+    std::uint64_t coreEventGenSeen_ = 0;
     /** Max cycles a single runAhead() burst may cover. Bounds wasted
      *  work past the (unknowable in advance) end of the run; large
      *  enough that burst re-entry cost is noise. */

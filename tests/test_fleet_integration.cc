@@ -13,6 +13,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -118,6 +120,44 @@ TEST(FleetIntegration, CleanShardedRunIsByteIdenticalToInProcess)
     EXPECT_EQ(outcome.stats.shardsCompleted, 2u);
     EXPECT_EQ(resultsJson(outcome.result).dump(),
               referenceBytes(spec));
+}
+
+TEST(FleetIntegration, CountersRecordPerShardWallClock)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    TempDir checkpoint("fleet_it_wallclock");
+    options.checkpoint = checkpoint.path();
+    options.shards = 2;
+    options.workers = 2;
+
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+
+    std::ifstream in(checkpoint.path() + "/fleet_counters.json",
+                     std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream text;
+    text << in.rdbuf();
+    const Json doc = Json::parse(text.str());
+    EXPECT_EQ(doc.at("schema", "counters").asString(),
+              "stfm-fleet-counters-v1");
+    const Json &shards = doc.at("shards", "counters");
+    ASSERT_EQ(shards.size(), 2u);
+    std::uint64_t jobs = 0;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const Json &record = shards.at(i);
+        EXPECT_EQ(record.at("shard", "record").asUint(), i);
+        EXPECT_EQ(record.at("status", "record").asString(), "done");
+        EXPECT_EQ(record.at("attempts", "record").asUint(), 1u);
+        // Executed shards record real (possibly sub-millisecond,
+        // hence >= 0 after rounding) wall clock.
+        EXPECT_GE(record.at("wall_seconds", "record").asDouble(), 0.0);
+        jobs += record.at("jobs", "record").asUint();
+    }
+    // Every (workload x scheduler) job is accounted to some shard.
+    EXPECT_EQ(jobs, 2u);
 }
 
 TEST(FleetIntegration, CrashIsRetriedToAnIdenticalResult)
