@@ -11,6 +11,10 @@ Three subcommands:
                         schemas documented in docs/METRICS.md and
                         docs/TRACING.md, and every emitted series name
                         is documented
+  devices DEVICES.TXT   `stfm list devices` output and the README's
+                        device-catalog table name exactly the same
+                        presets, and every preset has its JSON spec
+                        file under specs/devices/
 """
 
 import glob
@@ -143,6 +147,41 @@ def check_trace_doc(path):
         fail(f"{path}: unclosed spans {unbalanced}")
     return len(events)
 
+def check_devices(devices_path):
+    # `stfm list devices`: a header line starting with "name", then one
+    # row per preset whose first column is the catalog name.
+    catalog = set()
+    for line in open(devices_path, encoding="utf-8"):
+        token = line.split()[0] if line.split() else ""
+        if token and token != "name":
+            catalog.add(token)
+    if not catalog:
+        fail(f"no device rows parsed from {devices_path}")
+
+    readme = open(os.path.join(REPO, "README.md"), encoding="utf-8").read()
+    match = re.search(r"### Device catalog\n(.*?)(?:\n#|\Z)", readme,
+                      flags=re.S)
+    if not match:
+        fail("README.md has no '### Device catalog' section")
+    documented = set(
+        re.findall(r"\|\s*`([A-Za-z][\w-]*)`\s*\|", match.group(1)))
+
+    missing = catalog - documented
+    stale = documented - catalog
+    if missing:
+        fail("devices in `stfm list devices` but not the README "
+             "catalog: " + ", ".join(sorted(missing)))
+    if stale:
+        fail("devices documented in the README catalog but not in "
+             "`stfm list devices`: " + ", ".join(sorted(stale)))
+    for name in sorted(catalog):
+        spec = os.path.join(REPO, "specs", "devices", f"{name}.json")
+        if not os.path.exists(spec):
+            fail(f"built-in device {name} has no spec file at "
+                 f"specs/devices/{name}.json")
+    print(f"devices OK ({len(catalog)} presets, README and "
+          "specs/devices/ in sync)")
+
 def check_artifacts(directory):
     metrics_md = open(os.path.join(REPO, "docs", "METRICS.md"),
                       encoding="utf-8").read()
@@ -169,7 +208,8 @@ def check_artifacts(directory):
 
 def main():
     if len(sys.argv) < 2:
-        fail(f"usage: {sys.argv[0]} links|catalog FILE|artifacts DIR")
+        fail(f"usage: {sys.argv[0]} "
+             "links|catalog FILE|artifacts DIR|devices FILE")
     cmd = sys.argv[1]
     if cmd == "links":
         check_links()
@@ -177,6 +217,8 @@ def main():
         check_catalog(sys.argv[2])
     elif cmd == "artifacts" and len(sys.argv) == 3:
         check_artifacts(sys.argv[2])
+    elif cmd == "devices" and len(sys.argv) == 3:
+        check_devices(sys.argv[2])
     else:
         fail(f"unknown command {cmd!r}")
 

@@ -7,11 +7,20 @@ namespace stfm
 
 ProtocolChecker::ProtocolChecker(ChannelId channel, unsigned num_banks,
                                  const DramTiming &timing,
-                                 bool throw_on_violation)
+                                 bool throw_on_violation,
+                                 unsigned bank_groups)
     : channel_(channel), timing_(timing),
-      throwOnViolation_(throw_on_violation), banks_(num_banks)
+      throwOnViolation_(throw_on_violation), bankGroups_(bank_groups),
+      banks_(num_banks)
 {
     STFM_ASSERT(num_banks > 0, "protocol checker needs at least one bank");
+    STFM_ASSERT(bank_groups >= 1 && num_banks % bank_groups == 0,
+                "bank group count must divide the bank count");
+    if (bankGroups_ > 1) {
+        lastActPerGroup_.assign(bankGroups_, kNoTime);
+        lastColPerGroup_.assign(bankGroups_, kNoTime);
+        writeEndPerGroup_.assign(bankGroups_, kNoTime);
+    }
 }
 
 void
@@ -67,8 +76,28 @@ ProtocolChecker::checkActivate(BankShadow &bank, BankId b, RowId row,
                            static_cast<unsigned long long>(now - bank.preAt),
                            static_cast<unsigned long long>(timing_.tRP)));
     }
-    if (!actTimes_.empty() &&
-        now < actTimes_.back() + timing_.tRRD) {
+    if (bankGroups_ > 1) {
+        // Pairwise group gaps: long tRRD inside this bank's group,
+        // short tRRD_S against every other group's last activate.
+        const unsigned g = groupOf(b);
+        for (unsigned h = 0; h < bankGroups_; ++h) {
+            if (lastActPerGroup_[h] == kNoTime)
+                continue;
+            const DramCycles gap =
+                h == g ? timing_.tRRD : timing_.tRRD_S;
+            if (now < lastActPerGroup_[h] + gap) {
+                flag("tRRD", b, now,
+                     formatMessage(
+                         "ACT %llu cycles after an ACT to group %u "
+                         "(%s=%llu)",
+                         static_cast<unsigned long long>(
+                             now - lastActPerGroup_[h]),
+                         h, h == g ? "tRRD_L" : "tRRD_S",
+                         static_cast<unsigned long long>(gap)));
+            }
+        }
+    } else if (!actTimes_.empty() &&
+               now < actTimes_.back() + timing_.tRRD) {
         flag("tRRD", b, now,
              formatMessage("ACT %llu cycles after previous channel ACT "
                            "(tRRD=%llu)",
@@ -88,6 +117,8 @@ ProtocolChecker::checkActivate(BankShadow &bank, BankId b, RowId row,
 
     bank.openRow = row;
     bank.actAt = now;
+    if (bankGroups_ > 1)
+        lastActPerGroup_[groupOf(b)] = now;
     actTimes_.push_back(now);
     if (actTimes_.size() > 4)
         actTimes_.erase(actTimes_.begin());
@@ -157,8 +188,50 @@ ProtocolChecker::checkColumn(BankShadow &bank, BankId b, RowId row,
                            static_cast<unsigned long long>(now - bank.colAt),
                            static_cast<unsigned long long>(timing_.tCCD)));
     }
-    if (!is_write && writeDataEndAt_ != kNoTime &&
-        now < writeDataEndAt_ + timing_.tWTR) {
+    if (bankGroups_ > 1) {
+        // Pairwise group gaps: tCCD_L inside this bank's group,
+        // tCCD_S against every other group's last column command.
+        const unsigned g = groupOf(b);
+        for (unsigned h = 0; h < bankGroups_; ++h) {
+            if (lastColPerGroup_[h] == kNoTime)
+                continue;
+            const DramCycles gap =
+                h == g ? timing_.tCCD : timing_.tCCD_S;
+            if (now < lastColPerGroup_[h] + gap) {
+                flag("tCCD", b, now,
+                     formatMessage(
+                         "%s %llu cycles after a column command to "
+                         "group %u (%s=%llu)",
+                         name,
+                         static_cast<unsigned long long>(
+                             now - lastColPerGroup_[h]),
+                         h, h == g ? "tCCD_L" : "tCCD_S",
+                         static_cast<unsigned long long>(gap)));
+            }
+        }
+    }
+    if (!is_write && bankGroups_ > 1) {
+        // Write-to-read turnaround per group: tWTR_L from a write in
+        // this bank's group, tWTR_S from writes in other groups.
+        const unsigned g = groupOf(b);
+        for (unsigned h = 0; h < bankGroups_; ++h) {
+            if (writeEndPerGroup_[h] == kNoTime)
+                continue;
+            const DramCycles gap =
+                h == g ? timing_.tWTR : timing_.tWTR_S;
+            if (now < writeEndPerGroup_[h] + gap) {
+                flag("tWTR", b, now,
+                     formatMessage(
+                         "READ %llu cycles before the group-%u "
+                         "write-to-read turnaround expires (%s=%llu)",
+                         static_cast<unsigned long long>(
+                             writeEndPerGroup_[h] + gap - now),
+                         h, h == g ? "tWTR_L" : "tWTR_S",
+                         static_cast<unsigned long long>(gap)));
+            }
+        }
+    } else if (!is_write && writeDataEndAt_ != kNoTime &&
+               now < writeDataEndAt_ + timing_.tWTR) {
         flag("tWTR", b, now,
              formatMessage("READ %llu cycles before the write-to-read "
                            "turnaround expires (tWTR=%llu)",
@@ -181,9 +254,13 @@ ProtocolChecker::checkColumn(BankShadow &bank, BankId b, RowId row,
 
     bank.colAt = now;
     busFreeAt_ = data_start + timing_.burst;
+    if (bankGroups_ > 1)
+        lastColPerGroup_[groupOf(b)] = now;
     if (is_write) {
         bank.writeAt = now;
         writeDataEndAt_ = data_start + timing_.burst;
+        if (bankGroups_ > 1)
+            writeEndPerGroup_[groupOf(b)] = data_start + timing_.burst;
     } else {
         bank.readAt = now;
     }

@@ -1,8 +1,8 @@
 /**
  * @file
- * Shadow DDR2 protocol checker.
+ * Shadow DRAM protocol checker.
  *
- * An independent, from-the-spec re-implementation of the Table 2
+ * An independent, from-the-spec re-implementation of the device's
  * timing rules: it reconstructs per-bank and per-channel state from
  * the issued command stream alone (command timestamps, not the device
  * model's precomputed earliest-issue times) and flags any command the
@@ -22,6 +22,13 @@
  *              wide); data-bus contention (burst may not overlap)
  *   WRITE      row open and matching; tRCD; tCCD; data-bus contention
  *   REFRESH    all banks precharged
+ *
+ * On a device with bank groups (DDR4 generation) the cross-bank
+ * constraints split: tRRD/tCCD/tWTR apply inside a bank group and the
+ * shorter tRRD_S/tCCD_S/tWTR_S across groups. The checker then tracks
+ * a last-activate, last-column and last-write-end time per group and
+ * validates every pairwise gap; tFAW stays rank-wide. With one group
+ * (the default) the original channel-wide DDR2 checks run unchanged.
  *
  * The checker attaches to a DramChannel as its DramCommandObserver and
  * is strictly observation-only.
@@ -51,10 +58,13 @@ class ProtocolChecker : public DramCommandObserver
      * @param num_banks          Banks in the shadowed channel.
      * @param timing             The constraint set to validate against.
      * @param throw_on_violation Throw CheckFailure (default) or record.
+     * @param bank_groups        Bank groups (1 = no bank-group split;
+     *                           must divide the bank count).
      */
     ProtocolChecker(ChannelId channel, unsigned num_banks,
                     const DramTiming &timing,
-                    bool throw_on_violation = true);
+                    bool throw_on_violation = true,
+                    unsigned bank_groups = 1);
 
     /**
      * Attach request context for the next observed command so that a
@@ -99,9 +109,13 @@ class ProtocolChecker : public DramCommandObserver
     void flag(const char *constraint, BankId bank, DramCycles now,
               const std::string &detail);
 
+    /** Bank group of a bank index (round-robin interleave). */
+    unsigned groupOf(BankId b) const { return b % bankGroups_; }
+
     ChannelId channel_;
     DramTiming timing_;
     bool throwOnViolation_;
+    unsigned bankGroups_;
 
     std::vector<BankShadow> banks_;
     /** Issue times of the most recent activates (tRRD/tFAW window). */
@@ -110,6 +124,11 @@ class ProtocolChecker : public DramCommandObserver
     DramCycles busFreeAt_ = 0;
     /** End of the most recent write data burst (tWTR origin). */
     DramCycles writeDataEndAt_ = kNoTime;
+    /** Per-group shadow state; sized bankGroups_ and only consulted
+     *  when bankGroups_ > 1. */
+    std::vector<DramCycles> lastActPerGroup_;
+    std::vector<DramCycles> lastColPerGroup_;
+    std::vector<DramCycles> writeEndPerGroup_;
     /** Rank unusable until this cycle (refresh in progress). */
     DramCycles refreshUntil_ = 0;
 

@@ -22,13 +22,16 @@ log2Exact(std::uint64_t v, const char *what)
 AddressMapping::AddressMapping(unsigned channels, unsigned banks,
                                std::uint64_t row_bytes,
                                std::uint64_t line_bytes, std::uint64_t rows,
-                               bool xor_banks)
-    : channels_(channels), banks_(banks), rowBytes_(row_bytes),
-      lineBytes_(line_bytes), rows_(rows),
+                               bool xor_banks, unsigned bank_groups)
+    : channels_(channels), banks_(banks), bankGroups_(bank_groups),
+      rowBytes_(row_bytes), lineBytes_(line_bytes), rows_(rows),
       linesPerRow_(row_bytes / line_bytes), xorBanks_(xor_banks)
 {
     STFM_ASSERT(row_bytes % line_bytes == 0,
                 "row size must be a multiple of the line size");
+    log2Exact(bank_groups, "bank group count must be a power of two");
+    STFM_ASSERT(bank_groups <= banks && banks % bank_groups == 0,
+                "bank group count must divide the bank count");
     const unsigned line_bits = log2Exact(line_bytes, "line size");
     const unsigned channel_bits =
         log2Exact(channels, "channel count must be a power of two");

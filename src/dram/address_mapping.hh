@@ -54,10 +54,13 @@ class AddressMapping
      * @param line_bytes   Cache line size (64 B).
      * @param rows         Rows per bank (power of two).
      * @param xor_banks    Enable XOR-based bank index permutation.
+     * @param bank_groups  Bank groups per rank (power of two dividing
+     *                     the bank count; 1 = no bank-group split).
      */
     AddressMapping(unsigned channels, unsigned banks,
                    std::uint64_t row_bytes, std::uint64_t line_bytes,
-                   std::uint64_t rows, bool xor_banks);
+                   std::uint64_t rows, bool xor_banks,
+                   unsigned bank_groups = 1);
 
     /** Decode a physical address into DRAM coordinates. */
     AddrDecode decode(Addr addr) const;
@@ -67,6 +70,12 @@ class AddressMapping
 
     unsigned channels() const { return channels_; }
     unsigned banksPerChannel() const { return banks_; }
+    unsigned bankGroups() const { return bankGroups_; }
+    /** Bank group of a bank index. Banks interleave round-robin
+     *  across groups so consecutive bank indices land in different
+     *  groups (the DDR4-friendly ordering: back-to-back streams pay
+     *  the short cross-group constraints, not the long ones). */
+    unsigned groupOf(BankId bank) const { return bank % bankGroups_; }
     std::uint64_t rowsPerBank() const { return rows_; }
     std::uint64_t linesPerRow() const { return linesPerRow_; }
     std::uint64_t lineBytes() const { return lineBytes_; }
@@ -78,6 +87,7 @@ class AddressMapping
   private:
     unsigned channels_;
     unsigned banks_;
+    unsigned bankGroups_;
     std::uint64_t rowBytes_;
     std::uint64_t lineBytes_;
     std::uint64_t rows_;

@@ -7,12 +7,20 @@
 namespace stfm
 {
 
-DramChannel::DramChannel(unsigned num_banks, const DramTiming &timing)
-    : timing_(timing), banks_(num_banks)
+DramChannel::DramChannel(unsigned num_banks, const DramTiming &timing,
+                         unsigned bank_groups)
+    : timing_(timing), banks_(num_banks), bankGroups_(bank_groups)
 {
     STFM_ASSERT(num_banks > 0, "channel needs at least one bank");
     STFM_ASSERT(timing.valid(), "inconsistent DRAM timing parameters");
+    STFM_ASSERT(bank_groups >= 1 && num_banks % bank_groups == 0,
+                "bank group count must divide the bank count");
     actWindow_.fill(0);
+    if (bankGroups_ > 1) {
+        actGroupAllowedAt_.assign(bankGroups_, 0);
+        colGroupAllowedAt_.assign(bankGroups_, 0);
+        wtrReadAllowedAt_.assign(bankGroups_, 0);
+    }
 }
 
 RowBufferState
@@ -62,9 +70,13 @@ DramCycles
 DramChannel::earliestIssue(DramCommand cmd, BankId b) const
 {
     const Bank &bank = banks_[b];
+    const bool grouped = bankGroups_ > 1;
+    const unsigned g = grouped ? groupOf(b) : 0;
     switch (cmd) {
       case DramCommand::Activate: {
-        DramCycles at = std::max(bank.actAllowedAt(), actAllowedAt_);
+        DramCycles at = std::max(bank.actAllowedAt(),
+                                 grouped ? actGroupAllowedAt_[g]
+                                         : actAllowedAt_);
         // tFAW: the fourth-oldest activate must be at least tFAW ago.
         if (actCount_ >= actWindow_.size())
             at = std::max(at, actWindow_[actWindowIdx_] + timing_.tFAW);
@@ -75,12 +87,19 @@ DramChannel::earliestIssue(DramCommand cmd, BankId b) const
       case DramCommand::Read: {
         // The data burst starts tCL after the command; it may not
         // overlap the bus, so the command may go tCL early at most.
-        DramCycles at = std::max(bank.readAllowedAt(), readAllowedAt_);
+        DramCycles at = std::max(bank.readAllowedAt(),
+                                 grouped ? wtrReadAllowedAt_[g]
+                                         : readAllowedAt_);
+        if (grouped)
+            at = std::max(at, colGroupAllowedAt_[g]);
         return std::max(at, cyclesBefore(dataBusFreeAt_, timing_.tCL));
       }
-      case DramCommand::Write:
-        return std::max(bank.writeAllowedAt(),
-                        cyclesBefore(dataBusFreeAt_, timing_.tWL));
+      case DramCommand::Write: {
+        DramCycles at = bank.writeAllowedAt();
+        if (grouped)
+            at = std::max(at, colGroupAllowedAt_[g]);
+        return std::max(at, cyclesBefore(dataBusFreeAt_, timing_.tWL));
+      }
     }
     STFM_PANIC("unreachable");
 }
@@ -110,6 +129,15 @@ DramChannel::canIssue(DramCommand cmd, BankId b, RowId row,
     return now >= earliestIssue(cmd, b);
 }
 
+void
+DramChannel::bumpColumnWindows(unsigned g, DramCycles now)
+{
+    for (unsigned h = 0; h < bankGroups_; ++h) {
+        const DramCycles gap = h == g ? timing_.tCCD : timing_.tCCD_S;
+        colGroupAllowedAt_[h] = std::max(colGroupAllowedAt_[h], now + gap);
+    }
+}
+
 DramCycles
 DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
 {
@@ -121,6 +149,9 @@ DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
     for (unsigned i = 0; i < numObservers_; ++i)
         observers_[i]->onCommand(cmd, b, row, now);
 
+    const bool grouped = bankGroups_ > 1;
+    const unsigned g = grouped ? groupOf(b) : 0;
+
     // tFAW accounting: the activate counts as FAW-limited when the
     // four-activate window was its binding constraint, i.e. the window
     // bound exceeds every other lower bound on its issue time. Read
@@ -128,7 +159,10 @@ DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
     if (cmd == DramCommand::Activate && actCount_ >= actWindow_.size()) {
         const DramCycles faw_bound =
             actWindow_[actWindowIdx_] + timing_.tFAW;
-        if (faw_bound > std::max(banks_[b].actAllowedAt(), actAllowedAt_))
+        const DramCycles other_bound =
+            std::max(banks_[b].actAllowedAt(),
+                     grouped ? actGroupAllowedAt_[g] : actAllowedAt_);
+        if (faw_bound > other_bound)
             ++stats_.fawLimitedActs;
     }
 
@@ -137,7 +171,16 @@ DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
     switch (cmd) {
       case DramCommand::Activate:
         ++stats_.activates;
-        actAllowedAt_ = now + timing_.tRRD;
+        if (grouped) {
+            for (unsigned h = 0; h < bankGroups_; ++h) {
+                const DramCycles gap =
+                    h == g ? timing_.tRRD : timing_.tRRD_S;
+                actGroupAllowedAt_[h] =
+                    std::max(actGroupAllowedAt_[h], now + gap);
+            }
+        } else {
+            actAllowedAt_ = now + timing_.tRRD;
+        }
         actWindow_[actWindowIdx_] = now;
         actWindowIdx_ = (actWindowIdx_ + 1) % actWindow_.size();
         ++actCount_;
@@ -149,6 +192,8 @@ DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
         ++stats_.reads;
         const DramCycles data_end = now + timing_.tCL + timing_.burst;
         dataBusFreeAt_ = data_end;
+        if (grouped)
+            bumpColumnWindows(g, now);
         stats_.dataBusBusyCycles += timing_.burst;
         return data_end;
       }
@@ -157,7 +202,18 @@ DramChannel::issue(DramCommand cmd, BankId b, RowId row, DramCycles now)
         const DramCycles data_end = now + timing_.tWL + timing_.burst;
         dataBusFreeAt_ = data_end;
         // tWTR applies from the end of write data to the next read.
-        readAllowedAt_ = std::max(readAllowedAt_, data_end + timing_.tWTR);
+        if (grouped) {
+            bumpColumnWindows(g, now);
+            for (unsigned h = 0; h < bankGroups_; ++h) {
+                const DramCycles gap =
+                    h == g ? timing_.tWTR : timing_.tWTR_S;
+                wtrReadAllowedAt_[h] =
+                    std::max(wtrReadAllowedAt_[h], data_end + gap);
+            }
+        } else {
+            readAllowedAt_ =
+                std::max(readAllowedAt_, data_end + timing_.tWTR);
+        }
         stats_.dataBusBusyCycles += timing_.burst;
         return data_end;
       }

@@ -61,11 +61,29 @@ struct ChannelStats
 class DramChannel
 {
   public:
-    DramChannel(unsigned num_banks, const DramTiming &timing);
+    /**
+     * @param num_banks    Banks on the channel.
+     * @param timing       Constraint table (must be valid()).
+     * @param bank_groups  Bank groups (DDR4-generation devices).
+     *                     With 1 group the channel runs the legacy
+     *                     scalar constraint path (tRRD/tWTR channel
+     *                     wide, tCCD bank-local) — bit-identical to the
+     *                     pre-bank-group model. With more, activates,
+     *                     column commands and write-to-read turnaround
+     *                     track per-group windows using the long
+     *                     (same-group) vs short (cross-group) values.
+     */
+    DramChannel(unsigned num_banks, const DramTiming &timing,
+                unsigned bank_groups = 1);
 
     /** Bank accessors. */
     unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
     const Bank &bank(BankId b) const { return banks_[b]; }
+
+    /** Bank groups on the channel (1 = no bank-group architecture). */
+    unsigned bankGroups() const { return bankGroups_; }
+    /** Bank group of a bank index (round-robin interleave). */
+    unsigned groupOf(BankId b) const { return b % bankGroups_; }
 
     /** Row-buffer category a request for (bank, row) sees right now. */
     RowBufferState rowState(BankId b, RowId row) const;
@@ -140,14 +158,30 @@ class DramChannel
     }
 
   private:
+    /** Push every group's column window forward after a column command
+     *  to group @p g (tCCD_L same group, tCCD_S across groups). */
+    void bumpColumnWindows(unsigned g, DramCycles now);
+
     DramTiming timing_;
     std::vector<Bank> banks_;
+    unsigned bankGroups_ = 1;
 
     DramCycles dataBusFreeAt_ = 0;
     /** Earliest cycle a READ may issue channel-wide (tWTR turnaround). */
     DramCycles readAllowedAt_ = 0;
     /** Earliest cycle an ACT may issue channel-wide (tRRD). */
     DramCycles actAllowedAt_ = 0;
+    /**
+     * Per-bank-group constraint windows; sized bankGroups_ and only
+     * consulted when bankGroups_ > 1 (the single-group path keeps the
+     * scalars above, untouched). Entry g is the earliest cycle the
+     * command class may issue to a bank in group g; an issue to group
+     * g' pushes entry g forward by the long value when g == g' and the
+     * short value otherwise.
+     */
+    std::vector<DramCycles> actGroupAllowedAt_;
+    std::vector<DramCycles> colGroupAllowedAt_;
+    std::vector<DramCycles> wtrReadAllowedAt_;
     /** Issue times of the last four activates, for tFAW. */
     std::array<DramCycles, 4> actWindow_{};
     unsigned actWindowIdx_ = 0;

@@ -1,0 +1,271 @@
+#include "dram/device_spec.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+/**
+ * Nanoseconds to whole bus cycles. JEDEC nanosecond parameters are
+ * exact multiples of the clock for the matched speed grade, but the
+ * division can land epsilon off an integer (e.g. 7800 / 0.833333 =
+ * 9360.004); rounding to nearest recovers the intended count where a
+ * ceil would overshoot by one.
+ */
+DramCycles
+nsToCycles(double ns, double tck_ns)
+{
+    return static_cast<DramCycles>(std::llround(ns / tck_ns));
+}
+
+bool
+powerOfTwo(std::uint64_t v)
+{
+    return v != 0 && std::has_single_bit(v);
+}
+
+} // namespace
+
+unsigned
+DeviceSpec::busMHz() const
+{
+    return static_cast<unsigned>(std::llround(1000.0 / tCKns));
+}
+
+DramCycles
+DeviceSpec::refiCycles() const
+{
+    return nsToCycles(tREFIns, tCKns);
+}
+
+DramCycles
+DeviceSpec::rfcCycles() const
+{
+    return nsToCycles(tRFCns, tCKns);
+}
+
+std::vector<std::string>
+DeviceSpec::validate() const
+{
+    std::vector<std::string> problems;
+    const auto require = [&](bool ok, std::string message) {
+        if (!ok)
+            problems.push_back(std::move(message));
+    };
+    const DramTiming &t = timing;
+
+    require(!name.empty(), "device: name must not be empty");
+    require(tCKns > 0.0, "device: tCKns must be positive");
+    require(powerOfTwo(banks),
+            formatMessage("device: banks (%u) must be a power of two",
+                          banks));
+    require(powerOfTwo(bankGroups),
+            formatMessage(
+                "device: bankGroups (%u) must be a power of two",
+                bankGroups));
+    require(bankGroups >= 1 && bankGroups <= banks &&
+                (bankGroups == 0 || banks % bankGroups == 0),
+            formatMessage("device: bankGroups (%u) must divide the bank "
+                          "count (%u)",
+                          bankGroups, banks));
+    require(powerOfTwo(rowBytes),
+            "device: rowBytes must be a power of two");
+    require(powerOfTwo(rowsPerBank),
+            "device: rowsPerBank must be a power of two");
+    require(defaultCoreMHz > 0, "device: defaultCoreMHz must be positive");
+    if (tCKns > 0.0) {
+        require(defaultCoreMHz % busMHz() == 0,
+                formatMessage(
+                    "device: defaultCoreMHz (%u) is not an integer "
+                    "multiple of the bus clock (%u MHz)",
+                    defaultCoreMHz, busMHz()));
+    }
+
+    // The DramTiming::valid() rules, spelled out per field so a bad
+    // spec file names its actual problem.
+    require(t.tCL > 0 && t.tRCD > 0 && t.tRP > 0 && t.burst > 0,
+            "device.timing: tCL, tRCD, tRP and burst must be positive");
+    require(t.tRC >= t.tRAS + t.tRP,
+            formatMessage("device.timing: tRC (%llu) below tRAS + tRP "
+                          "(%llu): the row cycle must cover the row "
+                          "active time plus the precharge",
+                          static_cast<unsigned long long>(t.tRC),
+                          static_cast<unsigned long long>(t.tRAS + t.tRP)));
+    require(t.tWL <= t.tCL,
+            formatMessage("device.timing: tWL (%llu) above tCL (%llu)",
+                          static_cast<unsigned long long>(t.tWL),
+                          static_cast<unsigned long long>(t.tCL)));
+    require(t.tFAW >= t.tRRD,
+            formatMessage("device.timing: tFAW (%llu) below tRRD (%llu)",
+                          static_cast<unsigned long long>(t.tFAW),
+                          static_cast<unsigned long long>(t.tRRD)));
+    require(t.tRTP > 0 && t.tWR > 0 && t.tWTR > 0 && t.tCCD > 0 &&
+                t.tRRD > 0,
+            "device.timing: tRTP, tWR, tWTR, tCCD and tRRD must be "
+            "positive");
+    require(t.tCCD_S > 0 && t.tCCD_S <= t.tCCD,
+            formatMessage("device.timing: tCCD_S (%llu) must be in "
+                          "[1, tCCD=%llu]",
+                          static_cast<unsigned long long>(t.tCCD_S),
+                          static_cast<unsigned long long>(t.tCCD)));
+    require(t.tRRD_S > 0 && t.tRRD_S <= t.tRRD,
+            formatMessage("device.timing: tRRD_S (%llu) must be in "
+                          "[1, tRRD=%llu]",
+                          static_cast<unsigned long long>(t.tRRD_S),
+                          static_cast<unsigned long long>(t.tRRD)));
+    require(t.tWTR_S > 0 && t.tWTR_S <= t.tWTR,
+            formatMessage("device.timing: tWTR_S (%llu) must be in "
+                          "[1, tWTR=%llu]",
+                          static_cast<unsigned long long>(t.tWTR_S),
+                          static_cast<unsigned long long>(t.tWTR)));
+
+    require(tREFIns > 0.0 && tRFCns > 0.0,
+            "device: tREFIns and tRFCns must be positive");
+    require(tREFIns > tRFCns,
+            formatMessage("device: tREFIns (%.1f) must exceed tRFCns "
+                          "(%.1f)",
+                          tREFIns, tRFCns));
+    return problems;
+}
+
+DeviceSpec
+ddr2_800()
+{
+    // The historical hard-wired defaults: DramTiming's own field
+    // defaults ARE this device, so the struct default suffices — the
+    // regression suite pins the equivalence.
+    DeviceSpec spec;
+    spec.name = "DDR2-800";
+    spec.standard = "DDR2";
+    return spec;
+}
+
+DeviceSpec
+ddr3_1600()
+{
+    DeviceSpec spec;
+    spec.name = "DDR3-1600";
+    spec.standard = "DDR3";
+    spec.tCKns = 1.25;
+    spec.banks = 8;
+    spec.bankGroups = 1;
+    spec.rowBytes = 16 * 1024;
+    spec.rowsPerBank = 32 * 1024;
+    spec.defaultCoreMHz = 4000; // 4000 / 800 = 5.
+    DramTiming &t = spec.timing;
+    // DDR3-1600K (11-11-11), 2 Gb parts: 13.75 ns CAS/RCD/RP.
+    t.tCL = 11;
+    t.tRCD = 11;
+    t.tRP = 11;
+    t.tRAS = 28; // 35 ns.
+    t.tRC = 39;  // 48.75 ns.
+    t.tWR = 12;  // 15 ns.
+    t.tWTR = 6;  // 7.5 ns.
+    t.tRTP = 6;  // 7.5 ns.
+    t.tCCD = 4;  // 4 nCK.
+    t.tRRD = 5;  // 6.25 ns (2 KB pages).
+    t.tFAW = 24; // 30 ns.
+    t.tWL = 8;   // CWL for DDR3-1600.
+    t.burst = 4; // BL8 on a DDR bus.
+    t.tCCD_S = t.tCCD; // No bank groups before DDR4.
+    t.tRRD_S = t.tRRD;
+    t.tWTR_S = t.tWTR;
+    spec.tREFIns = 7800.0;
+    spec.tRFCns = 160.0; // 2 Gb.
+    return spec;
+}
+
+DeviceSpec
+ddr4_2400()
+{
+    DeviceSpec spec;
+    spec.name = "DDR4-2400";
+    spec.standard = "DDR4";
+    spec.tCKns = 0.833333; // 1200 MHz bus.
+    spec.banks = 16;
+    spec.bankGroups = 4;
+    spec.rowBytes = 8 * 1024; // 1 KB pages x 8 chips.
+    spec.rowsPerBank = 64 * 1024;
+    spec.defaultCoreMHz = 4800; // 4800 / 1200 = 4.
+    DramTiming &t = spec.timing;
+    // DDR4-2400R (16-16-16), 8 Gb x8 parts.
+    t.tCL = 16;   // 13.32 ns.
+    t.tRCD = 16;
+    t.tRP = 16;
+    t.tRAS = 39;  // 32 ns.
+    t.tRC = 55;   // 45.32 ns.
+    t.tWR = 18;   // 15 ns.
+    t.tWTR = 9;   // tWTR_L, 7.5 ns.
+    t.tRTP = 9;   // 7.5 ns.
+    t.tCCD = 6;   // tCCD_L.
+    t.tRRD = 6;   // tRRD_L (1 KB pages).
+    t.tFAW = 26;  // 21 ns.
+    t.tWL = 12;   // CWL for 2400.
+    t.burst = 4;  // BL8.
+    t.tCCD_S = 4; // 4 nCK across bank groups.
+    t.tRRD_S = 4; // 3.3 ns.
+    t.tWTR_S = 3; // 2.5 ns.
+    spec.tREFIns = 7800.0;
+    spec.tRFCns = 350.0; // 8 Gb.
+    return spec;
+}
+
+DeviceSpec
+lpddr4_3200()
+{
+    DeviceSpec spec;
+    spec.name = "LPDDR4-3200";
+    spec.standard = "LPDDR4";
+    spec.tCKns = 0.625; // 1600 MHz bus.
+    spec.banks = 8;
+    spec.bankGroups = 1;
+    spec.rowBytes = 2 * 1024; // 2 KB pages, x16 channel.
+    spec.rowsPerBank = 64 * 1024;
+    spec.defaultCoreMHz = 4800; // 4800 / 1600 = 3.
+    DramTiming &t = spec.timing;
+    t.tCL = 28;   // RL 17.5 ns.
+    t.tRCD = 29;  // 18 ns.
+    t.tRP = 29;   // 18 ns (tRPpb).
+    t.tRAS = 68;  // 42 ns.
+    t.tRC = 97;   // tRAS + tRPpb.
+    t.tWR = 29;   // 18 ns.
+    t.tWTR = 16;  // 10 ns.
+    t.tRTP = 12;  // 7.5 ns.
+    t.tCCD = 8;   // BL16: 8 nCK.
+    t.tRRD = 16;  // 10 ns.
+    t.tFAW = 64;  // 40 ns.
+    t.tWL = 14;   // WL Set A.
+    t.burst = 8;  // BL16 on a DDR bus.
+    t.tCCD_S = t.tCCD; // Single bank group.
+    t.tRRD_S = t.tRRD;
+    t.tWTR_S = t.tWTR;
+    spec.tREFIns = 3904.0; // 8 Gb: tREFI = 3.904 us (per-bank avg x8).
+    spec.tRFCns = 280.0;   // tRFCab, 8 Gb.
+    return spec;
+}
+
+const std::vector<DeviceSpec> &
+builtinDevices()
+{
+    static const std::vector<DeviceSpec> catalog = {
+        ddr2_800(), ddr3_1600(), ddr4_2400(), lpddr4_3200()};
+    return catalog;
+}
+
+const DeviceSpec *
+findBuiltinDevice(const std::string &name)
+{
+    for (const DeviceSpec &spec : builtinDevices()) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+} // namespace stfm

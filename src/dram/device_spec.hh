@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Declarative DRAM device specifications.
+ *
+ * A DeviceSpec is the single source of truth for one memory part:
+ * geometry (banks, bank groups, row size, rows per bank), the bus
+ * clock period in nanoseconds, the full cycle-domain timing table
+ * (dram/timing.hh, including the DDR4-generation split constraints),
+ * and the refresh parameters — which JEDEC specifies in nanoseconds,
+ * so they are stored in nanoseconds here and converted to cycles per
+ * device instead of assuming the DDR2-800 2.5 ns clock.
+ *
+ * Both the device model (dram/channel.hh) and the shadow protocol
+ * checker (check/protocol_checker.hh) derive their rules from the same
+ * spec; there is no second constant table to drift out of sync.
+ *
+ * Built-in presets cover DDR2-800 (the paper's validated baseline,
+ * bit-identical to the historical hard-wired defaults), DDR3-1600,
+ * DDR4-2400 (16 banks in 4 bank groups) and LPDDR4-3200. The same
+ * structure loads from JSON files under specs/devices/ via
+ * sim/device_io.hh.
+ */
+
+#ifndef STFM_DRAM_DEVICE_SPEC_HH
+#define STFM_DRAM_DEVICE_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/timing.hh"
+
+namespace stfm
+{
+
+struct DeviceSpec
+{
+    /** Catalog name, e.g. "DDR4-2400". */
+    std::string name = "DDR2-800";
+    /** Standard family, e.g. "DDR2" (documentation/reporting only). */
+    std::string standard = "DDR2";
+
+    /** Bus clock period in nanoseconds (DDR2-800: 2.5 ns). */
+    double tCKns = 2.5;
+
+    /** Banks per channel (rank). */
+    unsigned banks = 8;
+    /** Bank groups per rank; 1 = no bank-group architecture. */
+    unsigned bankGroups = 1;
+    /** Effective row-buffer bytes across the DIMM's chips. */
+    std::uint64_t rowBytes = 16 * 1024;
+    /** Rows per bank. */
+    std::uint64_t rowsPerBank = 16 * 1024;
+
+    /**
+     * Core clock the device pairs with by default. Only applied when
+     * the configured core clock would produce a non-integer CPU:DRAM
+     * ratio (the simulator ticks the DRAM domain on whole CPU cycles);
+     * a core clock that already divides evenly is left alone.
+     */
+    unsigned defaultCoreMHz = 4000;
+
+    /**
+     * Cycle-domain timing table. The tREFI/tRFC members of this table
+     * are *derived* from the nanosecond fields below when the spec is
+     * applied — a spec never sets them directly.
+     */
+    DramTiming timing;
+
+    /** Average refresh interval in nanoseconds (JEDEC: 7800 ns). */
+    double tREFIns = 7800.0;
+    /** Refresh cycle time in nanoseconds. */
+    double tRFCns = 127.5;
+
+    /** DRAM bus command-clock in MHz, derived from tCKns. */
+    unsigned busMHz() const;
+    /** tREFI in bus cycles for this device's clock. */
+    DramCycles refiCycles() const;
+    /** tRFC in bus cycles for this device's clock. */
+    DramCycles rfcCycles() const;
+
+    /**
+     * Consistency problems with this spec (empty = valid): clock and
+     * geometry sanity, bank-group divisibility, the DramTiming::valid
+     * rules spelled out per field, and refresh-parameter ordering.
+     */
+    std::vector<std::string> validate() const;
+};
+
+/** The built-in device presets, catalog order. */
+const std::vector<DeviceSpec> &builtinDevices();
+
+/** Built-in preset by (case-sensitive) name, or nullptr. */
+const DeviceSpec *findBuiltinDevice(const std::string &name);
+
+/** The DDR2-800 baseline preset (the historical defaults). */
+DeviceSpec ddr2_800();
+/** DDR3-1600: same geometry generation, 1.25 ns clock. */
+DeviceSpec ddr3_1600();
+/** DDR4-2400: 16 banks in 4 bank groups, split tCCD/tRRD/tWTR. */
+DeviceSpec ddr4_2400();
+/** LPDDR4-3200: 0.625 ns clock, BL16, narrow 2 KB rows. */
+DeviceSpec lpddr4_3200();
+
+} // namespace stfm
+
+#endif // STFM_DRAM_DEVICE_SPEC_HH

@@ -8,9 +8,27 @@ DramTiming::valid() const
 {
     if (tCL == 0 || tRCD == 0 || tRP == 0 || burst == 0)
         return false;
-    if (tRC < tRAS)
+    // The row cycle must cover a full open-close sequence: the row
+    // active time plus the precharge that follows it.
+    if (tRC < tRAS + tRP)
         return false;
     if (tWL > tCL)
+        return false;
+    // The four-activate window cannot be shorter than a single
+    // activate-to-activate gap.
+    if (tFAW < tRRD)
+        return false;
+    // Recovery/turnaround constraints are at least one cycle; a zero
+    // here would let column commands alias their own bursts.
+    if (tRTP == 0 || tWR == 0 || tWTR == 0 || tCCD == 0 || tRRD == 0)
+        return false;
+    // Short (cross-bank-group) constraints never exceed the long
+    // (same-group) ones, and stay positive.
+    if (tCCD_S == 0 || tCCD_S > tCCD)
+        return false;
+    if (tRRD_S == 0 || tRRD_S > tRRD)
+        return false;
+    if (tWTR_S == 0 || tWTR_S > tWTR)
         return false;
     return true;
 }

@@ -1,11 +1,21 @@
 /**
  * @file
- * DDR2 SDRAM timing parameters.
+ * DRAM timing parameters, declaratively driven per device.
  *
- * All values are in DRAM bus cycles (tCK = 2.5 ns for DDR2-800). The
- * defaults reproduce the Micron MT47H128M8HQ-25 values the paper's
- * Table 2 uses: tCL = tRCD = tRP = 15 ns (6 cycles) and a burst of
- * BL/2 = 10 ns (4 cycles) on the data bus.
+ * All values are in DRAM bus cycles. The defaults reproduce the
+ * DDR2-800 Micron MT47H128M8HQ-25 values the paper's Table 2 uses
+ * (tCK = 2.5 ns): tCL = tRCD = tRP = 15 ns (6 cycles) and a burst of
+ * BL/2 = 10 ns (4 cycles) on the data bus. Other standards load their
+ * tables through DeviceSpec (dram/device_spec.hh), which also converts
+ * the nanosecond-specified refresh parameters to cycles per device.
+ *
+ * DDR4-generation devices split three cross-bank constraints by bank
+ * group: the unsuffixed tCCD/tRRD/tWTR fields hold the *long*
+ * (same-bank-group) values, and the _S fields hold the *short*
+ * (different-bank-group) values. Pre-DDR4 standards have no bank
+ * groups; their _S fields equal the long values and are never
+ * consulted (the channel takes the scalar fast path when the device
+ * has a single bank group).
  */
 
 #ifndef STFM_DRAM_TIMING_HH
@@ -37,12 +47,19 @@ struct DramTiming
     DramCycles tWTR = 3;
     /** Read-to-precharge delay. */
     DramCycles tRTP = 3;
-    /** Column-to-column delay (back-to-back CAS commands). */
+    /** Column-to-column delay (same bank group; the long value). */
     DramCycles tCCD = 2;
-    /** Activate-to-activate delay, different banks. */
+    /** Activate-to-activate delay (same bank group; the long value). */
     DramCycles tRRD = 3;
     /** Four-activate window. */
     DramCycles tFAW = 18;
+    /** Column-to-column delay across bank groups (tCCD_S). Equals
+     *  tCCD on devices without bank groups. */
+    DramCycles tCCD_S = 2;
+    /** Activate-to-activate delay across bank groups (tRRD_S). */
+    DramCycles tRRD_S = 3;
+    /** Write-to-read turnaround across bank groups (tWTR_S). */
+    DramCycles tWTR_S = 3;
     /** Write latency: write command to first data beat (tCL - 1). */
     DramCycles tWL = 5;
     /** Data burst length on the bus in cycles (BL/2 for DDR). */

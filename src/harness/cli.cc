@@ -15,6 +15,7 @@
 #include "harness/figures.hh"
 #include "harness/perfbench.hh"
 #include "harness/spec.hh"
+#include "dram/device_spec.hh"
 #include "obs/telemetry.hh"
 #include "sim/config_io.hh"
 
@@ -38,6 +39,7 @@ printUsage(std::ostream &os)
           "  list workloads            the named workload catalog\n"
           "  list figures              registered paper figures\n"
           "  list telemetry            the telemetry series catalog\n"
+          "  list devices              built-in DRAM device presets\n"
           "  bench [flags]             time the fig09 sweep on both\n"
           "                            paths, append a perf-trajectory\n"
           "                            entry to BENCH_perf.json\n"
@@ -52,6 +54,8 @@ printUsage(std::ostream &os)
           "  --instructions N  per-thread instruction-budget override\n"
           "  --telemetry       sample epoch telemetry (docs/METRICS.md)\n"
           "  --trace PATH      export a Chrome trace (docs/TRACING.md)\n"
+          "  --device NAME     run on a DRAM device preset or spec file\n"
+          "                    (see `stfm list devices`)\n"
           "  --full            full-size sweep (sampled figures)\n"
           "\n"
           "flags (bench; docs/EXPERIMENTS.md, perf methodology):\n"
@@ -168,6 +172,8 @@ parseRunFlags(const char *command, int argc, char **argv, int first)
             setenv("STFM_TELEMETRY", "1", 1);
         } else if (arg == "--trace" && i + 1 < argc) {
             setenv("STFM_TRACE", argv[++i], 1);
+        } else if (arg == "--device" && i + 1 < argc) {
+            setenv("STFM_DEVICE", argv[++i], 1);
         } else if (!arg.empty() && arg[0] == '-') {
             throw SimError(std::string("unknown flag '") + arg +
                            "' for stfm " + command);
@@ -341,6 +347,25 @@ commandList(int argc, char **argv)
         }
         return 0;
     }
+    if (what == "devices") {
+        // One row per built-in preset. ci/check_docs.py parses this
+        // output to keep the README device catalog in sync; the first
+        // two columns (name, standard) are the contract.
+        std::printf("%-14s %-8s %9s %6s %7s %11s %9s\n", "name",
+                    "standard", "tCK(ns)", "banks", "groups",
+                    "CL-RCD-RP", "bus(MHz)");
+        for (const DeviceSpec &device : builtinDevices()) {
+            const std::string clrcdrp =
+                std::to_string(device.timing.tCL) + "-" +
+                std::to_string(device.timing.tRCD) + "-" +
+                std::to_string(device.timing.tRP);
+            std::printf("%-14s %-8s %9.3f %6u %7u %11s %9u\n",
+                        device.name.c_str(), device.standard.c_str(),
+                        device.tCKns, device.banks, device.bankGroups,
+                        clrcdrp.c_str(), device.busMHz());
+        }
+        return 0;
+    }
     if (what == "telemetry") {
         // The machine-checkable metrics contract: every registered
         // series matches one of these patterns (docs/METRICS.md).
@@ -351,8 +376,8 @@ commandList(int argc, char **argv)
         }
         return 0;
     }
-    std::cerr
-        << "usage: stfm list {schedulers|workloads|figures|telemetry}\n";
+    std::cerr << "usage: stfm list "
+                 "{schedulers|workloads|figures|telemetry|devices}\n";
     return 1;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "sim/device_io.hh"
+
 namespace stfm
 {
 
@@ -50,6 +52,10 @@ EnvOverrides::capture()
         if (trace[0] != '\0')
             env.tracePath = trace;
     }
+    if (const char *device = std::getenv("STFM_DEVICE")) {
+        if (device[0] != '\0')
+            env.device = device;
+    }
     return env;
 }
 
@@ -71,6 +77,8 @@ EnvOverrides::apply(SimConfig &config) const
     }
     if (!tracePath.empty())
         config.telemetry.trace = tracePath;
+    if (!device.empty())
+        applyDevice(config.memory, device);
 }
 
 Json
@@ -92,6 +100,8 @@ EnvOverrides::toJson() const
     }
     if (!tracePath.empty())
         out.set("STFM_TRACE", tracePath);
+    if (!device.empty())
+        out.set("STFM_DEVICE", device);
     return out;
 }
 

@@ -15,7 +15,10 @@
  *   - STFM_TELEMETRY=1|path  enable epoch telemetry sampling ("1" uses
  *                            the default output path; any other value
  *                            is the output path itself);
- *   - STFM_TRACE=<path>      export a Chrome trace_event file.
+ *   - STFM_TRACE=<path>      export a Chrome trace_event file;
+ *   - STFM_DEVICE=<name>     run on a DRAM device spec: a built-in
+ *                            preset name or a JSON spec file path
+ *                            (see sim/device_io.hh).
  *
  * EnvOverrides::capture() snapshots them once, apply() layers them onto
  * a resolved SimConfig at spec-resolution time, and toJson() records
@@ -54,6 +57,8 @@ struct EnvOverrides
     std::string telemetryOutput;
     /** STFM_TRACE: Chrome trace output path (empty = tracing off). */
     std::string tracePath;
+    /** STFM_DEVICE: device spec name or path (empty = config's own). */
+    std::string device;
 
     /** Snapshot the process environment. */
     static EnvOverrides capture();
@@ -62,7 +67,8 @@ struct EnvOverrides
     bool any() const
     {
         return instructionBudget.has_value() || reference || check ||
-               jobs.has_value() || telemetry || !tracePath.empty();
+               jobs.has_value() || telemetry || !tracePath.empty() ||
+               !device.empty();
     }
 
     /** Layer the active overrides onto @p config. */

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "harness/table.hh"
 #include "sim/config_io.hh"
+#include "sim/device_io.hh"
 
 namespace stfm
 {
@@ -19,7 +20,7 @@ paperEntries()
     std::vector<SchedulerEntry> entries;
     for (const SchedulerConfig &config :
          ExperimentRunner::paperSchedulers())
-        entries.push_back({toString(config.kind), config});
+        entries.push_back({toString(config.kind), config, ""});
     return entries;
 }
 
@@ -206,6 +207,34 @@ planExperiment(const ExperimentSpec &spec)
         spec.schedulers.empty() ? paperEntries() : spec.schedulers;
     plan.base = resolveConfig(spec, plan.env);
 
+    // Cross-device axis: expand to every (device, scheduler) pair,
+    // device-major so a report groups one device's columns together.
+    // Entries pinned to their own device run once, after the grid.
+    if (!spec.devices.empty()) {
+        std::vector<SchedulerEntry> expanded;
+        std::vector<SchedulerEntry> pinned;
+        for (const SchedulerEntry &entry : plan.schedulers) {
+            if (!entry.device.empty())
+                pinned.push_back(entry);
+        }
+        for (const std::string &device : spec.devices) {
+            for (const SchedulerEntry &entry : plan.schedulers) {
+                if (!entry.device.empty())
+                    continue;
+                SchedulerEntry e = entry;
+                e.device = device;
+                e.label += "@" + device;
+                expanded.push_back(std::move(e));
+            }
+        }
+        expanded.insert(expanded.end(), pinned.begin(), pinned.end());
+        if (expanded.empty()) {
+            throw SimError("spec.devices: every scheduler entry pins "
+                           "its own device, leaving nothing to expand");
+        }
+        plan.schedulers = std::move(expanded);
+    }
+
     // Validate every (workload size, scheduler) pairing the grid will
     // produce — per-thread weight/share lists must fit each core count.
     std::set<std::size_t> sizes;
@@ -219,6 +248,11 @@ planExperiment(const ExperimentSpec &spec)
             SimConfig probe = plan.base;
             probe.cores = static_cast<unsigned>(size);
             probe.scheduler = entry.config;
+            // Resolve the device here too, so an unknown device name
+            // or a spec inconsistent with the overrides fails the plan
+            // rather than each run.
+            if (!entry.device.empty())
+                applyDevice(probe.memory, entry.device);
             const std::vector<std::string> problems =
                 validateConfig(probe);
             if (!problems.empty()) {
@@ -233,8 +267,8 @@ planExperiment(const ExperimentSpec &spec)
     for (const Workload &workload : plan.workloads) {
         for (unsigned rep = 0; rep < spec.repeat; ++rep) {
             for (const SchedulerEntry &entry : plan.schedulers)
-                plan.jobs.push_back(
-                    {workload, entry.config, spec.seed + rep});
+                plan.jobs.push_back({workload, entry.config,
+                                     spec.seed + rep, entry.device});
         }
     }
     return plan;
@@ -337,6 +371,8 @@ resultsJson(const ExperimentResult &result)
             run.set("workload", std::move(workload));
             run.set("repetition", result.rowRepetition(r));
             run.set("scheduler", result.schedulers[s].label);
+            if (!result.schedulers[s].device.empty())
+                run.set("device", result.schedulers[s].device);
             run.set("failed", o.failed);
             run.set("attempts", o.attempts);
             if (o.failed) {

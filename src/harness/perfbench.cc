@@ -47,7 +47,7 @@ timedSweep(const std::vector<Workload> &workload_list,
     std::vector<RunJob> run_jobs;
     for (const Workload &w : workload_list)
         for (const SchedulerConfig &s : ExperimentRunner::paperSchedulers())
-            run_jobs.push_back({w, s});
+            run_jobs.push_back({w, s, 0, ""});
 
     // Prewarm the alone-baseline cache outside the sweep timing so
     // cycles-per-second relates wall time to exactly the runs whose

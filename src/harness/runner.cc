@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "harness/env_overrides.hh"
+#include "sim/device_io.hh"
 
 namespace stfm
 {
@@ -45,11 +46,14 @@ ExperimentRunner::setMaxAttempts(unsigned attempts)
 
 SimConfig
 ExperimentRunner::configFor(const Workload &workload,
-                            const SchedulerConfig &scheduler) const
+                            const SchedulerConfig &scheduler,
+                            const std::string &device) const
 {
     SimConfig config = base_;
     config.cores = static_cast<unsigned>(workload.size());
     config.scheduler = scheduler;
+    if (!device.empty())
+        applyDevice(config.memory, device);
     return config;
 }
 
@@ -77,18 +81,24 @@ ExperimentRunner::profileFor(const std::string &name) const
 }
 
 std::string
-ExperimentRunner::aloneKey(const std::string &benchmark) const
+ExperimentRunner::aloneKey(const std::string &benchmark,
+                           const std::string &device) const
 {
-    return benchmark + "#" + std::to_string(base_.memory.channels) + "x" +
-           std::to_string(base_.memory.banksPerChannel) + "x" +
-           std::to_string(base_.memory.rowBytes) + "@" +
-           std::to_string(base_.instructionBudget);
+    std::string key = benchmark + "#" +
+                      std::to_string(base_.memory.channels) + "x" +
+                      std::to_string(base_.memory.banksPerChannel) + "x" +
+                      std::to_string(base_.memory.rowBytes) + "@" +
+                      std::to_string(base_.instructionBudget);
+    if (!device.empty())
+        key += "+" + device;
+    return key;
 }
 
 const ThreadResult &
-ExperimentRunner::aloneResult(const std::string &benchmark)
+ExperimentRunner::aloneResult(const std::string &benchmark,
+                              const std::string &device)
 {
-    const std::string key = aloneKey(benchmark);
+    const std::string key = aloneKey(benchmark, device);
     // Held across the miss-path simulation: see aloneCache_'s comment.
     std::lock_guard<std::mutex> guard(aloneMutex_);
     const auto it = aloneCache_.find(key);
@@ -103,13 +113,16 @@ ExperimentRunner::aloneResult(const std::string &benchmark)
     config.cores = 1;
     config.scheduler = SchedulerConfig{}; // FR-FCFS, no knobs.
     config.telemetry = TelemetryConfig{};
+    if (!device.empty())
+        applyDevice(config.memory, device);
 
     const BenchmarkProfile &profile = profileFor(benchmark);
     AddressMapping mapping(config.memory.channels,
                            config.memory.banksPerChannel,
                            config.memory.rowBytes, config.memory.lineBytes,
                            config.memory.rowsPerBank,
-                           config.memory.xorBankMapping);
+                           config.memory.xorBankMapping,
+                           config.memory.bankGroups);
     std::vector<std::unique_ptr<TraceSource>> traces;
     traces.push_back(makeBenchmarkTrace(profile, mapping, 0, 1));
 
@@ -147,17 +160,19 @@ ExperimentRunner::setAttemptHook(
 RunOutcome
 ExperimentRunner::attemptRun(const Workload &workload,
                              const SchedulerConfig &scheduler,
-                             std::uint64_t seed_salt, unsigned attempt)
+                             std::uint64_t seed_salt, unsigned attempt,
+                             const std::string &device)
 {
     if (attemptHook_)
         attemptHook_(workload, attempt);
-    const SimConfig config = configFor(workload, scheduler);
+    const SimConfig config = configFor(workload, scheduler, device);
 
     AddressMapping mapping(config.memory.channels,
                            config.memory.banksPerChannel,
                            config.memory.rowBytes, config.memory.lineBytes,
                            config.memory.rowsPerBank,
-                           config.memory.xorBankMapping);
+                           config.memory.xorBankMapping,
+                           config.memory.bankGroups);
     std::vector<std::unique_ptr<TraceSource>> traces;
     for (unsigned t = 0; t < workload.size(); ++t) {
         traces.push_back(makeBenchmarkTrace(profileFor(workload[t]),
@@ -180,7 +195,7 @@ ExperimentRunner::attemptRun(const Workload &workload,
     std::vector<ThreadResult> alone;
     alone.reserve(workload.size());
     for (const auto &name : workload)
-        alone.push_back(aloneResult(name));
+        alone.push_back(aloneResult(name, device));
     outcome.metrics = computeMetrics(outcome.shared, alone);
     return outcome;
 }
@@ -188,7 +203,7 @@ ExperimentRunner::attemptRun(const Workload &workload,
 RunOutcome
 ExperimentRunner::run(const Workload &workload,
                       const SchedulerConfig &scheduler,
-                      std::uint64_t seed_salt)
+                      std::uint64_t seed_salt, const std::string &device)
 {
     RunOutcome outcome;
     for (unsigned attempt = 1; attempt <= maxAttempts_; ++attempt) {
@@ -196,7 +211,8 @@ ExperimentRunner::run(const Workload &workload,
             // The base salt on the first attempt (0 = the canonical
             // trace streams); retries reseed on top of it.
             outcome = attemptRun(workload, scheduler,
-                                 seed_salt + (attempt - 1), attempt);
+                                 seed_salt + (attempt - 1), attempt,
+                                 device);
             outcome.attempts = attempt;
             return outcome;
         } catch (const SimError &e) {
@@ -220,7 +236,7 @@ ExperimentRunner::runAll(const Workload &workload,
     std::vector<RunJob> jobs;
     jobs.reserve(schedulers.size());
     for (const auto &scheduler : schedulers)
-        jobs.push_back({workload, scheduler});
+        jobs.push_back({workload, scheduler, 0, ""});
     return runMany(jobs);
 }
 
@@ -254,7 +270,7 @@ ExperimentRunner::runMany(const std::vector<RunJob> &jobs,
         for (std::size_t i = next.fetch_add(1); i < jobs.size();
              i = next.fetch_add(1)) {
             out[i] = run(jobs[i].workload, jobs[i].scheduler,
-                         jobs[i].seedSalt);
+                         jobs[i].seedSalt, jobs[i].device);
         }
     };
 

@@ -42,6 +42,12 @@ struct RunJob
      * trace-stream sensitivity. Retries salt on top of this base.
      */
     std::uint64_t seedSalt = 0;
+    /**
+     * Device spec name/path for this job (sim/device_io.hh); layered
+     * onto the base memory configuration before the run. Empty keeps
+     * the runner's base device (the DDR2-800 defaults).
+     */
+    std::string device;
 };
 
 /** One workload run under one policy, with its metrics. */
@@ -88,10 +94,13 @@ class ExperimentRunner
      *
      * @param seed_salt Base trace-RNG salt (see RunJob::seedSalt);
      *                  retry attempts add 1, 2, ... on top of it.
+     * @param device    Device spec name/path (see RunJob::device);
+     *                  empty keeps the base configuration's device.
      */
     RunOutcome run(const Workload &workload,
                    const SchedulerConfig &scheduler,
-                   std::uint64_t seed_salt = 0);
+                   std::uint64_t seed_salt = 0,
+                   const std::string &device = {});
 
     /**
      * Register a runner-local benchmark under @p name, shadowing any
@@ -106,12 +115,15 @@ class ExperimentRunner
                       const BenchmarkProfile &profile);
 
     /**
-     * Alone-run result of one benchmark on the base memory system.
+     * Alone-run result of one benchmark on the base memory system (or,
+     * when @p device is non-empty, the base system retargeted to that
+     * device spec — baselines are cached per (benchmark, device)).
      * @throws SimError if the benchmark is unknown or its alone run
      *         cannot complete (callers inside run() convert this into
      *         a failed outcome).
      */
-    const ThreadResult &aloneResult(const std::string &benchmark);
+    const ThreadResult &aloneResult(const std::string &benchmark,
+                                    const std::string &device = {});
 
     /**
      * Pre-seed the alone-baseline cache with an already computed
@@ -190,14 +202,23 @@ class ExperimentRunner
 
   private:
     SimConfig configFor(const Workload &workload,
-                        const SchedulerConfig &scheduler) const;
-    std::string aloneKey(const std::string &benchmark) const;
+                        const SchedulerConfig &scheduler,
+                        const std::string &device) const;
+    /**
+     * Alone-cache key. The device tag is appended only when non-empty,
+     * keeping base-device keys byte-identical to the historical form —
+     * fleet manifests written before the device layer still seed the
+     * cache correctly.
+     */
+    std::string aloneKey(const std::string &benchmark,
+                         const std::string &device) const;
     /** Runner-local benchmark if registered, else the global catalog. */
     const BenchmarkProfile &profileFor(const std::string &name) const;
     /** One attempt; throws SimError/CheckFailure on failure. */
     RunOutcome attemptRun(const Workload &workload,
                           const SchedulerConfig &scheduler,
-                          std::uint64_t seed_salt, unsigned attempt);
+                          std::uint64_t seed_salt, unsigned attempt,
+                          const std::string &device);
 
     SimConfig base_;
     unsigned maxAttempts_ = 1;

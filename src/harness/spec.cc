@@ -84,11 +84,14 @@ schedulerEntryFromJson(const Json &json, const std::string &context)
         entry.label = toString(entry.config.kind);
         return entry;
     }
-    // Object form: "label" is ours; everything else is SchedulerConfig.
+    // Object form: "label"/"device" are ours; everything else is
+    // SchedulerConfig.
     Json params = Json::object();
     for (const auto &[key, value] : json.asObject(context)) {
         if (key == "label")
             entry.label = value.asString(context + ".label");
+        else if (key == "device")
+            entry.device = value.asString(context + ".device");
         else
             params.set(key, value);
     }
@@ -162,8 +165,8 @@ specFromJson(const Json &json)
 {
     rejectUnknownKeys(json, "spec",
                       {"name", "title", "workloads", "sample",
-                       "schedulers", "config", "telemetry", "budget",
-                       "labelRows", "repeat", "seed", "jobs",
+                       "schedulers", "devices", "config", "telemetry",
+                       "budget", "labelRows", "repeat", "seed", "jobs",
                        "attempts", "benchmarks"});
 
     ExperimentSpec spec;
@@ -218,6 +221,16 @@ specFromJson(const Json &json)
             if (spec.schedulers.empty())
                 throw SimError("spec.schedulers: empty scheduler list");
         }
+    }
+
+    if (const Json *v = json.find("devices")) {
+        const Json::Array &items = v->asArray("spec.devices");
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            spec.devices.push_back(items[i].asString(
+                formatMessage("spec.devices[%zu]", i)));
+        }
+        if (spec.devices.empty())
+            throw SimError("spec.devices: empty device list");
     }
 
     if (const Json *v = json.find("config"))
@@ -284,6 +297,8 @@ toJson(const SchedulerEntry &entry)
 {
     Json out = Json::object();
     out.set("label", entry.label);
+    if (!entry.device.empty())
+        out.set("device", entry.device);
     // Keep the serialized config alive past the loop: a range-for over
     // the temporary's Object would dangle (no lifetime extension
     // through asObject's reference return).
@@ -326,6 +341,12 @@ toJson(const ExperimentSpec &spec)
         for (const SchedulerEntry &entry : spec.schedulers)
             list.push(toJson(entry));
         out.set("schedulers", std::move(list));
+    }
+    if (!spec.devices.empty()) {
+        Json list = Json::array();
+        for (const std::string &device : spec.devices)
+            list.push(Json(device));
+        out.set("devices", std::move(list));
     }
 
     if (!spec.config.asObject("config").empty())

@@ -24,7 +24,13 @@
  *     "schedulers": "paper"                 // the five paper policies
  *               | [ "STFM",                 // policy name with defaults
  *                   {"label": "STFM a=2",   // or full per-policy params
- *                    "policy": "STFM", "alpha": 2.0} ],
+ *                    "policy": "STFM", "alpha": 2.0,
+ *                    "device": "DDR4-2400"} ],  // per-entry device
+ *     "devices":   ["DDR2-800", "DDR4-2400"],
+ *                                           // cross-device axis: every
+ *                                           // scheduler runs once per
+ *                                           // device (labels gain
+ *                                           // "@<device>")
  *     "config":    { ... },                 // SimConfig overrides layered
  *                                           // onto baseline(cores)
  *     "telemetry": {"enabled": true,        // observability block
@@ -65,6 +71,9 @@ struct SchedulerEntry
 {
     std::string label; ///< Report label (defaults to the policy name).
     SchedulerConfig config;
+    /** Device spec name/path this entry runs on; "" = the config's
+     *  own memory settings (the DDR2-800 baseline by default). */
+    std::string device;
 };
 
 /** Category-balanced workload sampling (the averaged sweeps). */
@@ -91,6 +100,15 @@ struct ExperimentSpec
 
     /** Schedulers to run; empty means the five paper schedulers. */
     std::vector<SchedulerEntry> schedulers;
+
+    /**
+     * Cross-device axis: when non-empty, the experiment plan expands to
+     * every (device, scheduler) pair — device-major, so all schedulers
+     * run on one device before the next — with entry labels suffixed
+     * "@<device>". Entries carrying their own "device" are exempt from
+     * the expansion.
+     */
+    std::vector<std::string> devices;
 
     /** SimConfig overrides (JSON object), layered onto baseline(cores). */
     Json config = Json::object();

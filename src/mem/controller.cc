@@ -14,9 +14,10 @@ MemoryController::MemoryController(ChannelId channel_id, unsigned num_banks,
                                    const ControllerParams &params,
                                    SchedulingPolicy &policy,
                                    ThreadBankOccupancy &occupancy,
-                                   unsigned num_threads)
-    : channelId_(channel_id), channel_(num_banks, timing), params_(params),
-      policy_(policy), occupancy_(occupancy),
+                                   unsigned num_threads,
+                                   unsigned bank_groups)
+    : channelId_(channel_id), channel_(num_banks, timing, bank_groups),
+      params_(params), policy_(policy), occupancy_(occupancy),
       buffer_(num_banks, params.requestBufferEntries,
               params.writeBufferEntries),
       drain_(std::min(params.writeDrainHigh, params.writeBufferEntries),
@@ -31,7 +32,8 @@ MemoryController::MemoryController(ChannelId channel_id, unsigned num_banks,
     const IntegrityConfig &integrity = params.integrity;
     if (integrity.protocolCheck) {
         checker_ = std::make_unique<ProtocolChecker>(
-            channel_id, num_banks, timing, integrity.throwOnViolation);
+            channel_id, num_banks, timing, integrity.throwOnViolation,
+            bank_groups);
         channel_.setObserver(checker_.get());
     }
     if (integrity.watchdog) {

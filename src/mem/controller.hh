@@ -92,7 +92,7 @@ class MemoryController
     MemoryController(ChannelId channel_id, unsigned num_banks,
                      const DramTiming &timing, const ControllerParams &params,
                      SchedulingPolicy &policy, ThreadBankOccupancy &occupancy,
-                     unsigned num_threads);
+                     unsigned num_threads, unsigned bank_groups = 1);
 
     /** Capacity checks callers must pass before enqueueing. */
     bool canAcceptRead() const { return buffer_.canAcceptRead(); }

@@ -14,7 +14,7 @@ MemorySystem::MemorySystem(const MemoryConfig &config,
     : config_(config), numThreads_(num_threads),
       mapping_(config.channels, config.banksPerChannel, config.rowBytes,
                config.lineBytes, config.rowsPerBank,
-               config.xorBankMapping),
+               config.xorBankMapping, config.bankGroups),
       occupancy_(num_threads, config.channels * config.banksPerChannel),
       policy_(makeSchedulingPolicy(sched_config, num_threads,
                                    config.channels *
@@ -27,7 +27,7 @@ MemorySystem::MemorySystem(const MemoryConfig &config,
     for (ChannelId c = 0; c < config.channels; ++c) {
         controllers_.push_back(std::make_unique<MemoryController>(
             c, config.banksPerChannel, config.timing, config.controller,
-            *policy_, occupancy_, num_threads));
+            *policy_, occupancy_, num_threads, config.bankGroups));
     }
 }
 

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -30,8 +31,16 @@ class ObsSession;
 /** Geometry + device + controller configuration of the memory system. */
 struct MemoryConfig
 {
+    /**
+     * Name of the DeviceSpec this configuration was derived from
+     * (reporting; "" = hand-assembled). applyDevice (sim/device_io.hh)
+     * sets it along with the geometry/timing fields below.
+     */
+    std::string device;
     unsigned channels = 1;
     unsigned banksPerChannel = 8;
+    /** Bank groups per channel (DDR4 generation; 1 = none). */
+    unsigned bankGroups = 1;
     /** Effective row-buffer bytes across the DIMM (2 KB/chip x 8). */
     std::uint64_t rowBytes = 16 * 1024;
     std::uint64_t lineBytes = 64;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "sim/device_io.hh"
 
 namespace stfm
 {
@@ -157,6 +158,9 @@ toJson(const DramTiming &timing)
     out.set("tCCD", timing.tCCD);
     out.set("tRRD", timing.tRRD);
     out.set("tFAW", timing.tFAW);
+    out.set("tCCD_S", timing.tCCD_S);
+    out.set("tRRD_S", timing.tRRD_S);
+    out.set("tWTR_S", timing.tWTR_S);
     out.set("tWL", timing.tWL);
     out.set("burst", timing.burst);
     out.set("tREFI", timing.tREFI);
@@ -180,6 +184,9 @@ applyJson(const Json &overrides, DramTiming &out,
     fields.u64("tCCD", out.tCCD);
     fields.u64("tRRD", out.tRRD);
     fields.u64("tFAW", out.tFAW);
+    fields.u64("tCCD_S", out.tCCD_S);
+    fields.u64("tRRD_S", out.tRRD_S);
+    fields.u64("tWTR_S", out.tWTR_S);
     fields.u64("tWL", out.tWL);
     fields.u64("burst", out.burst);
     fields.u64("tREFI", out.tREFI);
@@ -312,8 +319,11 @@ Json
 toJson(const MemoryConfig &memory)
 {
     Json out = Json::object();
+    if (!memory.device.empty())
+        out.set("device", memory.device);
     out.set("channels", memory.channels);
     out.set("banksPerChannel", memory.banksPerChannel);
+    out.set("bankGroups", memory.bankGroups);
     out.set("rowBytes", memory.rowBytes);
     out.set("lineBytes", memory.lineBytes);
     out.set("rowsPerBank", memory.rowsPerBank);
@@ -330,8 +340,14 @@ applyJson(const Json &overrides, MemoryConfig &out,
           const std::string &context)
 {
     Fields fields(overrides, context);
+    // The device reference applies first: it rewrites geometry, clock
+    // and timing wholesale, and any explicit keys alongside it in the
+    // same object then override individual fields.
+    if (const Json *v = fields.get("device"))
+        applyDevice(out, v->asString(fields.path("device")));
     fields.u32("channels", out.channels);
     fields.u32("banksPerChannel", out.banksPerChannel);
+    fields.u32("bankGroups", out.bankGroups);
     fields.u64("rowBytes", out.rowBytes);
     fields.u64("lineBytes", out.lineBytes);
     fields.u64("rowsPerBank", out.rowsPerBank);
@@ -572,6 +588,13 @@ validateConfig(const SimConfig &config)
           formatMessage(
               "memory.banksPerChannel: %u is not a power of two",
               mem.banksPerChannel));
+    check(problems,
+          powerOfTwo(mem.bankGroups) &&
+              mem.bankGroups <= mem.banksPerChannel &&
+              mem.banksPerChannel % mem.bankGroups == 0,
+          formatMessage("memory.bankGroups: %u must be a power of two "
+                        "dividing the bank count (%u)",
+                        mem.bankGroups, mem.banksPerChannel));
     check(problems, powerOfTwo(mem.lineBytes),
           formatMessage("memory.lineBytes: %llu is not a power of two",
                         static_cast<unsigned long long>(mem.lineBytes)));
@@ -599,11 +622,28 @@ validateConfig(const SimConfig &config)
     check(problems,
           t.tCL > 0 && t.tRCD > 0 && t.tRP > 0 && t.burst > 0,
           "timing: tCL, tRCD, tRP and burst must be positive");
-    check(problems, t.tRC >= t.tRAS,
-          formatMessage("timing: tRC (%llu) below tRAS (%llu); the row "
-                        "cycle must cover the row active time",
+    check(problems, t.tRC >= t.tRAS + t.tRP,
+          formatMessage("timing: tRC (%llu) below tRAS + tRP (%llu); "
+                        "the row cycle must cover the row active time "
+                        "plus the precharge that follows it",
                         static_cast<unsigned long long>(t.tRC),
-                        static_cast<unsigned long long>(t.tRAS)));
+                        static_cast<unsigned long long>(t.tRAS + t.tRP)));
+    check(problems, t.tRTP > 0 && t.tWR > 0,
+          "timing: tRTP and tWR must be positive");
+    check(problems, t.tCCD_S > 0 && t.tCCD_S <= t.tCCD,
+          formatMessage("timing: tCCD_S (%llu) must be in [1, tCCD=%llu]"
+                        " (the cross-group gap never exceeds the "
+                        "same-group one)",
+                        static_cast<unsigned long long>(t.tCCD_S),
+                        static_cast<unsigned long long>(t.tCCD)));
+    check(problems, t.tRRD_S > 0 && t.tRRD_S <= t.tRRD,
+          formatMessage("timing: tRRD_S (%llu) must be in [1, tRRD=%llu]",
+                        static_cast<unsigned long long>(t.tRRD_S),
+                        static_cast<unsigned long long>(t.tRRD)));
+    check(problems, t.tWTR_S > 0 && t.tWTR_S <= t.tWTR,
+          formatMessage("timing: tWTR_S (%llu) must be in [1, tWTR=%llu]",
+                        static_cast<unsigned long long>(t.tWTR_S),
+                        static_cast<unsigned long long>(t.tWTR)));
     check(problems, t.tWL <= t.tCL,
           formatMessage("timing: tWL (%llu) above tCL (%llu)",
                         static_cast<unsigned long long>(t.tWL),

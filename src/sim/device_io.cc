@@ -1,0 +1,196 @@
+#include "sim/device_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/config_io.hh"
+
+namespace stfm
+{
+
+namespace
+{
+
+/** Serialize the timing table without tREFI/tRFC: device files carry
+ *  refresh in nanoseconds, converted per device when applied. */
+Json
+deviceTimingToJson(const DramTiming &t)
+{
+    Json out = Json::object();
+    out.set("tCL", t.tCL);
+    out.set("tRCD", t.tRCD);
+    out.set("tRP", t.tRP);
+    out.set("tRAS", t.tRAS);
+    out.set("tRC", t.tRC);
+    out.set("tWR", t.tWR);
+    out.set("tWTR", t.tWTR);
+    out.set("tRTP", t.tRTP);
+    out.set("tCCD", t.tCCD);
+    out.set("tRRD", t.tRRD);
+    out.set("tFAW", t.tFAW);
+    out.set("tCCD_S", t.tCCD_S);
+    out.set("tRRD_S", t.tRRD_S);
+    out.set("tWTR_S", t.tWTR_S);
+    out.set("tWL", t.tWL);
+    out.set("burst", t.burst);
+    return out;
+}
+
+std::string
+builtinNames()
+{
+    std::string names;
+    for (const DeviceSpec &spec : builtinDevices()) {
+        if (!names.empty())
+            names += ", ";
+        names += spec.name;
+    }
+    return names;
+}
+
+void
+validateOrThrowSpec(const DeviceSpec &spec, const std::string &context)
+{
+    const std::vector<std::string> problems = spec.validate();
+    if (problems.empty())
+        return;
+    std::string joined = formatMessage("%s: invalid device spec '%s':",
+                                       context.c_str(),
+                                       spec.name.c_str());
+    for (const std::string &p : problems) {
+        joined += "\n  - ";
+        joined += p;
+    }
+    throw SimError(joined);
+}
+
+} // namespace
+
+Json
+toJson(const DeviceSpec &spec)
+{
+    Json out = Json::object();
+    out.set("name", spec.name);
+    out.set("standard", spec.standard);
+    out.set("tCKns", spec.tCKns);
+    out.set("banks", spec.banks);
+    out.set("bankGroups", spec.bankGroups);
+    out.set("rowBytes", spec.rowBytes);
+    out.set("rowsPerBank", spec.rowsPerBank);
+    out.set("defaultCoreMHz", spec.defaultCoreMHz);
+    out.set("tREFIns", spec.tREFIns);
+    out.set("tRFCns", spec.tRFCns);
+    out.set("timing", deviceTimingToJson(spec.timing));
+    return out;
+}
+
+DeviceSpec
+deviceSpecFromJson(const Json &json, const std::string &context)
+{
+    DeviceSpec spec; // Layer over the DDR2-800 defaults.
+    const Json::Object &object = json.asObject(context);
+    for (const auto &[key, value] : object) {
+        const std::string path = context + "." + key;
+        if (key == "name") {
+            spec.name = value.asString(path);
+        } else if (key == "standard") {
+            spec.standard = value.asString(path);
+        } else if (key == "tCKns") {
+            spec.tCKns = value.asDouble(path);
+        } else if (key == "banks") {
+            spec.banks = static_cast<unsigned>(value.asUint(path));
+        } else if (key == "bankGroups") {
+            spec.bankGroups = static_cast<unsigned>(value.asUint(path));
+        } else if (key == "rowBytes") {
+            spec.rowBytes = value.asUint(path);
+        } else if (key == "rowsPerBank") {
+            spec.rowsPerBank = value.asUint(path);
+        } else if (key == "defaultCoreMHz") {
+            spec.defaultCoreMHz =
+                static_cast<unsigned>(value.asUint(path));
+        } else if (key == "tREFIns") {
+            spec.tREFIns = value.asDouble(path);
+        } else if (key == "tRFCns") {
+            spec.tRFCns = value.asDouble(path);
+        } else if (key == "timing") {
+            // Cycle counts at one clock are the bug this layer removes:
+            // refresh belongs at the top level, in nanoseconds.
+            for (const char *banned : {"tREFI", "tRFC"}) {
+                if (value.find(banned)) {
+                    throw SimError(formatMessage(
+                        "%s.timing.%s: refresh timing is specified in "
+                        "nanoseconds at the device level ('tREFIns' / "
+                        "'tRFCns'), not as a cycle count",
+                        context.c_str(), banned));
+                }
+            }
+            applyJson(value, spec.timing, path);
+        } else {
+            throw SimError(formatMessage("%s: unknown key '%s'",
+                                         context.c_str(), key.c_str()));
+        }
+    }
+    validateOrThrowSpec(spec, context);
+    return spec;
+}
+
+DeviceSpec
+loadDeviceSpec(const std::string &name_or_path)
+{
+    if (const DeviceSpec *builtin = findBuiltinDevice(name_or_path))
+        return *builtin;
+
+    const bool looks_like_path =
+        name_or_path.find('/') != std::string::npos ||
+        (name_or_path.size() > 5 &&
+         name_or_path.compare(name_or_path.size() - 5, 5, ".json") == 0);
+    const std::string path = looks_like_path
+                                 ? name_or_path
+                                 : "specs/devices/" + name_or_path +
+                                       ".json";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw SimError(formatMessage(
+            "unknown device '%s': not a built-in preset (%s) and no "
+            "spec file at '%s'",
+            name_or_path.c_str(), builtinNames().c_str(), path.c_str()));
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    DeviceSpec spec;
+    try {
+        spec = deviceSpecFromJson(Json::parse(text.str()), "device");
+    } catch (const SimError &e) {
+        throw SimError(formatMessage("%s: %s", path.c_str(), e.what()));
+    }
+    return spec;
+}
+
+void
+applyDevice(MemoryConfig &memory, const DeviceSpec &spec)
+{
+    memory.device = spec.name;
+    memory.banksPerChannel = spec.banks;
+    memory.bankGroups = spec.bankGroups;
+    memory.rowBytes = spec.rowBytes;
+    memory.rowsPerBank = spec.rowsPerBank;
+    memory.dramBusMHz = spec.busMHz();
+    memory.timing = spec.timing;
+    memory.timing.tREFI = spec.refiCycles();
+    memory.timing.tRFC = spec.rfcCycles();
+    // Snap the core clock only when the configured one cannot tick the
+    // DRAM domain on whole CPU cycles; an integer ratio is respected.
+    if (memory.dramBusMHz == 0 ||
+        memory.coreFrequencyMHz % memory.dramBusMHz != 0) {
+        memory.coreFrequencyMHz = spec.defaultCoreMHz;
+    }
+}
+
+void
+applyDevice(MemoryConfig &memory, const std::string &name_or_path)
+{
+    applyDevice(memory, loadDeviceSpec(name_or_path));
+}
+
+} // namespace stfm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DeviceSpec JSON I/O and application to the simulation config.
+ *
+ * A device spec names a memory part once — geometry, clock,
+ * cycle-domain timing table, nanosecond refresh parameters — and both
+ * the device model and the shadow protocol checker are configured from
+ * it (single source of truth; see dram/device_spec.hh).
+ *
+ * Resolution order for a device reference ("--device X", the spec
+ * "device" block, STFM_DEVICE):
+ *
+ *   1. a built-in preset name (DDR2-800, DDR3-1600, DDR4-2400,
+ *      LPDDR4-3200);
+ *   2. a path to a JSON spec file (anything containing '/' or ending
+ *      in ".json");
+ *   3. specs/devices/<name>.json relative to the working directory.
+ *
+ * Device JSON files carry refresh timing in nanoseconds (tREFIns /
+ * tRFCns) — a "tREFI" or "tRFC" key inside the timing block is
+ * rejected with a pointed error, because cycle counts baked at one
+ * clock are exactly the bug this layer exists to remove.
+ */
+
+#ifndef STFM_SIM_DEVICE_IO_HH
+#define STFM_SIM_DEVICE_IO_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "dram/device_spec.hh"
+#include "mem/memory_system.hh"
+
+namespace stfm
+{
+
+/** Serialize a device spec (stable key order; refresh in ns). */
+Json toJson(const DeviceSpec &spec);
+
+/**
+ * Parse a device spec from JSON layered over the DDR2-800 defaults.
+ * Unknown keys throw SimError; so do "tREFI"/"tRFC" inside "timing"
+ * (use the nanosecond "tREFIns"/"tRFCns" at the top level instead).
+ * The result is validated; any DeviceSpec::validate problem throws.
+ */
+DeviceSpec deviceSpecFromJson(const Json &json,
+                              const std::string &context = "device");
+
+/**
+ * Resolve @p name_or_path per the header comment's order and return
+ * the validated spec. @throws SimError naming the built-in presets
+ * when nothing resolves.
+ */
+DeviceSpec loadDeviceSpec(const std::string &name_or_path);
+
+/**
+ * Configure @p memory for @p spec: geometry (banks, bank groups, row
+ * size, rows per bank), bus clock, the timing table with tREFI/tRFC
+ * converted from nanoseconds at the device's clock, and the device
+ * name for reporting. The core clock is snapped to the spec's
+ * defaultCoreMHz only when the configured value would produce a
+ * non-integer CPU:DRAM ratio — a core clock that already divides
+ * evenly is left alone (the DDR2 baseline stays untouched).
+ */
+void applyDevice(MemoryConfig &memory, const DeviceSpec &spec);
+
+/** loadDeviceSpec + applyDevice in one step. */
+void applyDevice(MemoryConfig &memory, const std::string &name_or_path);
+
+} // namespace stfm
+
+#endif // STFM_SIM_DEVICE_IO_HH

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Bank-group (DDR4-generation) constraint tests at the channel and
+ * shadow-checker levels: cross-group command pairs obey the short
+ * tRRD_S/tCCD_S/tWTR_S values while same-group pairs keep the long
+ * ones, tFAW stays rank-wide, and a grouped channel whose short
+ * values equal the long ones is command-for-command equivalent to the
+ * ungrouped (legacy DDR2 scalar) path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/protocol_checker.hh"
+#include "common/rng.hh"
+#include "dram/channel.hh"
+#include "dram/device_spec.hh"
+
+namespace stfm
+{
+namespace
+{
+
+/** A split-timing table where every distinction is observable: the
+ *  short values sit strictly between the burst length and the long
+ *  values, so neither the data bus nor the long constraint masks
+ *  them. */
+DramTiming
+splitTiming()
+{
+    DramTiming t = ddr4_2400().timing; // 16-16-16, tCCD 6/4, tRRD 6/4.
+    t.tCCD_S = 5;                      // burst = 4 < 5 < tCCD = 6.
+    return t;
+}
+
+// --------------------------------------------------------------------
+// Channel: the device model's enforcement.
+// --------------------------------------------------------------------
+
+TEST(BankGroupsChannel, GroupTopologyInterleavesRoundRobin)
+{
+    DramChannel ch(16, ddr4_2400().timing, 4);
+    EXPECT_EQ(ch.bankGroups(), 4u);
+    // Consecutive bank IDs land in different groups (the mapping
+    // layer's round-robin choice), so streams walking banks linearly
+    // get the short constraints.
+    EXPECT_EQ(ch.groupOf(0), 0u);
+    EXPECT_EQ(ch.groupOf(1), 1u);
+    EXPECT_EQ(ch.groupOf(5), 1u);
+    EXPECT_EQ(ch.groupOf(15), 3u);
+}
+
+TEST(BankGroupsChannel, ActivateSpacingSplitsByGroup)
+{
+    const DramTiming t = splitTiming();
+    DramChannel ch(16, t, 4);
+    ch.issue(DramCommand::Activate, 0, 1, 0); // Group 0.
+
+    // Same group (bank 4): the long tRRD.
+    EXPECT_FALSE(ch.canIssue(DramCommand::Activate, 4, 1, t.tRRD - 1));
+    EXPECT_TRUE(ch.canIssue(DramCommand::Activate, 4, 1, t.tRRD));
+
+    // Different group (bank 1): the short tRRD_S.
+    EXPECT_FALSE(
+        ch.canIssue(DramCommand::Activate, 1, 1, t.tRRD_S - 1));
+    EXPECT_TRUE(ch.canIssue(DramCommand::Activate, 1, 1, t.tRRD_S));
+}
+
+TEST(BankGroupsChannel, ColumnSpacingSplitsByGroup)
+{
+    const DramTiming t = splitTiming();
+    DramChannel ch(16, t, 4);
+    // Open rows in banks 0 (group 0), 1 (group 1), 4 (group 0) with
+    // legal activate spacing.
+    ch.issue(DramCommand::Activate, 0, 1, 0);
+    ch.issue(DramCommand::Activate, 1, 1, t.tRRD_S);
+    ch.issue(DramCommand::Activate, 4, 1, t.tRRD_S + t.tRRD);
+
+    const DramCycles rd = 100; // All tRCDs long expired.
+    ch.issue(DramCommand::Read, 0, 1, rd);
+
+    // Same group (bank 4): the long tCCD gates, not the bus.
+    EXPECT_FALSE(ch.canIssue(DramCommand::Read, 4, 1, rd + t.tCCD - 1));
+    EXPECT_TRUE(ch.canIssue(DramCommand::Read, 4, 1, rd + t.tCCD));
+
+    // Cross group (bank 1): tCCD_S = 5 > burst = 4, so the window is
+    // the short constraint itself.
+    EXPECT_FALSE(
+        ch.canIssue(DramCommand::Read, 1, 1, rd + t.tCCD_S - 1));
+    EXPECT_TRUE(ch.canIssue(DramCommand::Read, 1, 1, rd + t.tCCD_S));
+}
+
+TEST(BankGroupsChannel, WriteToReadTurnaroundSplitsByGroup)
+{
+    const DramTiming t = splitTiming();
+    DramChannel ch(16, t, 4);
+    ch.issue(DramCommand::Activate, 0, 1, 0);
+    ch.issue(DramCommand::Activate, 1, 1, t.tRRD_S);
+    ch.issue(DramCommand::Activate, 4, 1, t.tRRD_S + t.tRRD);
+
+    const DramCycles wr = 100;
+    const DramCycles data_end = ch.issue(DramCommand::Write, 0, 1, wr);
+    EXPECT_EQ(data_end, wr + t.tWL + t.burst);
+
+    // Same group (bank 4): the long tWTR after the write data.
+    EXPECT_FALSE(
+        ch.canIssue(DramCommand::Read, 4, 1, data_end + t.tWTR - 1));
+    EXPECT_TRUE(
+        ch.canIssue(DramCommand::Read, 4, 1, data_end + t.tWTR));
+
+    // Cross group (bank 1): only the short turnaround.
+    EXPECT_FALSE(
+        ch.canIssue(DramCommand::Read, 1, 1, data_end + t.tWTR_S - 1));
+    EXPECT_TRUE(
+        ch.canIssue(DramCommand::Read, 1, 1, data_end + t.tWTR_S));
+}
+
+TEST(BankGroupsChannel, FourActivateWindowStaysRankWide)
+{
+    // tFAW counts activates across the whole rank regardless of their
+    // groups: four cross-group activates still close the window.
+    const DramTiming t = splitTiming();
+    DramChannel ch(16, t, 4);
+    DramCycles now = 0;
+    for (BankId b = 0; b < 4; ++b) { // Banks 0..3 = groups 0..3.
+        ASSERT_TRUE(ch.canIssue(DramCommand::Activate, b, 1, now));
+        ch.issue(DramCommand::Activate, b, 1, now);
+        now += t.tRRD_S;
+    }
+    EXPECT_FALSE(ch.canIssue(DramCommand::Activate, 4, 1, now));
+    EXPECT_TRUE(ch.canIssue(DramCommand::Activate, 4, 1, t.tFAW));
+}
+
+TEST(BankGroupsChannel, EqualSplitValuesMatchTheUngroupedChannel)
+{
+    // With tCCD_S == tCCD etc. (the DDR2 defaults) a grouped channel
+    // must be command-for-command identical to the legacy scalar path:
+    // drive random traffic against the ungrouped oracle and require
+    // the grouped channel to agree on every canIssue() verdict.
+    const DramTiming t; // DDR2-800: all short values equal the long.
+    DramChannel legacy(8, t);
+    DramChannel grouped(8, t, 2);
+
+    Rng rng(20260808);
+    DramCycles now = 0;
+    unsigned issued = 0;
+    for (unsigned step = 0; step < 20000; ++step) {
+        now += rng.nextBelow(3);
+        const BankId bank = static_cast<BankId>(rng.nextBelow(8));
+        const RowId row = static_cast<RowId>(1 + rng.nextBelow(4));
+        DramCommand cmd;
+        switch (rng.nextBelow(4)) {
+        case 0: cmd = DramCommand::Activate; break;
+        case 1: cmd = DramCommand::Read; break;
+        case 2: cmd = DramCommand::Write; break;
+        default: cmd = DramCommand::Precharge; break;
+        }
+        const bool legal = legacy.canIssue(cmd, bank, row, now);
+        ASSERT_EQ(grouped.canIssue(cmd, bank, row, now), legal)
+            << "step " << step << " cmd " << static_cast<int>(cmd)
+            << " bank " << bank << " @ " << now;
+        if (!legal)
+            continue;
+        const DramCycles a = legacy.issue(cmd, bank, row, now);
+        const DramCycles b = grouped.issue(cmd, bank, row, now);
+        ASSERT_EQ(a, b) << "step " << step;
+        ++issued;
+    }
+    EXPECT_GT(issued, 1000u) << "fuzz made no progress";
+}
+
+// --------------------------------------------------------------------
+// Shadow checker: the independent re-validation.
+// --------------------------------------------------------------------
+
+std::vector<std::string>
+constraintNames(const ProtocolChecker &checker)
+{
+    std::vector<std::string> out;
+    for (const Violation &v : checker.violations())
+        out.push_back(v.constraint);
+    return out;
+}
+
+TEST(BankGroupsChecker, SameGroupActivatePairNeedsTheLongTrrd)
+{
+    const DramTiming t = splitTiming();
+    ProtocolChecker checker(0, 16, t, false, 4);
+    // Banks 0, 4, 8 all share group 0 (b % 4).
+    checker.onCommand(DramCommand::Activate, 0, 1, 0);
+    checker.onCommand(DramCommand::Activate, 4, 1, t.tRRD);
+    EXPECT_TRUE(checker.violations().empty());
+    checker.onCommand(DramCommand::Activate, 8, 1,
+                      2 * t.tRRD - 1); // One cycle short of the gap.
+    ASSERT_EQ(constraintNames(checker),
+              std::vector<std::string>{"tRRD"});
+    EXPECT_NE(checker.violations()[0].detail.find("tRRD_L"),
+              std::string::npos)
+        << checker.violations()[0].detail;
+}
+
+TEST(BankGroupsChecker, CrossGroupActivatePairsUseTheShortTrrd)
+{
+    const DramTiming t = splitTiming();
+    ProtocolChecker checker(0, 16, t, false, 4);
+    // Banks 0..3 are four distinct groups: a back-to-back stream at
+    // the short spacing is legal...
+    checker.onCommand(DramCommand::Activate, 0, 1, 0);
+    checker.onCommand(DramCommand::Activate, 1, 1, t.tRRD_S);
+    checker.onCommand(DramCommand::Activate, 2, 1, 2 * t.tRRD_S);
+    EXPECT_TRUE(checker.violations().empty());
+    // ...but one cycle tighter is not.
+    checker.onCommand(DramCommand::Activate, 3, 1,
+                      3 * t.tRRD_S - 1);
+    ASSERT_EQ(constraintNames(checker),
+              std::vector<std::string>{"tRRD"});
+    EXPECT_NE(checker.violations()[0].detail.find("tRRD_S"),
+              std::string::npos)
+        << checker.violations()[0].detail;
+}
+
+TEST(BankGroupsChecker, ColumnPairsJudgedPerGroup)
+{
+    const DramTiming t = splitTiming();
+    ProtocolChecker checker(0, 16, t, false, 4);
+    checker.onCommand(DramCommand::Activate, 0, 1, 0);
+    checker.onCommand(DramCommand::Activate, 1, 1, t.tRRD_S);
+    checker.onCommand(DramCommand::Activate, 4, 1,
+                      t.tRRD_S + t.tRRD);
+
+    // Bank 5 shares group 1 with bank 1; activated with legal spacing
+    // so only column constraints are in play later.
+    checker.onCommand(DramCommand::Activate, 5, 1,
+                      t.tRRD_S + t.tRRD + t.tRRD_S);
+
+    const DramCycles rd = 100; // Every tRCD long expired.
+    checker.onCommand(DramCommand::Read, 0, 1, rd);
+    // Cross group at tCCD_S: legal (also clear of the data bus).
+    checker.onCommand(DramCommand::Read, 1, 1, rd + t.tCCD_S);
+    EXPECT_TRUE(checker.violations().empty())
+        << checker.violations().front().constraint;
+    // Same group as bank 1, a gap below the long tCCD but past the
+    // burst and the cross-group spacing: isolates the tCCD_L check.
+    checker.onCommand(DramCommand::Read, 5, 1,
+                      rd + t.tCCD_S + t.tCCD - 1);
+    ASSERT_EQ(constraintNames(checker),
+              std::vector<std::string>{"tCCD"});
+    EXPECT_NE(checker.violations()[0].detail.find("tCCD_L"),
+              std::string::npos)
+        << checker.violations()[0].detail;
+}
+
+TEST(BankGroupsChecker, WriteToReadTurnaroundJudgedPerGroup)
+{
+    const DramTiming t = splitTiming();
+    ProtocolChecker checker(0, 16, t, false, 4);
+    checker.onCommand(DramCommand::Activate, 0, 1, 0);
+    checker.onCommand(DramCommand::Activate, 1, 1, t.tRRD_S);
+    checker.onCommand(DramCommand::Activate, 4, 1,
+                      t.tRRD_S + t.tRRD);
+
+    const DramCycles wr = 100;
+    const DramCycles data_end = wr + t.tWL + t.burst;
+    checker.onCommand(DramCommand::Write, 0, 1, wr);
+    // Cross group at the short turnaround: legal.
+    checker.onCommand(DramCommand::Read, 1, 1, data_end + t.tWTR_S);
+    EXPECT_TRUE(checker.violations().empty())
+        << checker.violations().front().constraint;
+    // Same group one cycle short of the long turnaround: flagged.
+    checker.onCommand(DramCommand::Read, 4, 1,
+                      data_end + t.tWTR - 1);
+    const auto names = constraintNames(checker);
+    ASSERT_FALSE(names.empty());
+    EXPECT_EQ(names.back(), "tWTR");
+}
+
+TEST(BankGroupsChecker, GroupedChannelStreamsPassTheGroupedChecker)
+{
+    // Cross-validation under split timing: every command the grouped
+    // device model admits must be accepted by the grouped shadow
+    // checker — the enforcer and the validator agree on legality.
+    const DramTiming t = splitTiming();
+    DramChannel ch(16, t, 4);
+    ProtocolChecker checker(0, 16, t, false, 4);
+
+    Rng rng(77001);
+    DramCycles now = 0;
+    unsigned issued = 0;
+    for (unsigned step = 0; step < 20000; ++step) {
+        now += rng.nextBelow(3);
+        const BankId bank = static_cast<BankId>(rng.nextBelow(16));
+        const RowId row = static_cast<RowId>(1 + rng.nextBelow(4));
+        DramCommand cmd;
+        switch (rng.nextBelow(4)) {
+        case 0: cmd = DramCommand::Activate; break;
+        case 1: cmd = DramCommand::Read; break;
+        case 2: cmd = DramCommand::Write; break;
+        default: cmd = DramCommand::Precharge; break;
+        }
+        if (!ch.canIssue(cmd, bank, row, now))
+            continue;
+        ch.issue(cmd, bank, row, now);
+        checker.onCommand(cmd, bank, row, now);
+        ++issued;
+    }
+    EXPECT_GT(issued, 1000u) << "fuzz made no progress";
+    EXPECT_TRUE(checker.violations().empty())
+        << checker.violations().front().constraint << " @ "
+        << checker.violations().front().cycle;
+}
+
+} // namespace
+} // namespace stfm

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Device-layer tests: built-in preset consistency, nanosecond-to-cycle
+ * refresh conversion (the DDR2-800 3120/51 regression pin), the
+ * tightened DramTiming::valid() rules, DeviceSpec JSON round-trips,
+ * the checked-in specs/devices/ files, and applyDevice() semantics
+ * (geometry/clock threading, the integer CPU:DRAM ratio snap).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hh"
+#include "dram/device_spec.hh"
+#include "sim/device_io.hh"
+
+namespace stfm
+{
+namespace
+{
+
+/** Field-by-field timing equality (DramTiming has no operator==). */
+void
+expectSameTiming(const DramTiming &a, const DramTiming &b)
+{
+    EXPECT_EQ(a.tCL, b.tCL);
+    EXPECT_EQ(a.tRCD, b.tRCD);
+    EXPECT_EQ(a.tRP, b.tRP);
+    EXPECT_EQ(a.tRAS, b.tRAS);
+    EXPECT_EQ(a.tRC, b.tRC);
+    EXPECT_EQ(a.tWR, b.tWR);
+    EXPECT_EQ(a.tWTR, b.tWTR);
+    EXPECT_EQ(a.tRTP, b.tRTP);
+    EXPECT_EQ(a.tCCD, b.tCCD);
+    EXPECT_EQ(a.tRRD, b.tRRD);
+    EXPECT_EQ(a.tFAW, b.tFAW);
+    EXPECT_EQ(a.tCCD_S, b.tCCD_S);
+    EXPECT_EQ(a.tRRD_S, b.tRRD_S);
+    EXPECT_EQ(a.tWTR_S, b.tWTR_S);
+    EXPECT_EQ(a.tWL, b.tWL);
+    EXPECT_EQ(a.burst, b.burst);
+}
+
+void
+expectSameSpec(const DeviceSpec &a, const DeviceSpec &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.standard, b.standard);
+    EXPECT_EQ(a.tCKns, b.tCKns);
+    EXPECT_EQ(a.banks, b.banks);
+    EXPECT_EQ(a.bankGroups, b.bankGroups);
+    EXPECT_EQ(a.rowBytes, b.rowBytes);
+    EXPECT_EQ(a.rowsPerBank, b.rowsPerBank);
+    EXPECT_EQ(a.defaultCoreMHz, b.defaultCoreMHz);
+    EXPECT_EQ(a.tREFIns, b.tREFIns);
+    EXPECT_EQ(a.tRFCns, b.tRFCns);
+    expectSameTiming(a.timing, b.timing);
+}
+
+// --------------------------------------------------------------------
+// Built-in presets.
+// --------------------------------------------------------------------
+
+TEST(DeviceSpecPresets, CatalogHasTheFourStandardsAndAllValidate)
+{
+    const auto &devices = builtinDevices();
+    ASSERT_EQ(devices.size(), 4u);
+    EXPECT_EQ(devices[0].name, "DDR2-800");
+    EXPECT_EQ(devices[1].name, "DDR3-1600");
+    EXPECT_EQ(devices[2].name, "DDR4-2400");
+    EXPECT_EQ(devices[3].name, "LPDDR4-3200");
+    for (const DeviceSpec &device : devices) {
+        const auto problems = device.validate();
+        EXPECT_TRUE(problems.empty())
+            << device.name << ": " << problems.front();
+        EXPECT_TRUE(device.timing.valid()) << device.name;
+    }
+}
+
+TEST(DeviceSpecPresets, Ddr2MatchesTheHistoricalHardWiredDefaults)
+{
+    // The paper's validated baseline: applying the DDR2-800 preset must
+    // reproduce the DramTiming{} defaults exactly (bit-identity of
+    // every default-configuration simulation depends on this).
+    const DeviceSpec d = ddr2_800();
+    expectSameTiming(d.timing, DramTiming{});
+    EXPECT_EQ(d.busMHz(), 400u);
+    EXPECT_EQ(d.banks, 8u);
+    EXPECT_EQ(d.bankGroups, 1u);
+    EXPECT_EQ(d.rowBytes, 16u * 1024u);
+    EXPECT_EQ(d.rowsPerBank, 16u * 1024u);
+}
+
+TEST(DeviceSpecPresets, RefreshCyclesDeriveFromNanoseconds)
+{
+    // tREFI = 7800 ns and tRFC = 127.5 ns at 2.5 ns/cycle: the
+    // hard-wired DDR2 cycle counts must fall out of the conversion.
+    const DeviceSpec d2 = ddr2_800();
+    EXPECT_EQ(d2.refiCycles(), DramTiming{}.tREFI);
+    EXPECT_EQ(d2.refiCycles(), 3120u);
+    EXPECT_EQ(d2.rfcCycles(), DramTiming{}.tRFC);
+    EXPECT_EQ(d2.rfcCycles(), 51u);
+
+    const DeviceSpec d3 = ddr3_1600();
+    EXPECT_EQ(d3.busMHz(), 800u);
+    EXPECT_EQ(d3.refiCycles(), 6240u); // 7800 / 1.25
+    EXPECT_EQ(d3.rfcCycles(), 128u);   // 160 / 1.25
+
+    const DeviceSpec d4 = ddr4_2400();
+    EXPECT_EQ(d4.busMHz(), 1200u);
+    EXPECT_EQ(d4.refiCycles(), 9360u); // 7800 / 0.833333
+    EXPECT_EQ(d4.rfcCycles(), 420u);   // 350 / 0.833333
+    EXPECT_EQ(d4.banks, 16u);
+    EXPECT_EQ(d4.bankGroups, 4u);
+    // DDR4's split constraints are strictly shorter than the long ones.
+    EXPECT_LT(d4.timing.tCCD_S, d4.timing.tCCD);
+    EXPECT_LT(d4.timing.tRRD_S, d4.timing.tRRD);
+    EXPECT_LT(d4.timing.tWTR_S, d4.timing.tWTR);
+
+    const DeviceSpec lp = lpddr4_3200();
+    EXPECT_EQ(lp.busMHz(), 1600u);
+    EXPECT_EQ(lp.refiCycles(), 6246u); // 3904 / 0.625 (rounded)
+    EXPECT_EQ(lp.rfcCycles(), 448u);   // 280 / 0.625
+    EXPECT_EQ(lp.timing.burst, 8u);    // BL16 on a x16 part.
+}
+
+TEST(DeviceSpecPresets, LookupIsCaseSensitiveAndNullOnMiss)
+{
+    ASSERT_NE(findBuiltinDevice("DDR4-2400"), nullptr);
+    EXPECT_EQ(findBuiltinDevice("DDR4-2400")->bankGroups, 4u);
+    EXPECT_EQ(findBuiltinDevice("ddr4-2400"), nullptr);
+    EXPECT_EQ(findBuiltinDevice(""), nullptr);
+}
+
+// --------------------------------------------------------------------
+// The tightened DramTiming::valid() rules.
+// --------------------------------------------------------------------
+
+TEST(DramTimingValidity, DefaultsAreValid)
+{
+    EXPECT_TRUE(DramTiming{}.valid());
+}
+
+TEST(DramTimingValidity, RejectsInconsistentTables)
+{
+    const auto mutated = [](auto &&tweak) {
+        DramTiming t;
+        tweak(t);
+        return t.valid();
+    };
+
+    // tRC must cover a full row cycle: activate-to-activate on one
+    // bank cannot beat tRAS + tRP.
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tRC = t.tRAS + t.tRP - 1; }));
+    EXPECT_TRUE(mutated([](DramTiming &t) { t.tRC = t.tRAS + t.tRP; }));
+
+    // The four-activate window cannot be shorter than one tRRD gap.
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tFAW = t.tRRD - 1; }));
+
+    // Recovery/turnaround constraints must be nonzero.
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tRTP = 0; }));
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tWR = 0; }));
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tWTR = 0; }));
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tCCD = 0; }));
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tRRD = 0; }));
+
+    // Write latency cannot exceed CAS latency on these standards.
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tWL = t.tCL + 1; }));
+
+    // Split (cross-bank-group) constraints: nonzero, never longer
+    // than their same-group counterparts.
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tCCD_S = 0; }));
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tCCD_S = t.tCCD + 1; }));
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tRRD_S = t.tRRD + 1; }));
+    EXPECT_FALSE(mutated([](DramTiming &t) { t.tWTR_S = t.tWTR + 1; }));
+}
+
+TEST(DeviceSpecValidity, FlagsClockGeometryAndRefreshProblems)
+{
+    const auto problems = [](auto &&tweak) {
+        DeviceSpec d = ddr4_2400();
+        tweak(d);
+        return d.validate();
+    };
+
+    EXPECT_TRUE(problems([](DeviceSpec &) {}).empty());
+    EXPECT_FALSE(problems([](DeviceSpec &d) { d.tCKns = 0; }).empty());
+    EXPECT_FALSE(problems([](DeviceSpec &d) { d.banks = 0; }).empty());
+    EXPECT_FALSE(problems([](DeviceSpec &d) { d.bankGroups = 3; }).empty());
+    EXPECT_FALSE(
+        problems([](DeviceSpec &d) { d.bankGroups = 32; }).empty());
+    EXPECT_FALSE(problems([](DeviceSpec &d) { d.rowBytes = 100; }).empty());
+    // A refresh op longer than the refresh interval starves the device.
+    EXPECT_FALSE(
+        problems([](DeviceSpec &d) { d.tRFCns = d.tREFIns + 1; }).empty());
+    EXPECT_FALSE(
+        problems([](DeviceSpec &d) { d.timing.tRC = 1; }).empty());
+}
+
+// --------------------------------------------------------------------
+// JSON round-trips and the checked-in spec files.
+// --------------------------------------------------------------------
+
+TEST(DeviceSpecJson, EveryPresetRoundTrips)
+{
+    for (const DeviceSpec &device : builtinDevices()) {
+        const DeviceSpec back = deviceSpecFromJson(toJson(device));
+        expectSameSpec(back, device);
+    }
+}
+
+TEST(DeviceSpecJson, RejectsUnknownKeys)
+{
+    Json json = toJson(ddr2_800());
+    json.set("vendor", "acme");
+    EXPECT_THROW(deviceSpecFromJson(json), SimError);
+}
+
+TEST(DeviceSpecJson, RejectsCycleCountRefreshInTheTimingBlock)
+{
+    // Refresh belongs at the device level in nanoseconds; a tREFI
+    // cycle count baked at one clock is exactly the bug the device
+    // layer removes, so it gets a pointed error.
+    Json json = toJson(ddr2_800());
+    Json timing = *json.find("timing");
+    timing.set("tREFI", 3120);
+    json.set("timing", timing);
+    try {
+        deviceSpecFromJson(json);
+        FAIL() << "tREFI inside timing must be rejected";
+    } catch (const SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("nanoseconds"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(DeviceSpecJson, RejectsInvalidSpecs)
+{
+    Json json = toJson(ddr4_2400());
+    json.set("bankGroups", 3);
+    EXPECT_THROW(deviceSpecFromJson(json), SimError);
+}
+
+TEST(DeviceSpecLoad, ResolvesBuiltinsByName)
+{
+    expectSameSpec(loadDeviceSpec("LPDDR4-3200"), lpddr4_3200());
+}
+
+TEST(DeviceSpecLoad, UnknownNameListsThePresets)
+{
+    try {
+        loadDeviceSpec("DDR9-9999");
+        FAIL() << "unknown device must throw";
+    } catch (const SimError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("DDR9-9999"), std::string::npos) << what;
+        EXPECT_NE(what.find("DDR2-800"), std::string::npos) << what;
+    }
+}
+
+TEST(DeviceSpecLoad, CheckedInSpecFilesMatchTheBuiltins)
+{
+    // The specs/devices/ files are the presets' JSON form; loading one
+    // by path must reproduce the built-in spec exactly, so a file edit
+    // that drifts from the catalog fails here.
+    for (const DeviceSpec &device : builtinDevices()) {
+        const std::string path = std::string(STFM_REPO_ROOT) +
+                                 "/specs/devices/" + device.name +
+                                 ".json";
+        expectSameSpec(loadDeviceSpec(path), device);
+    }
+}
+
+// --------------------------------------------------------------------
+// applyDevice(): threading a spec into MemoryConfig.
+// --------------------------------------------------------------------
+
+TEST(ApplyDevice, ThreadsGeometryClockAndConvertedRefresh)
+{
+    MemoryConfig memory;
+    applyDevice(memory, "DDR4-2400");
+    EXPECT_EQ(memory.device, "DDR4-2400");
+    EXPECT_EQ(memory.banksPerChannel, 16u);
+    EXPECT_EQ(memory.bankGroups, 4u);
+    EXPECT_EQ(memory.rowBytes, 8u * 1024u);
+    EXPECT_EQ(memory.rowsPerBank, 65536u);
+    EXPECT_EQ(memory.dramBusMHz, 1200u);
+    EXPECT_EQ(memory.timing.tCL, 16u);
+    EXPECT_EQ(memory.timing.tCCD_S, 4u);
+    EXPECT_EQ(memory.timing.tREFI, 9360u);
+    EXPECT_EQ(memory.timing.tRFC, 420u);
+}
+
+TEST(ApplyDevice, SnapsTheCoreClockOnlyOnNonIntegerRatios)
+{
+    // 4000 MHz over DDR2's 400 MHz bus is already integer: untouched.
+    MemoryConfig ddr2;
+    const unsigned before = ddr2.coreFrequencyMHz;
+    applyDevice(ddr2, "DDR2-800");
+    EXPECT_EQ(ddr2.coreFrequencyMHz, before);
+
+    // 4000 MHz over DDR4's 1200 MHz bus is not: snap to the device's
+    // default core clock (4800 = ratio 4).
+    MemoryConfig ddr4;
+    applyDevice(ddr4, "DDR4-2400");
+    EXPECT_EQ(ddr4.coreFrequencyMHz, 4800u);
+    EXPECT_EQ(ddr4.coreFrequencyMHz % ddr4.dramBusMHz, 0u);
+
+    // A core clock that divides the DDR4 bus evenly is respected.
+    MemoryConfig fast;
+    fast.coreFrequencyMHz = 6000;
+    applyDevice(fast, "DDR4-2400");
+    EXPECT_EQ(fast.coreFrequencyMHz, 6000u);
+}
+
+} // namespace
+} // namespace stfm

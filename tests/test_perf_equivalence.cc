@@ -475,10 +475,10 @@ TEST(ParallelRunner, RunManyMatchesSequentialInJobOrder)
     SchedulerConfig fr;
     SchedulerConfig stfm;
     stfm.kind = PolicyKind::Stfm;
-    jobs.push_back({{"mcf", "h264ref"}, fr});
-    jobs.push_back({{"mcf", "h264ref"}, stfm});
-    jobs.push_back({{"lbm", "omnetpp"}, fr});
-    jobs.push_back({{"lbm", "omnetpp"}, stfm});
+    jobs.push_back({{"mcf", "h264ref"}, fr, 0, ""});
+    jobs.push_back({{"mcf", "h264ref"}, stfm, 0, ""});
+    jobs.push_back({{"lbm", "omnetpp"}, fr, 0, ""});
+    jobs.push_back({{"lbm", "omnetpp"}, stfm, 0, ""});
 
     // Sequential oracle on a fresh runner (no shared alone cache).
     ExperimentRunner sequential(base);
@@ -520,7 +520,7 @@ TEST(ParallelRunner, AloneCacheSurvivesConcurrentFirstTouch)
     for (int i = 0; i < 4; ++i) {
         SchedulerConfig sched;
         sched.kind = (i % 2 == 0) ? PolicyKind::FrFcfs : PolicyKind::Nfq;
-        jobs.push_back({{"mcf", "h264ref"}, sched});
+        jobs.push_back({{"mcf", "h264ref"}, sched, 0, ""});
     }
 
     ExperimentRunner runner(base);

@@ -269,7 +269,7 @@ TEST(Spec, RepeatReseedsTraces)
     ExperimentSpec spec;
     spec.name = "repeat";
     spec.workloads = {{"mcf", "hmmer"}};
-    spec.schedulers = {{"FR-FCFS", SchedulerConfig{}}};
+    spec.schedulers = {{"FR-FCFS", SchedulerConfig{}, ""}};
     spec.budget = 3000;
     spec.repeat = 2;
     spec.seed = 5;
