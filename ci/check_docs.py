@@ -15,6 +15,11 @@ Three subcommands:
                         device-catalog table name exactly the same
                         presets, and every preset has its JSON spec
                         file under specs/devices/
+  report FILE [DIFF]    a live stfm-report-v1 artifact (and optionally
+                        a stfm-reportdiff-v1 document) matches the
+                        schema documented in docs/REPORTING.md,
+                        field-for-field, plus that page's numeric
+                        invariants
 """
 
 import glob
@@ -206,10 +211,190 @@ def check_artifacts(directory):
         nevents = check_trace_doc(path)
         print(f"trace OK: {os.path.basename(path)} ({nevents} events)")
 
+DIFF_KINDS = {
+    "workload-unfairness", "group-unfairness-p95",
+    "group-unfairness-p99", "group-slowdown-p99", "group-failures",
+    "missing-group", "missing-workload",
+}
+
+def reporting_md_fields():
+    """Parse docs/REPORTING.md's field tables.
+
+    Returns (report_fields, diff_fields): each a dict of documented
+    field path -> {"type": ..., "optional": ...}. Distribution-typed
+    rows ("groups[].unfairness" et al.) are expanded with the fields
+    of the shared distribution-block table.
+    """
+    text = open(os.path.join(REPO, "docs", "REPORTING.md"),
+                encoding="utf-8").read()
+    row = re.compile(r"^\|\s*`([A-Za-z][\w.\[\]]*)`\s*\|"
+                     r"\s*([^|]+?)\s*\|(.*)$", re.M)
+
+    sections = {}
+    for chunk in text.split("\n## "):
+        title = chunk.split("\n", 1)[0]
+        sections[title] = chunk
+    report_text = sections.get("The `stfm-report-v1` document")
+    diff_text = sections.get("The `stfm-reportdiff-v1` document")
+    if not report_text or not diff_text:
+        fail("docs/REPORTING.md is missing a schema section")
+
+    def parse(section):
+        fields = {}
+        for path, ftype, rest in row.findall(section):
+            fields[path] = {"type": ftype,
+                            "optional": "optional" in rest}
+        return fields
+
+    report = parse(report_text)
+    diff = parse(diff_text)
+
+    # The distribution-block table documents bare field names shared
+    # by every row whose type column says "distribution"; expand them
+    # onto those paths. `samples`/`buckets` are phase alternatives —
+    # presence-optional each, "exactly one" enforced separately.
+    dist_fields = {p: meta for p, meta in report.items() if "." not in p
+                   and "[" not in p and p not in ("schema", "name")}
+    dist_parents = [p for p, meta in report.items()
+                    if meta["type"] == "distribution"]
+    if not dist_parents or "samples" not in dist_fields:
+        fail("docs/REPORTING.md: distribution table not found")
+    for bare in dist_fields:
+        del report[bare]
+    for parent in dist_parents:
+        del report[parent]  # Structural: implied by the expansion.
+        for bare, meta in dist_fields.items():
+            optional = meta["optional"] or bare in ("samples", "buckets")
+            report[f"{parent}.{bare}"] = {"type": meta["type"],
+                                          "optional": optional}
+    return report, diff
+
+def leaf_paths(node, documented, prefix=""):
+    """The artifact's leaf field paths, array hops normalized to []
+    and documented object-typed maps (sparse bucket dicts) kept
+    opaque."""
+    if prefix and documented.get(prefix, {}).get("type") == "object":
+        return {prefix}
+    paths = set()
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{prefix}.{key}" if prefix else key
+            paths |= leaf_paths(value, documented, child)
+    elif isinstance(node, list):
+        scalars = [x for x in node
+                   if not isinstance(x, (dict, list))]
+        if len(scalars) == len(node):
+            paths.add(prefix)  # Array of scalars: the field is the leaf.
+        else:
+            for item in node:
+                paths |= leaf_paths(item, documented, prefix + "[]")
+    else:
+        paths.add(prefix)
+    return paths
+
+def check_distribution(where, dist):
+    count = dist["count"]
+    if ("samples" in dist) == ("buckets" in dist):
+        fail(f"{where}: needs exactly one of samples/buckets")
+    if "samples" in dist:
+        if len(dist["samples"]) != count:
+            fail(f"{where}: count != len(samples)")
+        if dist["samples"] != sorted(dist["samples"]):
+            fail(f"{where}: samples not ascending")
+    elif sum(dist["buckets"].values()) != count:
+        fail(f"{where}: count != sum(buckets)")
+    if count and not (dist["min"] <= dist["p50"] <= dist["p95"]
+                      <= dist["p99"] <= dist["max"]):
+        fail(f"{where}: percentiles not monotone")
+
+def check_report_doc(path, documented):
+    doc = json.load(open(path, encoding="utf-8"))
+    if doc.get("schema") != "stfm-report-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+
+    present = leaf_paths(doc, documented)
+    undocumented = present - set(documented)
+    if undocumented:
+        fail(f"{path}: fields not documented in docs/REPORTING.md: "
+             + ", ".join(sorted(undocumented)))
+    # Required fields must appear — structural array rows (path ends
+    # in []) are implied by their children and may be empty.
+    missing = {p for p, meta in documented.items()
+               if not meta["optional"] and not p.endswith("[]")
+               and p not in present}
+    if missing:
+        fail(f"{path}: documented fields missing from the artifact: "
+             + ", ".join(sorted(missing)))
+
+    totals = doc["totals"]
+    groups = doc["groups"]
+    for agg, per_group in (
+            ("runs", "runs"), ("failed", "failed")):
+        if totals[agg] != sum(g[per_group] for g in groups):
+            fail(f"{path}: totals.{agg} != sum over groups")
+    for key in ("unfairness", "slowdown"):
+        if totals["sloViolations"][key] != sum(
+                g["sloViolations"][key] for g in groups):
+            fail(f"{path}: totals.sloViolations.{key} != sum over groups")
+    if totals["groups"] != len(groups):
+        fail(f"{path}: totals.groups != len(groups)")
+    for g in groups:
+        where = f"{path}: group {g['scheduler']}/{g['device'] or '-'}"
+        for metric in ("unfairness", "slowdown", "weightedSpeedup"):
+            check_distribution(f"{where} {metric}", g[metric])
+        for field in ("runs", "failed"):
+            if g[field] != sum(w[field] for w in g["workloads"]):
+                fail(f"{where}: {field} != sum over workloads")
+    latency = doc.get("readLatency")
+    if latency is not None:
+        if len(latency["buckets"]) != 32:
+            fail(f"{path}: readLatency.buckets must have 32 entries")
+        if sum(latency["buckets"]) != latency["count"]:
+            fail(f"{path}: readLatency count != sum(buckets)")
+    print(f"report OK: {os.path.basename(path)} ({totals['runs']} runs, "
+          f"{totals['groups']} groups, {len(present)} leaf fields)")
+
+def check_diff_doc(path, documented):
+    doc = json.load(open(path, encoding="utf-8"))
+    if doc.get("schema") != "stfm-reportdiff-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}")
+    present = leaf_paths(doc, documented)
+    undocumented = present - set(documented)
+    if undocumented:
+        fail(f"{path}: fields not documented in docs/REPORTING.md: "
+             + ", ".join(sorted(undocumented)))
+    missing = {p for p, meta in documented.items()
+               if not meta["optional"] and not p.endswith("[]")
+               and p not in present and not p.startswith("regressions[]")}
+    # Regression-entry fields are only observable when regressions
+    # exist; require them in that case.
+    if doc["regressions"]:
+        missing |= {p for p, meta in documented.items()
+                    if p.startswith("regressions[]")
+                    and not meta["optional"] and p not in present}
+    if missing:
+        fail(f"{path}: documented fields missing from the artifact: "
+             + ", ".join(sorted(missing)))
+    if doc["regressed"] != bool(doc["regressions"]):
+        fail(f"{path}: regressed flag disagrees with regressions list")
+    for entry in doc["regressions"]:
+        if entry["kind"] not in DIFF_KINDS:
+            fail(f"{path}: unknown regression kind {entry['kind']!r}")
+    print(f"diff OK: {os.path.basename(path)} "
+          f"({len(doc['regressions'])} regressions, "
+          f"{doc['comparedGroups']} groups compared)")
+
+def check_report(report_path, diff_path=None):
+    report_fields, diff_fields = reporting_md_fields()
+    check_report_doc(report_path, report_fields)
+    if diff_path:
+        check_diff_doc(diff_path, diff_fields)
+
 def main():
     if len(sys.argv) < 2:
         fail(f"usage: {sys.argv[0]} "
-             "links|catalog FILE|artifacts DIR|devices FILE")
+             "links|catalog FILE|artifacts DIR|devices FILE|"
+             "report FILE [DIFF]")
     cmd = sys.argv[1]
     if cmd == "links":
         check_links()
@@ -219,6 +404,9 @@ def main():
         check_artifacts(sys.argv[2])
     elif cmd == "devices" and len(sys.argv) == 3:
         check_devices(sys.argv[2])
+    elif cmd == "report" and len(sys.argv) in (3, 4):
+        check_report(sys.argv[2], sys.argv[3] if len(sys.argv) == 4
+                     else None)
     else:
         fail(f"unknown command {cmd!r}")
 

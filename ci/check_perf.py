@@ -20,12 +20,35 @@ compare against). Exit codes: 0 pass, 1 regression or malformed input.
 
 import argparse
 import json
+import re
 import sys
 
 
 def fail(message):
     print(f"check_perf: FAIL: {message}", file=sys.stderr)
     return 1
+
+
+def note_label_gaps(entries):
+    """Report (never fail on) non-contiguous 'PR N' labels.
+
+    The trajectory is append-only but not every PR appends an entry
+    (docs-only PRs don't re-bench; PR 7 never landed a point), so
+    'PR 6' -> 'PR 8' is legal. Surface the gap instead of silently
+    pretending the sequence is dense — the compared baseline is always
+    simply the previous *committed* entry, whatever its label.
+    """
+    numbered = [(e.get("label", ""), m)
+                for e in entries
+                for m in [re.fullmatch(r"PR (\d+)",
+                                       e.get("label", ""))]
+                if m]
+    for (prev_label, prev), (label, cur) in zip(numbered, numbered[1:]):
+        if int(cur.group(1)) != int(prev.group(1)) + 1:
+            print(f"check_perf: note: non-contiguous trajectory labels "
+                  f"({prev_label!r} -> {label!r}); gap entries never "
+                  "re-benched, comparing against the last committed "
+                  "point")
 
 
 def main():
@@ -43,6 +66,7 @@ def main():
     entries = doc.get("entries", [])
     if not entries:
         return fail("trajectory has no entries")
+    note_label_gaps(entries)
 
     new = entries[-1]
     label = new.get("label", "<unlabeled>")

@@ -20,6 +20,8 @@
 #include "fleet/protocol.hh"
 #include "fleet/wire.hh"
 #include "obs/telemetry.hh"
+#include "report/html.hh"
+#include "report/rollup.hh"
 
 namespace stfm
 {
@@ -144,7 +146,7 @@ class Supervisor
   public:
     Supervisor(const ExperimentSpec &spec, const FleetOptions &options)
         : options_(options), plan_(planExperiment(spec)),
-          specEcho_(toJson(plan_.spec))
+          specEcho_(toJson(plan_.spec)), report_(spec.name)
     {
         outcome_.result = resultFromPlan(plan_);
         // Shards land by job index as they complete, in any order.
@@ -267,6 +269,8 @@ class Supervisor
                         outcomes[i],
                         formatMessage("%s outcome %zu",
                                       context.c_str(), i));
+                foldOutcome(shard.begin + i,
+                            outcome_.result.outcomes[shard.begin + i]);
             }
             shard.status = ShardStatus::Done;
             ++stats().shardsResumed;
@@ -614,6 +618,26 @@ class Supervisor
 
     // Outcomes --------------------------------------------------------
 
+    /**
+     * Stream one landed outcome into the fleet rollup. Folding happens
+     * the moment a shard completes (or replays from the manifest), in
+     * whatever order workers finish — the report builder's merge is
+     * order-independent, so <checkpoint>/report.json comes out
+     * byte-identical to an after-the-fact `stfm report` over the
+     * merged results.
+     */
+    void
+    foldOutcome(std::size_t job, const RunOutcome &outcome)
+    {
+        const std::size_t per = plan_.jobsPerRow();
+        const SchedulerEntry &sched = plan_.schedulers[job % per];
+        const std::size_t row = job / per;
+        report_.addOutcome(
+            sched.label, sched.device,
+            workloadLabel(plan_.workloads[row / plan_.spec.repeat]),
+            outcome, static_cast<int>(job % per));
+    }
+
     void
     completeShard(WorkerProc &worker, ShardResult &&result)
     {
@@ -636,6 +660,8 @@ class Supervisor
         for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
             outcome_.result.outcomes[shard.begin + i] =
                 std::move(result.outcomes[i]);
+            foldOutcome(shard.begin + i,
+                        outcome_.result.outcomes[shard.begin + i]);
         }
         for (auto &[key, baseline] : result.alone) {
             if (alone_.find(key) != alone_.end())
@@ -798,6 +824,7 @@ class Supervisor
                 failed.attempts = shard.attempts;
                 failed.error = shard.error;
                 outcome_.result.outcomes[j] = std::move(failed);
+                foldOutcome(j, outcome_.result.outcomes[j]);
             }
         }
         // An interrupted run's unfinished rows are default-constructed
@@ -806,6 +833,26 @@ class Supervisor
         if (!outcome_.interrupted)
             aggregateOutcomes(outcome_.result);
         writeCounters();
+        writeReport();
+    }
+
+    void
+    writeReport()
+    {
+        if (options_.checkpoint.empty())
+            return;
+        // Like the counters: best-effort artifacts beside the
+        // manifest; a full disk must not turn a completed sweep into
+        // an error exit.
+        try {
+            const Json doc = report_.toJson();
+            writeJsonFile(doc, options_.checkpoint + "/report.json");
+            report::writeReportHtml(
+                doc, options_.checkpoint + "/report.html");
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "[fleet] report not written: %s\n",
+                         e.what());
+        }
     }
 
     void
@@ -860,6 +907,9 @@ class Supervisor
     FleetOptions options_;
     ExperimentPlan plan_;
     Json specEcho_;
+    /** Streaming fleet rollup (report/rollup.hh): folded per landed
+     *  outcome, written beside the manifest at finish(). */
+    report::ReportBuilder report_;
     FleetOutcome outcome_;
     std::vector<ShardState> shards_;
     std::vector<WorkerProc> pool_;

@@ -17,6 +17,9 @@
 #include "harness/spec.hh"
 #include "dram/device_spec.hh"
 #include "obs/telemetry.hh"
+#include "report/diff.hh"
+#include "report/html.hh"
+#include "report/rollup.hh"
 #include "sim/config_io.hh"
 
 namespace stfm
@@ -43,8 +46,28 @@ printUsage(std::ostream &os)
           "  bench [flags]             time the fig09 sweep on both\n"
           "                            paths, append a perf-trajectory\n"
           "                            entry to BENCH_perf.json\n"
+          "  report <paths...> [flags] fold sweep artifacts (results\n"
+          "                            JSON, manifest.jsonl, telemetry)\n"
+          "                            into a stfm-report-v1 rollup\n"
+          "                            (docs/REPORTING.md)\n"
           "  <figure> [flags]          run a figure (fig09, table5, ...)\n"
           "  help                      this message\n"
+          "\n"
+          "flags (report):\n"
+          "  --out PATH        write the stfm-report-v1 JSON there\n"
+          "                    (default: stdout)\n"
+          "  --html PATH       also write a self-contained HTML summary\n"
+          "  --spec PATH       the spec a manifest.jsonl input was run\n"
+          "                    with (required to ingest manifests)\n"
+          "  --name NAME       report name (default: spec name, or\n"
+          "                    'fleet')\n"
+          "  --slo-unfairness X / --slo-slowdown X\n"
+          "                    SLO thresholds (defaults 2.0 / 4.0)\n"
+          "  --diff BASELINE   compare against a baseline report; exit\n"
+          "                    3 when any metric regressed\n"
+          "  --diff-out PATH   write the stfm-reportdiff-v1 document\n"
+          "  --threshold X     relative diff slack (default 0.02 = 2%)\n"
+          "  --quiet           suppress progress notes on stderr\n"
           "\n"
           "flags (run and figures):\n"
           "  --json PATH       also write machine-readable results\n"
@@ -123,6 +146,26 @@ parseSecondsFlag(const std::string &flag, const char *value)
                        "of seconds, got '" + value + "'");
     }
     return parsed;
+}
+
+double
+parseDoubleFlag(const std::string &flag, const char *value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0' || parsed < 0) {
+        throw SimError("flag " + flag + " needs a non-negative number, "
+                       "got '" + value + "'");
+    }
+    return parsed;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
 }
 
 RunFlags
@@ -310,6 +353,145 @@ commandValidate(int argc, char **argv)
 }
 
 int
+commandReport(int argc, char **argv)
+{
+    std::vector<std::string> inputs;
+    std::string out_path;
+    std::string html_path;
+    std::string spec_path;
+    std::string diff_path;
+    std::string diff_out;
+    std::string name;
+    report::SloConfig slo;
+    report::DiffOptions diff_options;
+    bool quiet = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--html" && i + 1 < argc) {
+            html_path = argv[++i];
+        } else if (arg == "--spec" && i + 1 < argc) {
+            spec_path = argv[++i];
+        } else if (arg == "--name" && i + 1 < argc) {
+            name = argv[++i];
+        } else if (arg == "--diff" && i + 1 < argc) {
+            diff_path = argv[++i];
+        } else if (arg == "--diff-out" && i + 1 < argc) {
+            diff_out = argv[++i];
+        } else if (arg == "--slo-unfairness" && i + 1 < argc) {
+            slo.unfairness = parseDoubleFlag(arg, argv[++i]);
+        } else if (arg == "--slo-slowdown" && i + 1 < argc) {
+            slo.slowdown = parseDoubleFlag(arg, argv[++i]);
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            diff_options.threshold = parseDoubleFlag(arg, argv[++i]);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            throw SimError("unknown flag '" + arg +
+                           "' for stfm report");
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) {
+        throw SimError("stfm report needs at least one artifact file "
+                       "or directory");
+    }
+
+    // Manifest inputs need the sweep's job grid; re-derive it from the
+    // spec exactly as the supervisor and workers did.
+    bool have_plan = false;
+    ExperimentPlan plan;
+    if (!spec_path.empty()) {
+        plan = planExperiment(specFromText(readFile(spec_path)));
+        have_plan = true;
+    }
+    if (name.empty())
+        name = have_plan ? plan.spec.name : "fleet";
+    report::ReportBuilder builder(name, slo);
+
+    std::vector<std::string> files;
+    for (const std::string &input : inputs) {
+        if (report::isDirectory(input)) {
+            for (std::string &file : report::listDirectoryFiles(input))
+                files.push_back(std::move(file));
+        } else {
+            files.push_back(input);
+        }
+    }
+    for (const std::string &file : files) {
+        if (endsWith(file, ".jsonl")) {
+            if (!have_plan) {
+                throw SimError(
+                    "report: " + file + " is a manifest checkpoint; "
+                    "pass --spec <spec.json> (the spec the sweep ran) "
+                    "so the job grid can be re-derived");
+            }
+            builder.addManifest(file, plan);
+            continue;
+        }
+        if (!endsWith(file, ".json")) {
+            if (!quiet) {
+                std::fprintf(stderr, "[report] skipping %s\n",
+                             file.c_str());
+            }
+            continue;
+        }
+        const Json doc = Json::parse(readFile(file));
+        const Json *schema = doc.find("schema");
+        const std::string kind =
+            schema && schema->isString() ? schema->asString() : "";
+        if (kind == "stfm-results-v1") {
+            builder.addResultsDoc(doc, file);
+        } else if (kind == "stfm-telemetry-v1") {
+            builder.addTelemetryDoc(doc, file);
+        } else if (!quiet) {
+            std::fprintf(stderr,
+                         "[report] skipping %s (schema '%s')\n",
+                         file.c_str(), kind.c_str());
+        }
+    }
+
+    const Json doc = builder.toJson();
+    if (!quiet) {
+        std::fprintf(stderr,
+                     "[report] folded %llu runs from %zu file(s)\n",
+                     static_cast<unsigned long long>(builder.runs()),
+                     files.size());
+    }
+    if (out_path.empty()) {
+        std::cout << doc.dump(2) << "\n";
+    } else {
+        writeJsonFile(doc, out_path);
+        if (!quiet) {
+            std::fprintf(stderr, "[report] rollup written to %s\n",
+                         out_path.c_str());
+        }
+    }
+    if (!html_path.empty()) {
+        report::writeReportHtml(doc, html_path);
+        if (!quiet) {
+            std::fprintf(stderr, "[report] HTML written to %s\n",
+                         html_path.c_str());
+        }
+    }
+
+    if (!diff_path.empty()) {
+        const Json baseline = Json::parse(readFile(diff_path));
+        const report::ReportDiff diff =
+            report::diffReports(doc, baseline, diff_options);
+        if (!diff_out.empty())
+            writeJsonFile(report::diffJson(diff, diff_options),
+                          diff_out);
+        report::printDiff(diff, diff_options, std::cout);
+        if (diff.regressed())
+            return 3; // The CI gate (docs/REPORTING.md, exit codes).
+    }
+    return 0;
+}
+
+int
 commandList(int argc, char **argv)
 {
     const std::string what = argc > 2 ? argv[2] : "";
@@ -405,6 +587,8 @@ cliMain(int argc, char **argv)
             return commandValidate(argc, argv);
         if (command == "bench")
             return commandBench(argc, argv);
+        if (command == "report")
+            return commandReport(argc, argv);
         if (command == "list")
             return commandList(argc, argv);
         if (findFigure(command)) {

@@ -96,18 +96,11 @@ EpochSampler::toJson() const
         hist.set("name", h.name);
         hist.set("unit", h.unit);
         hist.set("subsystem", h.subsystem);
-        const LatencyHistogram &lh = *h.histogram;
-        hist.set("count", lh.count());
-        hist.set("min", lh.min());
-        hist.set("max", lh.max());
-        hist.set("mean", lh.mean());
-        hist.set("p50", lh.quantile(0.5));
-        hist.set("p90", lh.quantile(0.9));
-        hist.set("p99", lh.quantile(0.99));
-        Json buckets = Json::array();
-        for (unsigned k = 0; k < LatencyHistogram::kBuckets; ++k)
-            buckets.push(Json(lh.bucket(k)));
-        hist.set("buckets", std::move(buckets));
+        // Stats via the shared serializer so the report tier's
+        // re-ingest (latencyHistogramFromJson) reads the same shape.
+        const Json stats = latencyHistogramToJson(*h.histogram);
+        for (const auto &[key, value] : stats.asObject("histogram"))
+            hist.set(key, value);
         histograms.push(std::move(hist));
     }
     doc.set("histograms", std::move(histograms));

@@ -1,0 +1,227 @@
+#include "report/diff.hh"
+
+#include <map>
+#include <ostream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+namespace report
+{
+
+namespace
+{
+
+/** The comparable slice of one group. */
+struct GroupView
+{
+    std::uint64_t runs = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t metricCount = 0;
+    double unfairnessP95 = 0.0;
+    double unfairnessP99 = 0.0;
+    double slowdownP99 = 0.0;
+    /** label -> (count, mean unfairness). */
+    std::map<std::string, std::pair<std::uint64_t, double>> workloads;
+};
+
+std::map<std::pair<std::string, std::string>, GroupView>
+groupViews(const Json &doc, const std::string &context)
+{
+    const std::string schema =
+        doc.at("schema", context).asString(context + ".schema");
+    if (schema != "stfm-report-v1") {
+        throw SimError(context + ": unexpected schema '" + schema +
+                       "' (want stfm-report-v1)");
+    }
+    std::map<std::pair<std::string, std::string>, GroupView> views;
+    for (const Json &g :
+         doc.at("groups", context).asArray(context + ".groups")) {
+        const std::string gc = context + ".groups[]";
+        GroupView view;
+        view.runs = g.at("runs", gc).asUint(gc + ".runs");
+        view.failed = g.at("failed", gc).asUint(gc + ".failed");
+        const Json &unfairness = g.at("unfairness", gc);
+        view.metricCount =
+            unfairness.at("count", gc).asUint(gc + ".unfairness.count");
+        view.unfairnessP95 =
+            unfairness.at("p95", gc).asDouble(gc + ".unfairness.p95");
+        view.unfairnessP99 =
+            unfairness.at("p99", gc).asDouble(gc + ".unfairness.p99");
+        view.slowdownP99 = g.at("slowdown", gc)
+                               .at("p99", gc)
+                               .asDouble(gc + ".slowdown.p99");
+        for (const Json &w : g.at("workloads", gc)
+                                 .asArray(gc + ".workloads")) {
+            const std::string wc = gc + ".workloads[]";
+            const Json &u = w.at("unfairness", wc);
+            view.workloads[w.at("label", wc).asString(wc + ".label")] =
+                {u.at("count", wc).asUint(wc + ".unfairness.count"),
+                 u.at("mean", wc).asDouble(wc + ".unfairness.mean")};
+        }
+        views[{g.at("scheduler", gc).asString(gc + ".scheduler"),
+               g.at("device", gc).asString(gc + ".device")}] =
+            std::move(view);
+    }
+    return views;
+}
+
+std::string
+groupLabel(const std::pair<std::string, std::string> &key)
+{
+    if (key.second.empty())
+        return key.first;
+    return key.first + "@" + key.second;
+}
+
+} // namespace
+
+ReportDiff
+diffReports(const Json &current, const Json &baseline,
+            const DiffOptions &options)
+{
+    ReportDiff diff;
+    diff.currentName =
+        current.at("name", "current report").asString("current.name");
+    diff.baselineName = baseline.at("name", "baseline report")
+                            .asString("baseline.name");
+    const auto cur = groupViews(current, "current report");
+    const auto base = groupViews(baseline, "baseline report");
+    const double up = 1.0 + options.threshold;
+    const double down = 1.0 - options.threshold;
+
+    // Compare one (baseline, current) metric pair; empty distributions
+    // on either side carry no information and are skipped.
+    const auto compare = [&](const std::string &kind,
+                             const std::pair<std::string, std::string>
+                                 &key,
+                             const std::string &workload, double b,
+                             double c, bool comparable) {
+        if (!comparable)
+            return;
+        if (c > b * up) {
+            diff.regressions.push_back(
+                {kind, key.first, key.second, workload, b, c});
+        } else if (c < b * down) {
+            ++diff.improvements;
+        }
+    };
+
+    for (const auto &[key, b] : base) {
+        const auto it = cur.find(key);
+        if (it == cur.end()) {
+            diff.regressions.push_back(
+                {"missing-group", key.first, key.second, "",
+                 static_cast<double>(b.runs), 0.0});
+            continue;
+        }
+        const GroupView &c = it->second;
+        ++diff.comparedGroups;
+        if (c.failed > b.failed) {
+            diff.regressions.push_back(
+                {"group-failures", key.first, key.second, "",
+                 static_cast<double>(b.failed),
+                 static_cast<double>(c.failed)});
+        }
+        const bool comparable = b.metricCount > 0 && c.metricCount > 0;
+        compare("group-unfairness-p95", key, "", b.unfairnessP95,
+                c.unfairnessP95, comparable);
+        compare("group-unfairness-p99", key, "", b.unfairnessP99,
+                c.unfairnessP99, comparable);
+        compare("group-slowdown-p99", key, "", b.slowdownP99,
+                c.slowdownP99, comparable);
+        for (const auto &[label, bw] : b.workloads) {
+            const auto wit = c.workloads.find(label);
+            if (wit == c.workloads.end()) {
+                diff.regressions.push_back(
+                    {"missing-workload", key.first, key.second, label,
+                     static_cast<double>(bw.first), 0.0});
+                continue;
+            }
+            ++diff.comparedWorkloads;
+            compare("workload-unfairness", key, label, bw.second,
+                    wit->second.second,
+                    bw.first > 0 && wit->second.first > 0);
+        }
+    }
+    return diff;
+}
+
+Json
+diffJson(const ReportDiff &diff, const DiffOptions &options)
+{
+    Json out = Json::object();
+    out.set("schema", "stfm-reportdiff-v1");
+    out.set("baseline", diff.baselineName);
+    out.set("current", diff.currentName);
+    out.set("threshold", options.threshold);
+    out.set("comparedGroups", diff.comparedGroups);
+    out.set("comparedWorkloads", diff.comparedWorkloads);
+    out.set("improvements", diff.improvements);
+    out.set("regressed", diff.regressed());
+    Json regressions = Json::array();
+    for (const Regression &r : diff.regressions) {
+        Json entry = Json::object();
+        entry.set("kind", r.kind);
+        entry.set("scheduler", r.scheduler);
+        entry.set("device", r.device);
+        if (!r.workload.empty())
+            entry.set("workload", r.workload);
+        entry.set("baseline", r.baseline);
+        entry.set("current", r.current);
+        regressions.push(std::move(entry));
+    }
+    out.set("regressions", std::move(regressions));
+    return out;
+}
+
+void
+printDiff(const ReportDiff &diff, const DiffOptions &options,
+          std::ostream &os)
+{
+    os << "report diff: '" << diff.currentName << "' vs baseline '"
+       << diff.baselineName << "' (threshold "
+       << formatMessage("%.1f%%", options.threshold * 100.0) << ")\n";
+    os << "  compared " << diff.comparedGroups << " groups, "
+       << diff.comparedWorkloads << " workloads; "
+       << diff.improvements << " improved past threshold\n";
+    if (!diff.regressed()) {
+        os << "  OK: no regressions\n";
+        return;
+    }
+    std::map<std::string, unsigned> byKind;
+    for (const Regression &r : diff.regressions) {
+        ++byKind[r.kind];
+        os << "  REGRESSION " << r.kind << " "
+           << groupLabel({r.scheduler, r.device});
+        if (!r.workload.empty())
+            os << " workload " << r.workload;
+        if (r.kind == "missing-group" || r.kind == "missing-workload") {
+            os << formatMessage(" (%.0f baseline runs, now absent)",
+                                r.baseline);
+        } else if (r.kind == "group-failures") {
+            os << formatMessage(" (failed runs %.0f -> %.0f)",
+                                r.baseline, r.current);
+        } else {
+            const double pct =
+                r.baseline > 0.0
+                    ? (r.current / r.baseline - 1.0) * 100.0
+                    : 0.0;
+            os << formatMessage(" (%.4f -> %.4f, %+.1f%%)", r.baseline,
+                                r.current, pct);
+        }
+        os << "\n";
+    }
+    const auto wl = byKind.find("workload-unfairness");
+    if (wl != byKind.end()) {
+        os << formatMessage(
+            "  summary: unfairness regressed >%.1f%% on %u workloads\n",
+            options.threshold * 100.0, wl->second);
+    }
+    os << "  total: " << diff.regressions.size() << " regressions\n";
+}
+
+} // namespace report
+} // namespace stfm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Report regression diffing: compare a current stfm-report-v1 rollup
+ * against a committed baseline and emit structured regressions — the
+ * CI gate behind `stfm report --diff` (docs/REPORTING.md documents the
+ * semantics and exit codes).
+ *
+ * Matching is positional-independent: groups pair by (scheduler,
+ * device), workloads pair by label. A metric regresses when
+ *
+ *     current > baseline * (1 + threshold)
+ *
+ * with threshold defaulting to 0.02 (2 %). Disappearing coverage is a
+ * regression too: a baseline group or workload missing from the
+ * current report fails the gate (a sweep silently dropping
+ * configurations must not pass CI), as does a group with more failed
+ * runs than the baseline. Extra groups/workloads in the current report
+ * are fine — coverage may grow. Baselines are compared numerically
+ * (parsed doubles), never byte-wise, so a bit-identical rerun always
+ * diffs clean.
+ */
+
+#ifndef STFM_REPORT_DIFF_HH
+#define STFM_REPORT_DIFF_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace stfm
+{
+namespace report
+{
+
+struct DiffOptions
+{
+    /** Relative slack before a metric increase counts as regressed. */
+    double threshold = 0.02;
+};
+
+/** One detected regression. */
+struct Regression
+{
+    /** What regressed: "workload-unfairness", "group-unfairness-p95",
+     *  "group-unfairness-p99", "group-slowdown-p99", "group-failures",
+     *  "missing-group", "missing-workload". */
+    std::string kind;
+    std::string scheduler;
+    std::string device;
+    /** Workload label (workload-scoped kinds only). */
+    std::string workload;
+    double baseline = 0.0;
+    double current = 0.0;
+};
+
+struct ReportDiff
+{
+    std::string baselineName;
+    std::string currentName;
+    std::uint64_t comparedGroups = 0;
+    std::uint64_t comparedWorkloads = 0;
+    /** Metrics that improved past the same threshold (informational). */
+    std::uint64_t improvements = 0;
+    std::vector<Regression> regressions;
+
+    bool regressed() const { return !regressions.empty(); }
+};
+
+/**
+ * Compare @p current against @p baseline (both stfm-report-v1).
+ * @throws SimError on a document that is not a valid report.
+ */
+ReportDiff diffReports(const Json &current, const Json &baseline,
+                       const DiffOptions &options);
+
+/** The machine-readable diff document ("stfm-reportdiff-v1"). */
+Json diffJson(const ReportDiff &diff, const DiffOptions &options);
+
+/**
+ * Human-readable digest: one line per regression plus per-kind
+ * summaries ("unfairness regressed >2% on N workloads").
+ */
+void printDiff(const ReportDiff &diff, const DiffOptions &options,
+               std::ostream &os);
+
+} // namespace report
+} // namespace stfm
+
+#endif // STFM_REPORT_DIFF_HH

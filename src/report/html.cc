@@ -1,0 +1,464 @@
+#include "report/html.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+namespace report
+{
+
+namespace
+{
+
+std::string
+esc(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+fmt(double value)
+{
+    return formatMessage("%.3f", value);
+}
+
+std::string
+groupTitle(const Json &group)
+{
+    const std::string scheduler =
+        group.at("scheduler", "group").asString("group.scheduler");
+    const std::string device =
+        group.at("device", "group").asString("group.device");
+    if (device.empty())
+        return scheduler;
+    return scheduler + " @ " + device;
+}
+
+void
+statTile(std::string &out, const std::string &label,
+         const std::string &value)
+{
+    out += "<div class=\"tile\"><div class=\"tile-value\">" +
+           esc(value) + "</div><div class=\"tile-label\">" +
+           esc(label) + "</div></div>\n";
+}
+
+/**
+ * Horizontal bar chart of unfairness p95 per configuration: one
+ * series (categorical slot 1), value axis with hairline gridlines,
+ * native <title> tooltips, exact values in the table above.
+ */
+std::string
+unfairnessChart(const Json::Array &groups)
+{
+    struct Bar
+    {
+        std::string label;
+        double value;
+    };
+    std::vector<Bar> bars;
+    for (const Json &group : groups) {
+        const Json &u = group.at("unfairness", "group");
+        if (u.at("count", "group").asUint("group.unfairness.count") == 0)
+            continue;
+        bars.push_back({groupTitle(group),
+                        u.at("p95", "group")
+                            .asDouble("group.unfairness.p95")});
+    }
+    if (bars.empty())
+        return "";
+
+    double max_value = 0.0;
+    for (const Bar &bar : bars)
+        max_value = std::max(max_value, bar.value);
+    // Axis ceiling: max rounded up to one decimal, never zero.
+    const double axis_max =
+        max_value > 0.0 ? std::ceil(max_value * 10.0) / 10.0 : 1.0;
+
+    const int gutter = 230;
+    const int plot_w = 420;
+    const int bar_h = 18;
+    const int bar_gap = 8;
+    const int top = 8;
+    const int axis_h = 28;
+    const int height =
+        top + static_cast<int>(bars.size()) * (bar_h + bar_gap) + axis_h;
+    const int width = gutter + plot_w + 16;
+
+    std::string svg = formatMessage(
+        "<svg class=\"chart\" role=\"img\" viewBox=\"0 0 %d %d\" "
+        "width=\"%d\" height=\"%d\" "
+        "aria-label=\"Unfairness p95 by configuration\">\n",
+        width, height, width, height);
+
+    const int baseline_y = height - axis_h + 4;
+    for (int tick = 0; tick <= 4; ++tick) {
+        const double value = axis_max * tick / 4.0;
+        const int x = gutter + static_cast<int>(
+            std::lround(plot_w * tick / 4.0));
+        svg += formatMessage(
+            "<line class=\"grid\" x1=\"%d\" y1=\"%d\" x2=\"%d\" "
+            "y2=\"%d\"/>\n",
+            x, top, x, baseline_y);
+        svg += formatMessage(
+            "<text class=\"tick\" x=\"%d\" y=\"%d\" "
+            "text-anchor=\"middle\">%s</text>\n",
+            x, baseline_y + 16, fmt(value).c_str());
+    }
+    svg += formatMessage(
+        "<line class=\"axis\" x1=\"%d\" y1=\"%d\" x2=\"%d\" "
+        "y2=\"%d\"/>\n",
+        gutter, baseline_y, gutter + plot_w, baseline_y);
+
+    int y = top;
+    for (const Bar &bar : bars) {
+        const int w = std::max(1, static_cast<int>(std::lround(
+            plot_w * bar.value / axis_max)));
+        svg += formatMessage(
+            "<text class=\"label\" x=\"%d\" y=\"%d\" "
+            "text-anchor=\"end\">%s</text>\n",
+            gutter - 8, y + bar_h - 5, esc(bar.label).c_str());
+        svg += formatMessage(
+            "<rect class=\"bar\" x=\"%d\" y=\"%d\" width=\"%d\" "
+            "height=\"%d\" rx=\"3\"><title>%s: p95 unfairness "
+            "%s</title></rect>\n",
+            gutter, y, w, bar_h, esc(bar.label).c_str(),
+            fmt(bar.value).c_str());
+        y += bar_h + bar_gap;
+    }
+    svg += "</svg>\n";
+    return svg;
+}
+
+const char *kStyle = R"css(
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --bad: #e66767;
+  }
+}
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 880px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 10px 16px;
+  min-width: 96px;
+}
+.tile-value { font-size: 22px; font-weight: 600; }
+.tile-label { color: var(--text-secondary); font-size: 12px; }
+table {
+  border-collapse: collapse;
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  width: 100%;
+}
+th, td { padding: 6px 10px; text-align: left; }
+th {
+  color: var(--text-secondary);
+  font-weight: 500;
+  font-size: 12px;
+  border-bottom: 1px solid var(--grid);
+}
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr + tr td { border-top: 1px solid var(--grid); }
+td.violated { color: var(--bad); font-weight: 600; }
+.chart-box {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px;
+  overflow-x: auto;
+}
+.chart .grid { stroke: var(--grid); stroke-width: 1; }
+.chart .axis { stroke: var(--axis); stroke-width: 1; }
+.chart .bar { fill: var(--series-1); }
+.chart .label { fill: var(--text-secondary); font-size: 12px; }
+.chart .tick {
+  fill: var(--text-muted);
+  font-size: 11px;
+  font-variant-numeric: tabular-nums;
+}
+footer { color: var(--text-muted); font-size: 12px; margin-top: 28px; }
+)css";
+
+} // namespace
+
+std::string
+renderReportHtml(const Json &report)
+{
+    const std::string schema =
+        report.at("schema", "report").asString("report.schema");
+    if (schema != "stfm-report-v1") {
+        throw SimError("report html: unexpected schema '" + schema +
+                       "'");
+    }
+    const std::string name =
+        report.at("name", "report").asString("report.name");
+    const Json &totals = report.at("totals", "report");
+    const Json &violations = totals.at("sloViolations", "report.totals");
+    const Json &slo = report.at("slo", "report");
+    const auto &groups =
+        report.at("groups", "report").asArray("report.groups");
+
+    std::string out;
+    out += "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+    out += "<meta charset=\"utf-8\">\n";
+    out += "<meta name=\"viewport\" content=\"width=device-width, "
+           "initial-scale=1\">\n";
+    out += "<title>" + esc(name) + " — STFM fleet report</title>\n";
+    out += "<style>";
+    out += kStyle;
+    out += "</style>\n</head>\n<body>\n<main>\n";
+
+    out += "<h1>" + esc(name) + "</h1>\n";
+    out += "<p class=\"subtitle\">STFM fleet report "
+           "(stfm-report-v1) · SLO: unfairness ≤ " +
+           fmt(slo.at("unfairness", "slo").asDouble("slo.unfairness")) +
+           ", per-thread slowdown ≤ " +
+           fmt(slo.at("slowdown", "slo").asDouble("slo.slowdown")) +
+           "</p>\n";
+
+    const std::uint64_t total_runs =
+        totals.at("runs", "totals").asUint("totals.runs");
+    const std::uint64_t total_failed =
+        totals.at("failed", "totals").asUint("totals.failed");
+    out += "<div class=\"tiles\">\n";
+    statTile(out, "runs", std::to_string(total_runs));
+    statTile(out, "failed", std::to_string(total_failed));
+    statTile(out, "configurations",
+             std::to_string(
+                 totals.at("groups", "totals").asUint("totals.groups")));
+    statTile(out, "unfairness SLO violations",
+             std::to_string(violations.at("unfairness", "violations")
+                                .asUint("violations.unfairness")));
+    statTile(out, "slowdown SLO violations",
+             std::to_string(violations.at("slowdown", "violations")
+                                .asUint("violations.slowdown")));
+    out += "</div>\n";
+
+    if (groups.empty()) {
+        out += "<p class=\"subtitle\">No runs folded into this "
+               "report.</p>\n</main>\n</body>\n</html>\n";
+        return out;
+    }
+
+    out += "<h2>Configurations</h2>\n<table>\n<tr>"
+           "<th>scheduler</th><th>device</th>"
+           "<th class=\"num\">runs</th><th class=\"num\">failed</th>"
+           "<th class=\"num\">unfairness p50</th>"
+           "<th class=\"num\">p95</th><th class=\"num\">p99</th>"
+           "<th class=\"num\">max</th>"
+           "<th class=\"num\">slowdown p99</th>"
+           "<th class=\"num\">SLO viol.</th></tr>\n";
+    for (const Json &group : groups) {
+        const Json &u = group.at("unfairness", "group");
+        const Json &s = group.at("slowdown", "group");
+        const Json &gv = group.at("sloViolations", "group");
+        const std::uint64_t viol =
+            gv.at("unfairness", "group").asUint("group.slo") +
+            gv.at("slowdown", "group").asUint("group.slo");
+        const std::string device =
+            group.at("device", "group").asString("group.device");
+        out += "<tr><td>" +
+               esc(group.at("scheduler", "group")
+                       .asString("group.scheduler")) +
+               "</td><td>" + esc(device.empty() ? "default" : device) +
+               "</td><td class=\"num\">" +
+               std::to_string(
+                   group.at("runs", "group").asUint("group.runs")) +
+               "</td><td class=\"num\">" +
+               std::to_string(
+                   group.at("failed", "group").asUint("group.failed")) +
+               "</td><td class=\"num\">" +
+               fmt(u.at("p50", "group").asDouble("group.u")) +
+               "</td><td class=\"num\">" +
+               fmt(u.at("p95", "group").asDouble("group.u")) +
+               "</td><td class=\"num\">" +
+               fmt(u.at("p99", "group").asDouble("group.u")) +
+               "</td><td class=\"num\">" +
+               fmt(u.at("max", "group").asDouble("group.u")) +
+               "</td><td class=\"num\">" +
+               fmt(s.at("p99", "group").asDouble("group.s")) +
+               "</td><td class=\"num" +
+               std::string(viol ? " violated" : "") + "\">" +
+               std::to_string(viol) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+
+    const std::string chart = unfairnessChart(groups);
+    if (!chart.empty()) {
+        out += "<h2>Unfairness p95 by configuration</h2>\n"
+               "<div class=\"chart-box\">\n" +
+               chart + "</div>\n";
+    }
+
+    // Worst (group, workload) cells by mean unfairness.
+    struct Worst
+    {
+        std::string group;
+        std::string workload;
+        double mean;
+        double max;
+    };
+    std::vector<Worst> worst;
+    for (const Json &group : groups) {
+        for (const Json &w : group.at("workloads", "group")
+                                 .asArray("group.workloads")) {
+            const Json &u = w.at("unfairness", "workload");
+            if (u.at("count", "workload").asUint("workload.count") == 0)
+                continue;
+            worst.push_back(
+                {groupTitle(group),
+                 w.at("label", "workload").asString("workload.label"),
+                 u.at("mean", "workload").asDouble("workload.mean"),
+                 u.at("max", "workload").asDouble("workload.max")});
+        }
+    }
+    std::sort(worst.begin(), worst.end(),
+              [](const Worst &a, const Worst &b) {
+                  if (a.mean != b.mean)
+                      return a.mean > b.mean;
+                  if (a.group != b.group)
+                      return a.group < b.group;
+                  return a.workload < b.workload;
+              });
+    if (worst.size() > 10)
+        worst.resize(10);
+    if (!worst.empty()) {
+        out += "<h2>Least fair workloads</h2>\n<table>\n<tr>"
+               "<th>configuration</th><th>workload</th>"
+               "<th class=\"num\">mean unfairness</th>"
+               "<th class=\"num\">max</th></tr>\n";
+        for (const Worst &w : worst) {
+            out += "<tr><td>" + esc(w.group) + "</td><td>" +
+                   esc(w.workload) + "</td><td class=\"num\">" +
+                   fmt(w.mean) + "</td><td class=\"num\">" +
+                   fmt(w.max) + "</td></tr>\n";
+        }
+        out += "</table>\n";
+    }
+
+    if (const Json *latency = report.find("readLatency")) {
+        out += "<h2>Read latency (merged telemetry)</h2>\n<table>\n"
+               "<tr><th class=\"num\">samples</th>"
+               "<th class=\"num\">min</th><th class=\"num\">mean</th>"
+               "<th class=\"num\">p50</th><th class=\"num\">p90</th>"
+               "<th class=\"num\">p99</th><th class=\"num\">max</th>"
+               "</tr>\n";
+        out += "<tr><td class=\"num\">" +
+               std::to_string(latency->at("count", "latency")
+                                  .asUint("latency.count")) +
+               "</td><td class=\"num\">" +
+               std::to_string(latency->at("min", "latency")
+                                  .asUint("latency.min")) +
+               "</td><td class=\"num\">" +
+               fmt(latency->at("mean", "latency")
+                       .asDouble("latency.mean")) +
+               "</td><td class=\"num\">" +
+               std::to_string(latency->at("p50", "latency")
+                                  .asUint("latency.p50")) +
+               "</td><td class=\"num\">" +
+               std::to_string(latency->at("p90", "latency")
+                                  .asUint("latency.p90")) +
+               "</td><td class=\"num\">" +
+               std::to_string(latency->at("p99", "latency")
+                                  .asUint("latency.p99")) +
+               "</td><td class=\"num\">" +
+               std::to_string(latency->at("max", "latency")
+                                  .asUint("latency.max")) +
+               "</td></tr>\n</table>\n"
+               "<p class=\"subtitle\">DRAM cycles, power-of-two "
+               "buckets; quantiles are bucket upper edges.</p>\n";
+    }
+
+    const auto &sources =
+        report.at("sources", "report").asArray("report.sources");
+    if (!sources.empty()) {
+        out += "<h2>Sources</h2>\n<table>\n<tr><th>path</th>"
+               "<th>kind</th><th class=\"num\">runs</th></tr>\n";
+        for (const Json &source : sources) {
+            out += "<tr><td>" +
+                   esc(source.at("path", "source")
+                           .asString("source.path")) +
+                   "</td><td>" +
+                   esc(source.at("kind", "source")
+                           .asString("source.kind")) +
+                   "</td><td class=\"num\">" +
+                   std::to_string(source.at("runs", "source")
+                                      .asUint("source.runs")) +
+                   "</td></tr>\n";
+        }
+        out += "</table>\n";
+    }
+
+    out += "<footer>Generated by <code>stfm report</code> · schema "
+           "stfm-report-v1 · docs/REPORTING.md documents every "
+           "field.</footer>\n";
+    out += "</main>\n</body>\n</html>\n";
+    return out;
+}
+
+void
+writeReportHtml(const Json &report, const std::string &path)
+{
+    const std::string html = renderReportHtml(report);
+    std::ofstream out(path, std::ios::binary);
+    out << html;
+    out.flush();
+    if (!out)
+        throw SimError("report: cannot write HTML to " + path);
+}
+
+} // namespace report
+} // namespace stfm

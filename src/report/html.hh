@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Self-contained single-file HTML rendering of a stfm-report-v1
+ * rollup: summary tiles, per-configuration tables, and an inline SVG
+ * unfairness chart. No external dependencies — no scripts, fonts or
+ * stylesheets are fetched; the file opens identically from a CI
+ * artifact tarball or a local checkout. Light and dark palettes ship
+ * in one file via CSS custom properties and prefers-color-scheme.
+ */
+
+#ifndef STFM_REPORT_HTML_HH
+#define STFM_REPORT_HTML_HH
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace stfm
+{
+namespace report
+{
+
+/** Render @p report (stfm-report-v1) as a complete HTML document.
+ *  @throws SimError when @p report is not a valid report. */
+std::string renderReportHtml(const Json &report);
+
+/** renderReportHtml to @p path. @throws SimError on I/O failure. */
+void writeReportHtml(const Json &report, const std::string &path);
+
+} // namespace report
+} // namespace stfm
+
+#endif // STFM_REPORT_HTML_HH

@@ -84,6 +84,8 @@ class TempDir
     {
         std::remove((path_ + "/manifest.jsonl").c_str());
         std::remove((path_ + "/fleet_counters.json").c_str());
+        std::remove((path_ + "/report.json").c_str());
+        std::remove((path_ + "/report.html").c_str());
         ::rmdir(path_.c_str());
     }
     std::string path_;
@@ -158,6 +160,44 @@ TEST(FleetIntegration, CountersRecordPerShardWallClock)
     }
     // Every (workload x scheduler) job is accounted to some shard.
     EXPECT_EQ(jobs, 2u);
+}
+
+TEST(FleetIntegration, CheckpointedRunWritesReportArtifacts)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    TempDir checkpoint("fleet_it_report");
+    options.checkpoint = checkpoint.path();
+    options.shards = 2;
+    options.workers = 2;
+
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+
+    // The supervisor folds shard outcomes into a stfm-report-v1
+    // rollup as they complete and writes it beside the manifest.
+    std::ifstream json_in(checkpoint.path() + "/report.json",
+                          std::ios::binary);
+    ASSERT_TRUE(json_in.is_open());
+    std::ostringstream json_text;
+    json_text << json_in.rdbuf();
+    const Json report = Json::parse(json_text.str());
+    EXPECT_EQ(report.at("schema", "report").asString(),
+              "stfm-report-v1");
+    EXPECT_EQ(report.at("totals", "report").at("runs", "t").asUint(),
+              2u);
+    EXPECT_EQ(report.at("totals", "report").at("failed", "t").asUint(),
+              0u);
+
+    std::ifstream html_in(checkpoint.path() + "/report.html",
+                          std::ios::binary);
+    ASSERT_TRUE(html_in.is_open());
+    std::ostringstream html_text;
+    html_text << html_in.rdbuf();
+    EXPECT_NE(html_text.str().find("<!DOCTYPE html>"),
+              std::string::npos);
+    EXPECT_NE(html_text.str().find("<svg"), std::string::npos);
 }
 
 TEST(FleetIntegration, CrashIsRetriedToAnIdenticalResult)
