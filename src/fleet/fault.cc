@@ -30,6 +30,8 @@ parseFaultPlan(const std::string &text)
         plan.kind = FaultPlan::Kind::Hang;
     else if (kind == "garbage")
         plan.kind = FaultPlan::Kind::Garbage;
+    else if (kind == "sigkill")
+        plan.kind = FaultPlan::Kind::Sigkill;
     else if (kind == "slow")
         plan.kind = FaultPlan::Kind::Slow;
     else if (kind == "simfail")
@@ -37,7 +39,7 @@ parseFaultPlan(const std::string &text)
     else {
         throw SimError(formatMessage(
             "STFM_FAULT: unknown fault kind '%s' (crash, abort, hang, "
-            "garbage, slow, simfail)",
+            "garbage, sigkill, slow, simfail)",
             kind.c_str()));
     }
 

@@ -13,6 +13,10 @@
  *                          no heartbeats -> liveness kill)
  *   STFM_FAULT=garbage@K   write junk bytes on the protocol stream,
  *                          then exit 0 (protocol-garbage class)
+ *   STFM_FAULT=sigkill@K   SIGKILL own process at shard K — the
+ *                          signature of the kernel OOM killer, which
+ *                          the supervisor classifies distinctly
+ *                          (fleet.sigkills)
  *   STFM_FAULT=slow@K      stall 8 heartbeat periods before running
  *                          shard K while heartbeats keep flowing (must
  *                          NOT be classified as a hang)
@@ -45,6 +49,7 @@ struct FaultPlan
         Abort,
         Hang,
         Garbage,
+        Sigkill,
         Slow,
         SimFail,
     };

@@ -101,9 +101,15 @@ class ManifestWriter
 
     bool isOpen() const { return fd_ >= 0; }
 
-    /** Append one completed-shard entry. */
+    /**
+     * Append one completed-shard entry. A non-empty @p node records
+     * which fault domain executed the shard (provenance only — the
+     * loader ignores the field, so manifests written before node
+     * provenance existed resume unchanged, and vice versa).
+     */
     void appendShard(unsigned shard, unsigned attempts,
-                     const Json &outcomes);
+                     const Json &outcomes,
+                     const std::string &node = std::string());
 
     /** Append one alone-baseline cache entry. */
     void appendAlone(const std::string &key, const Json &result);

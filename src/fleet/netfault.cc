@@ -1,0 +1,137 @@
+#include "fleet/netfault.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+NetFaultPlan
+parseNetFaultPlan(const std::string &text)
+{
+    const std::size_t at = text.find('@');
+    const std::size_t colon = text.rfind(':');
+    if (at == std::string::npos || colon == std::string::npos ||
+        colon < at || at == 0 || colon == at + 1 ||
+        colon + 1 >= text.size()) {
+        throw SimError(formatMessage(
+            "STFM_NETFAULT: expected '<mode>@<node>:<K>', got '%s'",
+            text.c_str()));
+    }
+    const std::string mode = text.substr(0, at);
+    const std::string node = text.substr(at + 1, colon - at - 1);
+    const std::string ordinal = text.substr(colon + 1);
+
+    NetFaultPlan plan;
+    if (mode == "drop")
+        plan.kind = NetFaultPlan::Kind::Drop;
+    else if (mode == "stall")
+        plan.kind = NetFaultPlan::Kind::Stall;
+    else if (mode == "sever")
+        plan.kind = NetFaultPlan::Kind::Sever;
+    else if (mode == "flap")
+        plan.kind = NetFaultPlan::Kind::Flap;
+    else {
+        throw SimError(formatMessage(
+            "STFM_NETFAULT: unknown mode '%s' (drop, stall, sever, "
+            "flap)",
+            mode.c_str()));
+    }
+
+    plan.node = node;
+    char *end = nullptr;
+    const unsigned long trigger =
+        std::strtoul(ordinal.c_str(), &end, 10);
+    if (end == ordinal.c_str() || *end != '\0' || trigger == 0) {
+        throw SimError(formatMessage(
+            "STFM_NETFAULT: dispatch ordinal '%s' is not a positive "
+            "number",
+            ordinal.c_str()));
+    }
+    plan.trigger = static_cast<unsigned>(trigger);
+    return plan;
+}
+
+NetFaultPlan
+netFaultPlanFromEnv()
+{
+    const char *value = std::getenv("STFM_NETFAULT");
+    if (value == nullptr || value[0] == '\0')
+        return NetFaultPlan{};
+    return parseNetFaultPlan(value);
+}
+
+const char *
+netFaultKindName(NetFaultPlan::Kind kind)
+{
+    switch (kind) {
+    case NetFaultPlan::Kind::None:
+        return "none";
+    case NetFaultPlan::Kind::Drop:
+        return "drop";
+    case NetFaultPlan::Kind::Stall:
+        return "stall";
+    case NetFaultPlan::Kind::Sever:
+        return "sever";
+    case NetFaultPlan::Kind::Flap:
+        return "flap";
+    }
+    return "none";
+}
+
+NetFaultState::DispatchAction
+NetFaultState::onDispatch(const std::string &node)
+{
+    if (!targets(node) || fired_)
+        return DispatchAction::Deliver;
+    ++dispatches_;
+    if (dispatches_ < plan_.trigger)
+        return DispatchAction::Deliver;
+    fired_ = true;
+    switch (plan_.kind) {
+    case NetFaultPlan::Kind::Drop:
+        return DispatchAction::DropFrame;
+    case NetFaultPlan::Kind::Stall:
+        stalled_ = true;
+        return DispatchAction::Deliver; // The unit lands; replies die.
+    case NetFaultPlan::Kind::Sever:
+    case NetFaultPlan::Kind::Flap:
+        severed_ = true;
+        return DispatchAction::SeverNode;
+    case NetFaultPlan::Kind::None:
+        break;
+    }
+    return DispatchAction::Deliver;
+}
+
+bool
+NetFaultState::launchAllowed(const std::string &node) const
+{
+    if (!targets(node))
+        return true;
+    return !severed_ || healed_;
+}
+
+bool
+NetFaultState::noteLaunchBlocked(const std::string &node)
+{
+    if (!targets(node) || !severed_ || healed_)
+        return false;
+    if (plan_.kind == NetFaultPlan::Kind::Flap) {
+        healed_ = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+NetFaultState::inboundBlocked(const std::string &node) const
+{
+    return targets(node) && stalled_;
+}
+
+} // namespace fleet
+} // namespace stfm

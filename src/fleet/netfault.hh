@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Deterministic network fault injection for the fleet supervisor,
+ * mirroring STFM_FAULT's design (fleet/fault.hh): an environment
+ * variable, parsed once, arming exactly one deterministic event so a
+ * chaos scenario replays identically run after run.
+ *
+ *   STFM_NETFAULT=<mode>@<node>:<K>
+ *
+ * K is the 1-based ordinal of *dispatches to that node* — the Kth
+ * WorkUnit the supervisor sends toward any worker placed on it.
+ * Counting dispatches (not wall time) keeps the trigger deterministic
+ * under arbitrary scheduling. Modes model the classic partition
+ * shapes:
+ *
+ *   drop   The Kth dispatch frame is silently discarded: the worker
+ *          idles on a unit the supervisor believes is in flight, the
+ *          liveness window expires, and the hang path replays the
+ *          shard elsewhere. (A lost packet.)
+ *   stall  After the Kth dispatch, every inbound byte from the node
+ *          is read and discarded: heartbeats and results vanish, all
+ *          of the node's workers go dark, the shard migrates. (A
+ *          one-way partition.)
+ *   sever  At the Kth dispatch the node dies: its workers are killed,
+ *          in-flight and queued shards migrate off it, and every
+ *          later launch on it fails until it is quarantined. (The
+ *          node vanished.)
+ *   flap   A sever that heals: the first launch attempt that finds
+ *          the node dead fails (the node backs off once), after which
+ *          the node rejoins healthy. (A transient partition —
+ *          exercises backoff/recovery without quarantine.)
+ *
+ * Fault injection is supervisor-side only: workers are untouched, so
+ * the modes compose with STFM_FAULT process faults in the same run.
+ */
+
+#ifndef STFM_FLEET_NETFAULT_HH
+#define STFM_FLEET_NETFAULT_HH
+
+#include <string>
+
+namespace stfm
+{
+namespace fleet
+{
+
+/** A parsed STFM_NETFAULT directive. */
+struct NetFaultPlan
+{
+    enum class Kind
+    {
+        None,
+        Drop,
+        Stall,
+        Sever,
+        Flap,
+    };
+
+    Kind kind = Kind::None;
+    /** Target node name (fault-domain identity, nodes.hh). */
+    std::string node;
+    /** 1-based dispatch ordinal to @ref node that arms the fault. */
+    unsigned trigger = 0;
+
+    bool active() const { return kind != Kind::None; }
+};
+
+/** Parse `<mode>@<node>:<K>`. @throws SimError on malformed text. */
+NetFaultPlan parseNetFaultPlan(const std::string &text);
+
+/** Read STFM_NETFAULT; inactive plan when unset or empty. */
+NetFaultPlan netFaultPlanFromEnv();
+
+/** Human-readable mode name ("drop", ..., "none") for diagnostics. */
+const char *netFaultKindName(NetFaultPlan::Kind kind);
+
+/**
+ * Supervisor-side fault state machine. The supervisor calls the hooks
+ * below at its dispatch/launch/read points; this class answers what
+ * the armed fault does there. All methods are no-ops for nodes other
+ * than the plan's target and for inactive plans.
+ */
+class NetFaultState
+{
+  public:
+    explicit NetFaultState(NetFaultPlan plan) : plan_(plan) {}
+
+    const NetFaultPlan &plan() const { return plan_; }
+
+    /** What a dispatch toward @p node should do. */
+    enum class DispatchAction
+    {
+        Deliver,  ///< Write the frame normally.
+        DropFrame,///< Count the dispatch but discard the frame.
+        SeverNode,///< Kill the node now (frame not delivered).
+    };
+
+    /**
+     * Account one dispatch toward @p node and return the action.
+     * Increments the per-target dispatch ordinal; fires at most once.
+     */
+    DispatchAction onDispatch(const std::string &node);
+
+    /** False while a sever/flap holds the node down (launch gate). */
+    bool launchAllowed(const std::string &node) const;
+
+    /**
+     * Record that a launch was blocked by the gate. For flap this
+     * heals the node: the next launchAllowed() returns true.
+     * @return true when this block healed a flap (the caller backs
+     * the node off once instead of charging a failure).
+     */
+    bool noteLaunchBlocked(const std::string &node);
+
+    /** True when inbound bytes from @p node must be discarded. */
+    bool inboundBlocked(const std::string &node) const;
+
+    /** True once the armed fault has fired (for fleet.netfaults). */
+    bool fired() const { return fired_; }
+
+  private:
+    bool targets(const std::string &node) const
+    {
+        return plan_.active() && node == plan_.node;
+    }
+
+    NetFaultPlan plan_;
+    unsigned dispatches_ = 0;
+    bool fired_ = false;
+    bool severed_ = false;
+    bool stalled_ = false;
+    bool healed_ = false;
+};
+
+} // namespace fleet
+} // namespace stfm
+
+#endif // STFM_FLEET_NETFAULT_HH

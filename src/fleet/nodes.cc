@@ -1,0 +1,133 @@
+#include "fleet/nodes.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace stfm
+{
+namespace fleet
+{
+
+NodeSpec
+parseNodeFlag(const std::string &text)
+{
+    NodeSpec node;
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos) {
+        node.name = text;
+    } else {
+        node.name = text.substr(0, colon);
+        const std::string slots = text.substr(colon + 1);
+        char *end = nullptr;
+        const unsigned long parsed =
+            std::strtoul(slots.c_str(), &end, 10);
+        if (slots.empty() || end == slots.c_str() || *end != '\0' ||
+            parsed == 0) {
+            throw SimError(formatMessage(
+                "--node: slot count '%s' in '%s' is not a positive "
+                "integer",
+                slots.c_str(), text.c_str()));
+        }
+        node.slots = static_cast<unsigned>(parsed);
+    }
+    if (node.name.empty()) {
+        throw SimError(
+            "--node: expected 'host[:slots]', got an empty host in '" +
+            text + "'");
+    }
+    return node;
+}
+
+std::vector<NodeSpec>
+nodesFromJson(const Json &json)
+{
+    const std::string context = "nodes registry";
+    const std::string schema =
+        json.at("schema", context).asString(context + ".schema");
+    if (schema != kNodesSchema) {
+        throw SimError(formatMessage(
+            "nodes registry: unknown schema '%s' (expected %s)",
+            schema.c_str(), kNodesSchema));
+    }
+    const Json::Array &entries =
+        json.at("nodes", context).asArray(context + ".nodes");
+    std::vector<NodeSpec> nodes;
+    nodes.reserve(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const std::string where =
+            formatMessage("nodes registry entry %zu", i);
+        const Json &entry = entries[i];
+        NodeSpec node;
+        node.name = entry.at("name", where).asString(where + ".name");
+        if (const Json *slots = entry.find("slots")) {
+            const std::uint64_t parsed =
+                slots->asUint(where + ".slots");
+            if (parsed == 0) {
+                throw SimError(where +
+                               ": slots must be a positive integer");
+            }
+            node.slots = static_cast<unsigned>(parsed);
+        }
+        if (const Json *launch = entry.find("launch")) {
+            for (const Json &arg :
+                 launch->asArray(where + ".launch")) {
+                node.launch.push_back(
+                    arg.asString(where + ".launch element"));
+            }
+            if (node.launch.empty()) {
+                throw SimError(
+                    where + ".launch: an explicit template must "
+                            "carry at least one element");
+            }
+        }
+        nodes.push_back(std::move(node));
+    }
+    return nodes;
+}
+
+std::vector<NodeSpec>
+loadNodesFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw SimError("cannot open nodes registry '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return nodesFromJson(Json::parse(text.str()));
+    } catch (const SimError &e) {
+        throw SimError(formatMessage("nodes registry %s: %s",
+                                     path.c_str(), e.what()));
+    }
+}
+
+void
+validateNodes(const std::vector<NodeSpec> &nodes)
+{
+    if (nodes.empty())
+        throw SimError("node registry is empty");
+    std::set<std::string> seen;
+    for (const NodeSpec &node : nodes) {
+        if (node.name.empty())
+            throw SimError("node registry carries an unnamed node");
+        if (node.slots == 0) {
+            throw SimError(formatMessage(
+                "node '%s' has zero worker slots", node.name.c_str()));
+        }
+        if (!seen.insert(node.name).second) {
+            throw SimError(formatMessage(
+                "node name '%s' appears twice — names are the fault-"
+                "domain identity and must be unique",
+                node.name.c_str()));
+        }
+    }
+}
+
+} // namespace fleet
+} // namespace stfm

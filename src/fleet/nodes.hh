@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The fleet node registry: which machines can run shards, with how
+ * many concurrent workers, launched how.
+ *
+ * Two sources, composable (file first, then flags):
+ *
+ *   --nodes nodes.json      a checked-in registry (stfm-nodes-v1)
+ *   --node host[:slots]     one ad-hoc node per flag (loopback
+ *                           launcher unless the registry names one)
+ *
+ * Registry file format (docs/FLEET.md):
+ *
+ *   {"schema": "stfm-nodes-v1",
+ *    "nodes": [
+ *      {"name": "alpha", "slots": 4},
+ *      {"name": "beta",  "slots": 2,
+ *       "launch": ["ssh", "-oBatchMode=yes", "{host}"]}
+ *    ]}
+ *
+ * `launch` is the RemoteExecutor command template (executor.hh
+ * grammar: `{host}`, `{cmd}`, `{worker}`); omitted means the loopback
+ * `/bin/sh -c "exec {cmd}"` launcher. Node names are the fault-domain
+ * identity: health state, quarantine, backoff, STFM_NETFAULT
+ * targeting, and manifest/counter provenance all key on them, so they
+ * must be unique.
+ *
+ * When no registry is given the supervisor runs PR 5's single
+ * implicit "local" fault domain: LocalExecutor, no node-level
+ * quarantine (the shard retry budget is the only failure policy —
+ * single-machine sweeps keep their exact pre-executor semantics).
+ */
+
+#ifndef STFM_FLEET_NODES_HH
+#define STFM_FLEET_NODES_HH
+
+#include <string>
+#include <vector>
+
+namespace stfm
+{
+
+class Json;
+
+namespace fleet
+{
+
+inline constexpr const char *kNodesSchema = "stfm-nodes-v1";
+
+/** The name reserved for the implicit single-machine fault domain. */
+inline constexpr const char *kLocalNodeName = "local";
+
+/** One placement target (fault domain). */
+struct NodeSpec
+{
+    std::string name;
+    /** Concurrent workers this node may run. */
+    unsigned slots = 1;
+    /** Launch template (executor.hh); empty = loopback sh. */
+    std::vector<std::string> launch;
+};
+
+/** Parse one `--node host[:slots]` flag. @throws SimError. */
+NodeSpec parseNodeFlag(const std::string &text);
+
+/** Parse a stfm-nodes-v1 document. @throws SimError. */
+std::vector<NodeSpec> nodesFromJson(const Json &json);
+
+/** Load and parse a registry file. @throws SimError. */
+std::vector<NodeSpec> loadNodesFile(const std::string &path);
+
+/**
+ * Check a combined registry: at least one node, unique non-empty
+ * names, nonzero slots. @throws SimError naming the offender.
+ */
+void validateNodes(const std::vector<NodeSpec> &nodes);
+
+} // namespace fleet
+} // namespace stfm
+
+#endif // STFM_FLEET_NODES_HH

@@ -38,8 +38,13 @@ namespace fleet
 /** Frame header: 4 magic bytes + 8 lowercase-hex payload-length. */
 inline constexpr char kFrameMagic[4] = {'S', 'T', 'F', 'M'};
 inline constexpr std::size_t kFrameHeaderBytes = 12;
-/** Upper bound on a sane payload (shard results are far smaller). */
-inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 30;
+/**
+ * Upper bound on a sane payload: 64 MiB. Shard results are far
+ * smaller; the bound exists so a hostile or corrupt length prefix
+ * (the field can claim up to 4 GiB − 1) poisons the stream instead of
+ * committing the supervisor to buffering gigabytes it will never see.
+ */
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 26;
 
 /** Serialize @p message into one frame (header + compact JSON). */
 std::string encodeFrame(const Json &message);

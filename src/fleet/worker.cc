@@ -107,6 +107,12 @@ performProcessFault(FaultPlan::Kind kind, int out_fd)
         (void)!::write(out_fd, junk, sizeof(junk) - 1);
         std::_Exit(0);
     }
+    case FaultPlan::Kind::Sigkill:
+        // Die exactly the way the OOM killer kills: uncatchable, no
+        // exit handlers, no unwinding.
+        ::kill(::getpid(), SIGKILL);
+        for (;;) // The signal cannot be outrun, but be explicit.
+            ::pause();
     default:
         STFM_PANIC("not a process-level fault kind");
     }
@@ -201,6 +207,7 @@ workerLoop(int in_fd, int out_fd)
             case FaultPlan::Kind::Abort:
             case FaultPlan::Kind::Hang:
             case FaultPlan::Kind::Garbage:
+            case FaultPlan::Kind::Sigkill:
                 performProcessFault(fault.kind, out_fd);
             default:
                 break; // Slow/SimFail act inside the shard execution.

@@ -98,7 +98,20 @@ printUsage(std::ostream &os)
           "  --checkpoint DIR  append completed shards to DIR/manifest.jsonl\n"
           "  --resume          replay checkpointed shards, run the rest\n"
           "  --strict          exit 2 when any shard is merged as FAILED\n"
-          "  --quiet           suppress per-shard progress/ETA on stderr\n";
+          "  --quiet           suppress per-shard progress/ETA on stderr\n"
+          "  --nodes FILE      node registry (stfm-nodes-v1) of placement\n"
+          "                    targets; engages remote executors and\n"
+          "                    node fault domains (docs/FLEET.md)\n"
+          "  --node NAME[:SLOTS]\n"
+          "                    add one node (repeatable; loopback\n"
+          "                    launcher unless the registry names one)\n"
+          "  --node-backoff SEC\n"
+          "                    base node backoff after a charged\n"
+          "                    failure, doubling per consecutive\n"
+          "                    failure (default 0.25)\n"
+          "  --node-quarantine-after N\n"
+          "                    consecutive node failures before\n"
+          "                    quarantine (default 3)\n";
 }
 
 std::string
@@ -197,6 +210,21 @@ parseRunFlags(const char *command, int argc, char **argv, int first)
             flags.fleetMode = true;
         } else if (arg == "--resume") {
             flags.fleetOptions.resume = true;
+            flags.fleetMode = true;
+        } else if (arg == "--nodes" && i + 1 < argc) {
+            flags.fleetOptions.nodesFile = argv[++i];
+            flags.fleetMode = true;
+        } else if (arg == "--node" && i + 1 < argc) {
+            flags.fleetOptions.nodeSpecs.push_back(
+                fleet::parseNodeFlag(argv[++i]));
+            flags.fleetMode = true;
+        } else if (arg == "--node-backoff" && i + 1 < argc) {
+            flags.fleetOptions.nodeBackoffSec =
+                parseSecondsFlag(arg, argv[++i]);
+            flags.fleetMode = true;
+        } else if (arg == "--node-quarantine-after" && i + 1 < argc) {
+            flags.fleetOptions.nodeQuarantineAfter =
+                parseUnsignedFlag(arg, argv[++i]);
             flags.fleetMode = true;
         } else if (arg == "--strict") {
             flags.strict = true;
@@ -416,10 +444,22 @@ commandReport(int argc, char **argv)
         if (report::isDirectory(input)) {
             for (std::string &file : report::listDirectoryFiles(input))
                 files.push_back(std::move(file));
+        } else if (!report::pathExists(input)) {
+            // A typo'd path must not roll up into a clean-looking
+            // empty report.
+            throw SimError("report: input '" + input +
+                           "' does not exist");
         } else {
             files.push_back(input);
         }
     }
+    if (files.empty()) {
+        throw SimError("report: the given director" +
+                       std::string(inputs.size() == 1 ? "y contains"
+                                                      : "ies contain") +
+                       " no artifact files");
+    }
+    std::size_t ingested = 0;
     for (const std::string &file : files) {
         if (endsWith(file, ".jsonl")) {
             if (!have_plan) {
@@ -429,6 +469,7 @@ commandReport(int argc, char **argv)
                     "so the job grid can be re-derived");
             }
             builder.addManifest(file, plan);
+            ++ingested;
             continue;
         }
         if (!endsWith(file, ".json")) {
@@ -444,13 +485,21 @@ commandReport(int argc, char **argv)
             schema && schema->isString() ? schema->asString() : "";
         if (kind == "stfm-results-v1") {
             builder.addResultsDoc(doc, file);
+            ++ingested;
         } else if (kind == "stfm-telemetry-v1") {
             builder.addTelemetryDoc(doc, file);
+            ++ingested;
         } else if (!quiet) {
             std::fprintf(stderr,
                          "[report] skipping %s (schema '%s')\n",
                          file.c_str(), kind.c_str());
         }
+    }
+    if (ingested == 0) {
+        throw SimError(
+            "report: none of the given inputs carried a sweep "
+            "artifact (stfm-results-v1, stfm-telemetry-v1, or a "
+            "manifest.jsonl)");
     }
 
     const Json doc = builder.toJson();

@@ -396,6 +396,13 @@ distributionJson(const MetricSketch &sketch)
 }
 
 bool
+pathExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+bool
 isDirectory(const std::string &path)
 {
     struct stat st{};

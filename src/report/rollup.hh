@@ -161,6 +161,9 @@ Json distributionJson(const MetricSketch &sketch);
 
 // Input discovery ----------------------------------------------------
 
+/** True when @p path exists at all (any file type). */
+bool pathExists(const std::string &path);
+
 /** True when @p path names a directory. */
 bool isDirectory(const std::string &path);
 

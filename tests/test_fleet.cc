@@ -12,11 +12,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
+#include "fleet/executor.hh"
 #include "fleet/fault.hh"
 #include "fleet/manifest.hh"
+#include "fleet/netfault.hh"
+#include "fleet/nodes.hh"
 #include "fleet/protocol.hh"
 #include "fleet/supervisor.hh"
 #include "fleet/wire.hh"
@@ -31,6 +37,21 @@ namespace fleet
 {
 namespace
 {
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_(std::string(::testing::TempDir()) + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
 
 // Framing ------------------------------------------------------------
 
@@ -113,6 +134,58 @@ TEST(FleetProtocol, UnparseablePayloadIsGarbage)
     decoder.feed(junk, sizeof(junk) - 1);
     Json out;
     EXPECT_EQ(decoder.next(out), FrameDecoder::Status::Garbage);
+}
+
+TEST(FleetProtocol, OverlongLengthPoisonsWithoutBuffering)
+{
+    // A hostile length prefix one past the cap: the stream must be
+    // poisoned from the 12 header bytes alone — the decoder must not
+    // sit waiting to buffer (or allocate) the claimed payload.
+    char header[13];
+    std::snprintf(header, sizeof(header), "STFM%08zx",
+                  kMaxFrameBytes + 1);
+    FrameDecoder decoder;
+    decoder.feed(header, kFrameHeaderBytes);
+    Json out;
+    std::string error;
+    EXPECT_EQ(decoder.next(out, &error), FrameDecoder::Status::Garbage);
+    EXPECT_NE(error.find("exceeds limit"), std::string::npos);
+}
+
+TEST(FleetProtocol, MaxFrameBytesIsAnAllocationSaneBound)
+{
+    // The length field can claim up to 4 GiB − 1; the accepted bound
+    // must stay far below that so a corrupt prefix cannot commit the
+    // supervisor to a multi-GB buffer.
+    EXPECT_LE(kMaxFrameBytes, std::size_t{1} << 26);
+}
+
+TEST(FleetProtocol, ZeroLengthFrameIsGarbage)
+{
+    // A zero-length payload is not a JSON document; it must poison
+    // the stream, not decode into something.
+    FrameDecoder decoder;
+    const char junk[] = "STFM00000000";
+    decoder.feed(junk, sizeof(junk) - 1);
+    Json out;
+    std::string error;
+    EXPECT_EQ(decoder.next(out, &error), FrameDecoder::Status::Garbage);
+}
+
+TEST(FleetProtocol, TruncatedMagicAtEofIsAMidFrameError)
+{
+    // A stream that dies inside the frame header (here: half the
+    // magic) must be reported as ending mid-frame, not as a clean EOF
+    // and not as a decoded frame.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(::write(fds[1], "ST", 2), 2);
+    ::close(fds[1]);
+    Json out;
+    std::string error;
+    EXPECT_FALSE(readFrame(fds[0], out, &error));
+    EXPECT_NE(error.find("mid-frame"), std::string::npos);
+    ::close(fds[0]);
 }
 
 // Wire exactness -----------------------------------------------------
@@ -229,6 +302,8 @@ TEST(FleetFault, ParsesEveryKind)
     EXPECT_EQ(parseFaultPlan("hang@2").kind, FaultPlan::Kind::Hang);
     EXPECT_EQ(parseFaultPlan("garbage@3").kind,
               FaultPlan::Kind::Garbage);
+    EXPECT_EQ(parseFaultPlan("sigkill@4").kind,
+              FaultPlan::Kind::Sigkill);
     EXPECT_EQ(parseFaultPlan("slow@4").kind, FaultPlan::Kind::Slow);
     EXPECT_EQ(parseFaultPlan("simfail@5").kind,
               FaultPlan::Kind::SimFail);
@@ -251,6 +326,228 @@ TEST(FleetFault, ArmsOnlyOnFirstAttemptOfItsShard)
     EXPECT_FALSE(plan.armedFor(2, 2)); // Retries run clean.
     EXPECT_FALSE(plan.armedFor(1, 1)); // Other shards untouched.
     EXPECT_FALSE(FaultPlan{}.armedFor(0, 1));
+}
+
+// Network fault plans ------------------------------------------------
+
+TEST(FleetNetFault, ParsesEveryMode)
+{
+    EXPECT_EQ(parseNetFaultPlan("drop@n0:1").kind,
+              NetFaultPlan::Kind::Drop);
+    EXPECT_EQ(parseNetFaultPlan("stall@n1:2").kind,
+              NetFaultPlan::Kind::Stall);
+    EXPECT_EQ(parseNetFaultPlan("sever@alpha:3").kind,
+              NetFaultPlan::Kind::Sever);
+    EXPECT_EQ(parseNetFaultPlan("flap@beta:4").kind,
+              NetFaultPlan::Kind::Flap);
+    const NetFaultPlan plan = parseNetFaultPlan("sever@node-7:12");
+    EXPECT_EQ(plan.node, "node-7");
+    EXPECT_EQ(plan.trigger, 12u);
+    EXPECT_TRUE(plan.active());
+    EXPECT_FALSE(NetFaultPlan{}.active());
+}
+
+TEST(FleetNetFault, NodeNamesMayCarryColons)
+{
+    // host:port-style node names: the ordinal is after the LAST colon.
+    const NetFaultPlan plan = parseNetFaultPlan("drop@host:22:3");
+    EXPECT_EQ(plan.node, "host:22");
+    EXPECT_EQ(plan.trigger, 3u);
+}
+
+TEST(FleetNetFault, MalformedPlansThrow)
+{
+    EXPECT_THROW(parseNetFaultPlan("sever"), SimError);
+    EXPECT_THROW(parseNetFaultPlan("sever@n0"), SimError);
+    EXPECT_THROW(parseNetFaultPlan("sever@:1"), SimError);
+    EXPECT_THROW(parseNetFaultPlan("sever@n0:"), SimError);
+    EXPECT_THROW(parseNetFaultPlan("sever@n0:x"), SimError);
+    EXPECT_THROW(parseNetFaultPlan("sever@n0:0"), SimError);
+    EXPECT_THROW(parseNetFaultPlan("meteor@n0:1"), SimError);
+    EXPECT_THROW(parseNetFaultPlan("@n0:1"), SimError);
+}
+
+TEST(FleetNetFault, DropFiresOnceAtTheDispatchOrdinal)
+{
+    NetFaultState state(parseNetFaultPlan("drop@n1:2"));
+    // Dispatches to other nodes never count toward the ordinal.
+    EXPECT_EQ(state.onDispatch("n0"),
+              NetFaultState::DispatchAction::Deliver);
+    EXPECT_EQ(state.onDispatch("n1"),
+              NetFaultState::DispatchAction::Deliver);
+    EXPECT_FALSE(state.fired());
+    EXPECT_EQ(state.onDispatch("n1"),
+              NetFaultState::DispatchAction::DropFrame);
+    EXPECT_TRUE(state.fired());
+    // One-shot, like STFM_FAULT: later dispatches deliver.
+    EXPECT_EQ(state.onDispatch("n1"),
+              NetFaultState::DispatchAction::Deliver);
+}
+
+TEST(FleetNetFault, StallBlocksInboundAfterTheTrigger)
+{
+    NetFaultState state(parseNetFaultPlan("stall@n1:1"));
+    EXPECT_FALSE(state.inboundBlocked("n1"));
+    EXPECT_EQ(state.onDispatch("n1"),
+              NetFaultState::DispatchAction::Deliver);
+    EXPECT_TRUE(state.fired());
+    EXPECT_TRUE(state.inboundBlocked("n1"));
+    EXPECT_FALSE(state.inboundBlocked("n0")); // One-way partition.
+    EXPECT_TRUE(state.launchAllowed("n1"));   // Launches still start.
+}
+
+TEST(FleetNetFault, SeverBlocksLaunchesPermanently)
+{
+    NetFaultState state(parseNetFaultPlan("sever@n1:1"));
+    EXPECT_TRUE(state.launchAllowed("n1"));
+    EXPECT_EQ(state.onDispatch("n1"),
+              NetFaultState::DispatchAction::SeverNode);
+    EXPECT_FALSE(state.launchAllowed("n1"));
+    EXPECT_TRUE(state.launchAllowed("n0"));
+    // noteLaunchBlocked never heals a sever.
+    EXPECT_FALSE(state.noteLaunchBlocked("n1"));
+    EXPECT_FALSE(state.launchAllowed("n1"));
+}
+
+TEST(FleetNetFault, FlapHealsAfterTheFirstBlockedLaunch)
+{
+    NetFaultState state(parseNetFaultPlan("flap@n1:1"));
+    EXPECT_EQ(state.onDispatch("n1"),
+              NetFaultState::DispatchAction::SeverNode);
+    EXPECT_FALSE(state.launchAllowed("n1"));
+    EXPECT_TRUE(state.noteLaunchBlocked("n1")); // The heal.
+    EXPECT_TRUE(state.launchAllowed("n1"));
+    EXPECT_FALSE(state.noteLaunchBlocked("n1")); // Heals only once.
+}
+
+// Node registry ------------------------------------------------------
+
+TEST(FleetNodes, ParsesNodeFlags)
+{
+    const NodeSpec plain = parseNodeFlag("alpha");
+    EXPECT_EQ(plain.name, "alpha");
+    EXPECT_EQ(plain.slots, 1u);
+    EXPECT_TRUE(plain.launch.empty());
+
+    const NodeSpec sized = parseNodeFlag("beta:4");
+    EXPECT_EQ(sized.name, "beta");
+    EXPECT_EQ(sized.slots, 4u);
+
+    // Only the LAST colon separates the slot count.
+    const NodeSpec hosty = parseNodeFlag("host:22:2");
+    EXPECT_EQ(hosty.name, "host:22");
+    EXPECT_EQ(hosty.slots, 2u);
+
+    EXPECT_THROW(parseNodeFlag(""), SimError);
+    EXPECT_THROW(parseNodeFlag(":4"), SimError);
+    EXPECT_THROW(parseNodeFlag("x:"), SimError);
+    EXPECT_THROW(parseNodeFlag("x:zero"), SimError);
+    EXPECT_THROW(parseNodeFlag("x:0"), SimError);
+}
+
+TEST(FleetNodes, LoadsARegistryFile)
+{
+    TempFile file("fleet_nodes_registry.json");
+    {
+        std::ofstream out(file.path());
+        out << R"({"schema": "stfm-nodes-v1", "nodes": [)"
+            << R"({"name": "alpha", "slots": 4},)"
+            << R"({"name": "beta",)"
+            << R"( "launch": ["ssh", "-oBatchMode=yes", "{host}"]}]})";
+    }
+    const std::vector<NodeSpec> nodes = loadNodesFile(file.path());
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0].name, "alpha");
+    EXPECT_EQ(nodes[0].slots, 4u);
+    EXPECT_TRUE(nodes[0].launch.empty());
+    EXPECT_EQ(nodes[1].name, "beta");
+    EXPECT_EQ(nodes[1].slots, 1u);
+    ASSERT_EQ(nodes[1].launch.size(), 3u);
+    EXPECT_EQ(nodes[1].launch[2], "{host}");
+    EXPECT_NO_THROW(validateNodes(nodes));
+}
+
+TEST(FleetNodes, RejectsBadRegistries)
+{
+    EXPECT_THROW(loadNodesFile("/no/such/registry.json"), SimError);
+    EXPECT_THROW(
+        nodesFromJson(Json::parse(R"({"schema":"something-else",)"
+                                  R"("nodes":[]})")),
+        SimError);
+    EXPECT_THROW(
+        nodesFromJson(Json::parse(
+            R"({"schema":"stfm-nodes-v1",)"
+            R"("nodes":[{"name":"a","slots":0}]})")),
+        SimError);
+}
+
+TEST(FleetNodes, ValidationCatchesDuplicatesAndEmpties)
+{
+    EXPECT_THROW(validateNodes({}), SimError);
+    std::vector<NodeSpec> dupes(2);
+    dupes[0].name = "alpha";
+    dupes[1].name = "alpha";
+    EXPECT_THROW(validateNodes(dupes), SimError);
+    std::vector<NodeSpec> unnamed(1);
+    EXPECT_THROW(validateNodes(unnamed), SimError);
+}
+
+// Executors ----------------------------------------------------------
+
+TEST(FleetExecutor, ShellQuoteSurvivesHostileArguments)
+{
+    EXPECT_EQ(shellQuote("plain"), "'plain'");
+    EXPECT_EQ(shellQuote("with space"), "'with space'");
+    EXPECT_EQ(shellQuote("it's"), "'it'\\''s'");
+    EXPECT_EQ(shellQuote(""), "''");
+}
+
+TEST(FleetExecutor, TemplateWorkerTokenSplicesArgv)
+{
+    const auto argv = expandLaunchTemplate(
+        {"docker", "exec", "{host}", "{worker}"}, "box",
+        {"/bin/stfm", "worker"});
+    const std::vector<std::string> expected = {"docker", "exec", "box",
+                                               "/bin/stfm", "worker"};
+    EXPECT_EQ(argv, expected);
+}
+
+TEST(FleetExecutor, TemplateCmdTokenGetsTheQuotedCommand)
+{
+    const auto argv =
+        expandLaunchTemplate({"/bin/sh", "-c", "exec {cmd}"}, "n0",
+                             {"/opt/st fm", "worker"});
+    ASSERT_EQ(argv.size(), 3u);
+    EXPECT_EQ(argv[2], "exec '/opt/st fm' 'worker'");
+}
+
+TEST(FleetExecutor, TemplateWithoutTokensUsesTheSshIdiom)
+{
+    const auto argv = expandLaunchTemplate(
+        {"ssh", "-oBatchMode=yes", "{host}"}, "alpha",
+        {"/bin/stfm", "worker"});
+    const std::vector<std::string> expected = {
+        "ssh", "-oBatchMode=yes", "alpha", "'/bin/stfm' 'worker'"};
+    EXPECT_EQ(argv, expected);
+}
+
+TEST(FleetExecutor, RemoteExecutorDefaultsToTheLoopbackLauncher)
+{
+    const RemoteExecutor remote("n0", {}, {"/bin/stfm", "worker"});
+    const std::vector<std::string> expected = {
+        "/bin/sh", "-c", "exec '/bin/stfm' 'worker'"};
+    EXPECT_EQ(remote.argv(), expected);
+    EXPECT_EQ(remote.node(), "n0");
+    EXPECT_STREQ(remote.transport(), "remote");
+}
+
+TEST(FleetExecutor, LocalExecutorKeepsTheArgvVerbatim)
+{
+    const LocalExecutor local("local", {"/proc/self/exe", "worker"});
+    const std::vector<std::string> expected = {"/proc/self/exe",
+                                               "worker"};
+    EXPECT_EQ(local.argv(), expected);
+    EXPECT_STREQ(local.transport(), "pipe");
 }
 
 // Partitioning -------------------------------------------------------
@@ -295,21 +592,6 @@ TEST(FleetPartition, ZeroJobsYieldZeroShards)
 }
 
 // Manifest -----------------------------------------------------------
-
-class TempFile
-{
-  public:
-    explicit TempFile(const std::string &name)
-        : path_(std::string(::testing::TempDir()) + name)
-    {
-        std::remove(path_.c_str());
-    }
-    ~TempFile() { std::remove(path_.c_str()); }
-    const std::string &path() const { return path_; }
-
-  private:
-    std::string path_;
-};
 
 TEST(FleetManifest, WriterThenLoaderRoundTrip)
 {
@@ -376,6 +658,69 @@ TEST(FleetManifest, TornFinalLineIsDiscarded)
     const ManifestData data = loadManifest(file.path());
     ASSERT_EQ(data.shards.size(), 1u);
     EXPECT_EQ(data.shards.count(1), 0u);
+}
+
+TEST(FleetManifest, NodeProvenanceRoundTripsWhenPresent)
+{
+    TempFile file("fleet_manifest_node.jsonl");
+    {
+        ManifestWriter writer;
+        writer.open(file.path(), "cafe", 4, 2);
+        writer.appendShard(0, 1, Json::array(), "alpha");
+        writer.appendShard(1, 1, Json::array()); // Pre-node shape.
+    }
+    const ManifestData data = loadManifest(file.path());
+    ASSERT_EQ(data.shards.size(), 2u);
+    EXPECT_EQ(data.shards.at(0).at("node").asString(), "alpha");
+    // Old-manifest compatibility: entries without provenance load.
+    EXPECT_FALSE(data.shards.at(1).has("node"));
+}
+
+TEST(FleetManifest, TornTailAtEveryByteOffsetStaysLoadable)
+{
+    // SIGKILL can cut the final append at any byte. Whatever the cut,
+    // the loader must neither throw nor lose a COMPLETED record: only
+    // the torn final record may drop, and only while its JSON is
+    // incomplete (a cut between the closing brace and the newline
+    // still parses, so it is kept).
+    TempFile reference("fleet_manifest_fuzz_ref.jsonl");
+    {
+        ManifestWriter writer;
+        writer.open(reference.path(), "cafe", 4, 2);
+        writer.appendShard(0, 1, Json::array(), "alpha");
+        writer.appendShard(1, 2, Json::array(), "beta");
+    }
+    std::string bytes;
+    {
+        std::ifstream in(reference.path(), std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    ASSERT_FALSE(bytes.empty());
+    ASSERT_EQ(bytes.back(), '\n');
+    // Offset where the final record's JSON begins and ends.
+    const std::size_t recordStart =
+        bytes.rfind('\n', bytes.size() - 2) + 1;
+    const std::size_t jsonEnd = bytes.size() - 1;
+    ASSERT_NE(bytes.find("\"shard\":1", recordStart),
+              std::string::npos);
+
+    for (std::size_t cut = recordStart; cut <= bytes.size(); ++cut) {
+        TempFile torn("fleet_manifest_fuzz_torn.jsonl");
+        {
+            std::ofstream out(torn.path(), std::ios::binary);
+            out.write(bytes.data(),
+                      static_cast<std::streamsize>(cut));
+        }
+        ManifestData data;
+        ASSERT_NO_THROW(data = loadManifest(torn.path()))
+            << "cut at byte " << cut;
+        ASSERT_EQ(data.shards.count(0), 1u) << "cut at byte " << cut;
+        const bool recordComplete = cut >= jsonEnd;
+        EXPECT_EQ(data.shards.count(1), recordComplete ? 1u : 0u)
+            << "cut at byte " << cut;
+    }
 }
 
 TEST(FleetManifest, MidFileCorruptionThrows)

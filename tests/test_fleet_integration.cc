@@ -19,6 +19,7 @@
 #include <vector>
 
 #include <sys/stat.h>
+#include <sys/wait.h>
 
 #include "common/logging.hh"
 #include "fleet/fault.hh"
@@ -36,6 +37,15 @@ namespace
 constexpr const char *kSpecText = R"({
     "name": "fleet_it",
     "workloads": [["mcf", "hmmer"]],
+    "schedulers": ["FR-FCFS", "STFM"],
+    "budget": 4000
+})";
+
+/** Four jobs, so netfault scenarios get enough shards to both lose a
+ *  node mid-sweep and finish the rest of the work elsewhere. */
+constexpr const char *kWideSpecText = R"({
+    "name": "fleet_it_wide",
+    "workloads": [["mcf", "h264ref"], ["mcf", "hmmer"]],
     "schedulers": ["FR-FCFS", "STFM"],
     "budget": 4000
 })";
@@ -63,6 +73,34 @@ class FaultGuard
         setenv("STFM_FAULT", plan, 1);
     }
     ~FaultGuard() { unsetenv("STFM_FAULT"); }
+};
+
+/** Sets STFM_NETFAULT for the supervisor; always cleans up. */
+class NetFaultGuard
+{
+  public:
+    explicit NetFaultGuard(const char *plan)
+    {
+        setenv("STFM_NETFAULT", plan, 1);
+    }
+    ~NetFaultGuard() { unsetenv("STFM_NETFAULT"); }
+};
+
+/** A throwaway file under the gtest temp dir. */
+class TempFile
+{
+  public:
+    TempFile(const std::string &name, const std::string &contents)
+        : path_(std::string(::testing::TempDir()) + name)
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out << contents;
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
 };
 
 /** A fresh checkpoint directory under the gtest temp dir. */
@@ -414,6 +452,342 @@ TEST(FleetIntegration, AloneBaselinesAreSharedThroughTheManifest)
     std::fclose(manifest);
     EXPECT_NE(text.find("\"type\":\"alone\""), std::string::npos)
         << "baselines should be checkpointed for cross-shard reuse";
+}
+
+// Node fault domains / remote executors ------------------------------
+
+/** Two loopback single-slot nodes: the smallest real fault-domain
+ *  topology (something to migrate off of, somewhere to land). */
+std::vector<NodeSpec>
+nodePair()
+{
+    NodeSpec n0, n1;
+    n0.name = "n0";
+    n1.name = "n1";
+    return {n0, n1};
+}
+
+TEST(FleetIntegration, RemoteLoopbackRunIsByteIdenticalToInProcess)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeSpecs = nodePair();
+
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.interrupted);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_EQ(outcome.stats.shardsCompleted, 2u);
+    // The transport is invisible to the workers and to the merge.
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, NodeRegistryFileDrivesPlacementAndProvenance)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    TempDir checkpoint("fleet_it_registry");
+    TempFile registry("fleet_it_nodes.json",
+                      R"({"schema": "stfm-nodes-v1", "nodes": [)"
+                      R"({"name": "n0", "slots": 2},)"
+                      R"({"name": "n1"}]})");
+    options.checkpoint = checkpoint.path();
+    options.nodesFile = registry.path();
+    options.shards = 2;
+    options.workers = 2;
+
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+
+    std::ifstream in(checkpoint.path() + "/fleet_counters.json",
+                     std::ios::binary);
+    ASSERT_TRUE(in.is_open());
+    std::ostringstream text;
+    text << in.rdbuf();
+    const Json doc = Json::parse(text.str());
+    EXPECT_TRUE(doc.at("final", "counters").asBool());
+    const Json &shards = doc.at("shards", "counters");
+    ASSERT_EQ(shards.size(), 2u);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const std::string node =
+            shards.at(i).at("node", "record").asString();
+        EXPECT_TRUE(node == "n0" || node == "n1") << node;
+    }
+    const Json &nodes = doc.at("nodes", "counters");
+    ASSERT_EQ(nodes.size(), 2u);
+    std::uint64_t dispatches = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(nodes.at(i).at("transport", "node").asString(),
+                  "remote");
+        EXPECT_FALSE(nodes.at(i).at("quarantined", "node").asBool());
+        dispatches += nodes.at(i).at("dispatches", "node").asUint();
+    }
+    EXPECT_EQ(dispatches, 2u); // One per shard, no replays.
+}
+
+TEST(FleetIntegration, DroppedDispatchTripsLivenessAndReplays)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeSpecs = nodePair();
+    options.nodeBackoffSec = 0.01;
+    options.livenessSec = 0.5;
+    // Under sanitizers + parallel test load, retries can land back on
+    // n0 before n1 frees up; give the shard budget to ride that out.
+    options.retries = 6;
+
+    // The first dispatch toward n0 is lost in flight: its worker
+    // idles on a unit the supervisor believes is running, so the
+    // liveness window must reclaim and replay the shard.
+    NetFaultGuard net("drop@n0:1");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.netfaults, 1u);
+    EXPECT_GE(outcome.stats.hangs, 1u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, StalledNodeGoesDarkAndTheShardReplaysElsewhere)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    options.workers = 2;
+    options.nodeSpecs = nodePair();
+    options.nodeBackoffSec = 0.01;
+    options.livenessSec = 0.5;
+    // The stalled node stays placeable until its hang charges reach
+    // quarantine (3); every one of those can burn a shard attempt, so
+    // the budget must outlast the charge path with margin to spare.
+    options.retries = 6;
+
+    // One-way partition: n0 keeps receiving dispatches but every byte
+    // it sends back (heartbeats, results) is discarded.
+    NetFaultGuard net("stall@n0:1");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.netfaults, 1u);
+    EXPECT_GE(outcome.stats.hangs, 1u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, SeveredNodeIsQuarantinedAndShardsMigrate)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kWideSpecText);
+    options.shards = 4;
+    options.workers = 2;
+    options.nodeSpecs = nodePair();
+    options.nodeBackoffSec = 0.01;
+
+    // n0 vanishes at its very first dispatch: the in-flight shard must
+    // migrate (retry budget untouched), later launch attempts must be
+    // charged to the node until it is quarantined, and the whole sweep
+    // must still merge byte-identically off the surviving node.
+    NetFaultGuard net("sever@n0:1");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.netfaults, 1u);
+    EXPECT_GE(outcome.stats.migrations, 1u);
+    EXPECT_GE(outcome.stats.launchFailures, 1u);
+    EXPECT_EQ(outcome.stats.nodesQuarantined, 1u);
+    EXPECT_EQ(outcome.stats.shardsCompleted, 4u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, FlappingNodeBacksOffOnceAndRejoins)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kWideSpecText);
+    options.shards = 4;
+    options.workers = 2;
+    options.nodeSpecs = nodePair();
+    options.nodeBackoffSec = 0.01;
+
+    // A transient partition: n0 dies at its first dispatch but heals
+    // as soon as a launch attempt notices. It must rejoin after one
+    // backoff — never quarantined, never charged a failure.
+    NetFaultGuard net("flap@n0:1");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.netfaults, 1u);
+    EXPECT_GE(outcome.stats.migrations, 1u);
+    EXPECT_GE(outcome.stats.launchFailures, 1u);
+    EXPECT_EQ(outcome.stats.nodesQuarantined, 0u);
+    EXPECT_EQ(outcome.stats.shardsCompleted, 4u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, SigkilledWorkerIsClassifiedAndRetried)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+
+    // SIGKILL mid-shard is what the OOM killer looks like from here:
+    // no exit frame, no signal handler, just a reaped corpse.
+    FaultGuard fault("sigkill@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    EXPECT_FALSE(outcome.anyFailed());
+    EXPECT_GE(outcome.stats.sigkills, 1u);
+    EXPECT_GE(outcome.stats.crashes, 1u); // Also counted as a crash.
+    EXPECT_GE(outcome.stats.retries, 1u);
+    EXPECT_EQ(resultsJson(outcome.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, SigkillDiagnosticsNameTheLikelyOomKiller)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    options.shards = 2;
+    options.retries = 0;
+
+    FaultGuard fault("sigkill@0");
+    const FleetOutcome outcome = runShardedExperiment(spec, options);
+    ASSERT_EQ(outcome.failedShards, (std::vector<unsigned>{0}));
+    const RunOutcome &failed = outcome.result.outcomes[0];
+    EXPECT_TRUE(failed.failed);
+    EXPECT_NE(failed.error.find("SIGKILL"), std::string::npos)
+        << failed.error;
+    EXPECT_NE(failed.error.find("OOM"), std::string::npos)
+        << failed.error;
+}
+
+TEST(FleetIntegration, PreNodeManifestResumesByteIdentically)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    TempDir checkpoint("fleet_it_prenode");
+    options.shards = 2;
+    options.workers = 1;
+    options.checkpoint = checkpoint.path();
+    options.stopAfter = 1;
+
+    const FleetOutcome first = runShardedExperiment(spec, options);
+    EXPECT_TRUE(first.interrupted);
+
+    // Rewrite the manifest to the pre-provenance shape: shard records
+    // without a "node" key, as written before this schema addition.
+    const std::string manifestPath =
+        checkpoint.path() + "/manifest.jsonl";
+    std::string text;
+    {
+        std::ifstream in(manifestPath, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    const std::string needle = ",\"node\":\"local\"";
+    ASSERT_NE(text.find(needle), std::string::npos);
+    for (std::size_t at; (at = text.find(needle)) != std::string::npos;)
+        text.erase(at, needle.size());
+    {
+        std::ofstream out(manifestPath,
+                          std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+
+    FleetOptions resume = options;
+    resume.stopAfter = 0;
+    resume.resume = true;
+    const FleetOutcome second = runShardedExperiment(spec, resume);
+    EXPECT_FALSE(second.interrupted);
+    EXPECT_EQ(second.stats.shardsResumed, 1u);
+    EXPECT_EQ(resultsJson(second.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, TornManifestTailResumesByteIdentically)
+{
+    FleetOptions options = baseOptions();
+    REQUIRE_CLI(options.workerArgv);
+    const ExperimentSpec spec = specFromText(kSpecText);
+    TempDir checkpoint("fleet_it_torntail");
+    options.shards = 2;
+    options.workers = 1;
+    options.checkpoint = checkpoint.path();
+    options.stopAfter = 1;
+
+    const FleetOutcome first = runShardedExperiment(spec, options);
+    EXPECT_TRUE(first.interrupted);
+
+    // SIGKILL residue: cut the final manifest record mid-JSON. The
+    // resume must discard the torn record, re-execute whatever it
+    // described, and still merge byte-identically.
+    const std::string manifestPath =
+        checkpoint.path() + "/manifest.jsonl";
+    std::string text;
+    {
+        std::ifstream in(manifestPath, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    ASSERT_GE(text.size(), 2u);
+    ASSERT_EQ(text.back(), '\n');
+    const std::size_t recordStart =
+        text.rfind('\n', text.size() - 2) + 1;
+    const std::size_t cut =
+        recordStart + (text.size() - 1 - recordStart) / 2;
+    {
+        std::ofstream out(manifestPath,
+                          std::ios::binary | std::ios::trunc);
+        out.write(text.data(), static_cast<std::streamsize>(cut));
+    }
+
+    FleetOptions resume = options;
+    resume.stopAfter = 0;
+    resume.resume = true;
+    const FleetOutcome second = runShardedExperiment(spec, resume);
+    EXPECT_FALSE(second.interrupted);
+    EXPECT_FALSE(second.anyFailed());
+    EXPECT_EQ(resultsJson(second.result).dump(),
+              referenceBytes(spec));
+}
+
+TEST(FleetIntegration, ReportCliRejectsUselessInputs)
+{
+    const char *cli = std::getenv("STFM_CLI");
+    if (!cli || !*cli)
+        GTEST_SKIP() << "STFM_CLI is not set (run via ctest)";
+
+    // A directory with no artifacts and a path that does not exist
+    // must both be loud usage errors, not empty-but-successful
+    // reports.
+    TempDir empty("fleet_it_report_empty");
+    const std::string quiet = " >/dev/null 2>&1";
+    const int emptyRc = std::system(
+        (std::string(cli) + " report " + empty.path() + quiet)
+            .c_str());
+    ASSERT_TRUE(WIFEXITED(emptyRc));
+    EXPECT_EQ(WEXITSTATUS(emptyRc), 1);
+
+    const int missingRc = std::system(
+        (std::string(cli) + " report " + empty.path() +
+         "/no_such_artifact.json" + quiet)
+            .c_str());
+    ASSERT_TRUE(WIFEXITED(missingRc));
+    EXPECT_EQ(WEXITSTATUS(missingRc), 1);
 }
 
 } // namespace
